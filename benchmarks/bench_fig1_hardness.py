@@ -1,0 +1,46 @@
+"""Figure 1 reproduction benchmark: the 4-Partition reduction pipeline.
+
+Times the full pipeline — generate a planted yes-instance, reduce it to a
+monotone moldable scheduling instance, solve the 4-Partition instance, build
+the Figure 1 schedule and map it back — and asserts the structural invariants
+of the figure (4 jobs per machine, every machine loaded exactly ``n*B``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.validation import assert_valid_schedule
+from repro.hardness.four_partition import random_yes_instance, solve_four_partition, verify_four_partition_solution
+from repro.hardness.reduction import partition_from_schedule, reduce_to_scheduling, schedule_from_partition
+
+
+def _pipeline(groups: int, seed: int):
+    instance = random_yes_instance(groups, seed=seed)
+    reduced = reduce_to_scheduling(instance)
+    solution = solve_four_partition(instance)
+    assert solution is not None
+    schedule = schedule_from_partition(reduced, solution)
+    back = partition_from_schedule(reduced, schedule)
+    return instance, reduced, schedule, back
+
+
+@pytest.mark.parametrize("groups", [3, 5, 7])
+def test_fig1_reduction_pipeline(benchmark, groups):
+    instance, reduced, schedule, back = benchmark(lambda: _pipeline(groups, seed=groups))
+    assert_valid_schedule(schedule, reduced.jobs, max_makespan=reduced.target_makespan)
+    assert verify_four_partition_solution(instance, back)
+    per_machine = {}
+    for entry in schedule.entries:
+        per_machine.setdefault(entry.spans[0][0], 0)
+        per_machine[entry.spans[0][0]] += 1
+    assert all(count == 4 for count in per_machine.values())
+    benchmark.extra_info["groups"] = groups
+    benchmark.extra_info["target_makespan"] = reduced.target_makespan
+
+
+def test_fig1_reduction_only(benchmark):
+    """The reduction itself (no NP-hard solving) is linear and fast."""
+    instance = random_yes_instance(50, seed=1)
+    reduced = benchmark(lambda: reduce_to_scheduling(instance))
+    assert len(reduced.jobs) == 200

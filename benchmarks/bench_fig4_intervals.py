@@ -1,0 +1,40 @@
+"""Figure 4 reproduction benchmark: adaptive normalisation structure.
+
+Builds the geometric capacity grid and the adaptive interval structure used by
+Algorithm 2 for several capacities, times the construction plus a batch of
+normalisations, and asserts the Eq. (16) / Lemma 14 cardinality bounds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.knapsack.compressible import AdaptiveNormalizer, geom
+
+
+@pytest.mark.parametrize("capacity", [10_000.0, 10_000_000.0, 1e9])
+def test_fig4_interval_structure(benchmark, capacity):
+    rho = 0.1
+    alpha_min = 10.0
+    n_bar = 200
+    values = np.random.default_rng(1).uniform(alpha_min, capacity, size=2000)
+
+    def build_and_normalize():
+        grid = geom(alpha_min / (1.0 - rho), capacity, 1.0 / (1.0 - rho))
+        normalizer = AdaptiveNormalizer(grid, alpha_min, rho, n_bar)
+        total = 0.0
+        for v in values:
+            total += normalizer.normalize(float(v))
+        return grid, normalizer, total
+
+    grid, normalizer, _ = benchmark(build_and_normalize)
+
+    # Lemma 14: the geometric grid has O(log(C)/rho) entries
+    assert len(grid) <= 2.0 * math.log(capacity / alpha_min) / (1.0 / (1.0 - rho) - 1.0) + 2
+    # Eq. (16): every capacity interval has O(n_bar) cells
+    assert all(c <= (1 - rho) * n_bar + 2 for c in normalizer.subinterval_counts())
+    benchmark.extra_info["grid_size"] = len(grid)
+    benchmark.extra_info["max_cells"] = max(normalizer.subinterval_counts())

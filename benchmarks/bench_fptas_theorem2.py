@@ -1,0 +1,46 @@
+"""Theorem 2 benchmarks: the FPTAS for large machine counts.
+
+Times the complete FPTAS (estimator + dual binary search) for machine counts
+up to 10^9 and asserts the `(1+eps)` quality against the certified lower
+bound.  The running time should be essentially flat in ``m`` (it only enters
+through ``log m`` binary searches).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import makespan_lower_bound
+from repro.core.fptas import fptas_dual, fptas_schedule
+from repro.workloads.generators import random_amdahl_instance
+
+EPS = 0.1
+
+
+@pytest.mark.parametrize("m", [1 << 16, 1 << 24, 10 ** 9])
+def test_fptas_full_algorithm(benchmark, m):
+    instance = random_amdahl_instance(32, m, seed=13)
+    result = benchmark(lambda: fptas_schedule(instance.jobs, m, EPS))
+    lb = makespan_lower_bound(instance.jobs, m)
+    # OPT >= lb, so (1+eps)-optimality implies this (with a tiny slack for lb < OPT)
+    assert result.schedule.makespan <= (1 + EPS) * lb * 1.05
+    benchmark.extra_info["m"] = m
+    benchmark.extra_info["ratio_vs_lb"] = result.schedule.makespan / lb
+
+
+@pytest.mark.parametrize("n", [16, 64, 256])
+def test_fptas_scaling_in_n(benchmark, n):
+    m = 10 ** 9
+    instance = random_amdahl_instance(n, m, seed=17)
+    result = benchmark(lambda: fptas_schedule(instance.jobs, m, EPS))
+    assert result.schedule.makespan > 0
+    benchmark.extra_info["n"] = n
+
+
+def test_fptas_single_dual_step(benchmark):
+    """One dual step in isolation: O(n log m) oracle calls."""
+    m = 10 ** 9
+    instance = random_amdahl_instance(64, m, seed=19)
+    lb = makespan_lower_bound(instance.jobs, m)
+    schedule = benchmark(lambda: fptas_dual(instance.jobs, m, 1.2 * lb, EPS))
+    assert schedule is not None

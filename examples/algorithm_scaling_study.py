@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Scaling study: who wins as the machine count grows?
+
+Reproduces, at example scale, the crossover behaviour motivating the paper:
+the original MRT algorithm pays O(n*m) per dual step (its knapsack capacity is
+m), while the paper's algorithms pay only polylog(m).  The example sweeps m,
+times one dual step of each algorithm, and prints the crossover table.
+
+Run with::
+
+    python examples/algorithm_scaling_study.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.bounded_algorithm import bounded_dual
+from repro.core.bounds import ludwig_tiwari_estimator
+from repro.core.compressible_algorithm import compressible_dual
+from repro.core.mrt import mrt_dual
+from repro.workloads.generators import random_mixed_instance
+
+
+def time_once(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def main() -> None:
+    n = 120
+    eps = 0.2
+    print(f"one (3/2+eps)-dual step, n = {n}, eps = {eps}\n")
+    header = f"{'m':>8} {'MRT O(nm) [s]':>15} {'Alg.1 (4.2.5) [s]':>18} {'Alg.3 (4.3.3) [s]':>18} {'speedup':>9}"
+    print(header)
+    print("-" * len(header))
+
+    for exponent in range(6, 15, 2):
+        m = 1 << exponent
+        instance = random_mixed_instance(n, m, seed=11)
+        omega = ludwig_tiwari_estimator(instance.jobs, m).omega
+        d = 1.1 * omega
+
+        t_mrt = time_once(lambda: mrt_dual(instance.jobs, m, d, knapsack="dense"))
+        t_alg1 = time_once(lambda: compressible_dual(instance.jobs, m, d, eps))
+        t_alg3 = time_once(lambda: bounded_dual(instance.jobs, m, d, eps, transform="bucket"))
+        speedup = t_mrt / min(t_alg1, t_alg3)
+        print(f"{m:>8} {t_mrt:>15.4f} {t_alg1:>18.4f} {t_alg3:>18.4f} {speedup:>8.1f}x")
+
+    print(
+        "\nThe MRT column grows roughly linearly with m, the other two stay flat;"
+        "\nfor m >= 16 n they switch to the FPTAS dual step and become even faster."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule a batch of moldable jobs on a large machine.
+
+This example builds a small workload of Amdahl's-law jobs, schedules it with
+the library's automatic algorithm selection (the FPTAS of Theorem 2 here,
+because the machine count is huge compared to the number of jobs), validates
+the result, and prints a textual Gantt chart.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import AmdahlJob, assert_valid_schedule, schedule_moldable
+from repro.simulator.engine import simulate_schedule
+from repro.simulator.gantt import render_gantt
+
+
+def main() -> None:
+    # --- 1. describe the workload -----------------------------------------
+    # 24 parallel jobs; each has a sequential fraction, so adding processors
+    # helps less and less (the jobs are monotone moldable jobs).
+    jobs = [
+        AmdahlJob(f"task-{i:02d}", t1=20.0 + 3.0 * i, serial_fraction=0.02 + 0.01 * (i % 5))
+        for i in range(24)
+    ]
+
+    # --- 2. schedule --------------------------------------------------------
+    # A large cluster: 2^20 processors.  "auto" picks the FPTAS (Theorem 2)
+    # because m >= 8n/eps; the result is within (1+eps) of the optimum.
+    m = 1 << 20
+    result = schedule_moldable(jobs, m=m, eps=0.1, algorithm="auto")
+
+    print(f"algorithm          : {result.algorithm}")
+    print(f"makespan           : {result.makespan:.3f}")
+    print(f"certified lower bnd: {result.lower_bound:.3f}")
+    print(f"certified ratio    : {result.certified_ratio:.3f}  (guarantee {result.guarantee})")
+
+    # --- 3. verify ----------------------------------------------------------
+    assert_valid_schedule(result.schedule, jobs)
+    trace = simulate_schedule(result.schedule)
+    print(f"peak busy machines : {trace.peak_busy} / {m}")
+    print(f"avg utilisation    : {trace.average_utilization(m) * 100:.1f} %")
+
+    # --- 4. inspect ---------------------------------------------------------
+    print()
+    print(render_gantt(result.schedule, max_rows=24))
+
+
+if __name__ == "__main__":
+    main()

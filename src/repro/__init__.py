@@ -1,0 +1,73 @@
+"""repro — reproduction of *Scheduling Monotone Moldable Jobs in Linear Time*
+(Klaus Jansen & Felix Land, IPDPS 2018).
+
+Quick start::
+
+    from repro import AmdahlJob, schedule_moldable
+
+    jobs = [AmdahlJob(f"job{i}", t1=10.0 + i, serial_fraction=0.05) for i in range(20)]
+    result = schedule_moldable(jobs, m=1 << 20, eps=0.1)
+    print(result.makespan, result.certified_ratio)
+
+See :mod:`repro.core` for the algorithms, :mod:`repro.workloads` for instance
+generators, :mod:`repro.hardness` for the NP-hardness reduction,
+:mod:`repro.simulator` for execution/verification and :mod:`repro.experiments`
+for the reproduction of the paper's table and figures.
+"""
+
+from .core import (
+    ALGORITHMS,
+    Allotment,
+    AmdahlJob,
+    CommunicationJob,
+    MoldableJob,
+    OracleJob,
+    PowerLawJob,
+    RigidJob,
+    Schedule,
+    ScheduledJob,
+    SchedulingResult,
+    TabulatedJob,
+    assert_valid_schedule,
+    bounded_schedule,
+    compressible_schedule,
+    fptas_schedule,
+    gamma,
+    ludwig_tiwari_estimator,
+    makespan_lower_bound,
+    mrt_schedule,
+    ptas_schedule,
+    schedule_moldable,
+    two_approximation,
+    validate_schedule,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "MoldableJob",
+    "TabulatedJob",
+    "OracleJob",
+    "AmdahlJob",
+    "PowerLawJob",
+    "CommunicationJob",
+    "RigidJob",
+    "Allotment",
+    "Schedule",
+    "ScheduledJob",
+    "gamma",
+    "validate_schedule",
+    "assert_valid_schedule",
+    "ludwig_tiwari_estimator",
+    "makespan_lower_bound",
+    "two_approximation",
+    "mrt_schedule",
+    "compressible_schedule",
+    "bounded_schedule",
+    "fptas_schedule",
+    "ptas_schedule",
+    "schedule_moldable",
+    "SchedulingResult",
+    "ALGORITHMS",
+]

@@ -1,0 +1,6 @@
+"""Allow ``python -m repro <experiment>``."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

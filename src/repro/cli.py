@@ -1,0 +1,56 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Runs the experiment drivers that reproduce the paper's table and figures and
+the supporting studies (see EXPERIMENTS.md for the mapping).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from .experiments import (
+    crossover_study,
+    fig1_hardness,
+    fig2_fig3_shelves,
+    fig4_intervals,
+    fptas_study,
+    quality_study,
+    table1,
+)
+
+EXPERIMENTS: Dict[str, Callable[[], None]] = {
+    "table1": lambda: table1.main(),
+    "table1-quick": lambda: table1.main(quick=True),
+    "fig1": lambda: fig1_hardness.main(),
+    "fig2-fig3": lambda: fig2_fig3_shelves.main(),
+    "fig4": lambda: fig4_intervals.main(),
+    "fptas": lambda: fptas_study.main(),
+    "quality": lambda: quality_study.main(),
+    "crossover": lambda: crossover_study.main(),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the evaluation artefacts of 'Scheduling Monotone Moldable Jobs in Linear Time'",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which experiment to run (see EXPERIMENTS.md)",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "all":
+        for name in ("table1", "fig1", "fig2-fig3", "fig4", "fptas", "quality", "crossover"):
+            print(f"=== {name} ===")
+            EXPERIMENTS[name]()
+    else:
+        EXPERIMENTS[args.experiment]()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

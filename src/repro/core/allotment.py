@@ -1,0 +1,136 @@
+"""Allotments and the canonical processor count :func:`gamma`.
+
+An *allotment* fixes, for every job, the number of processors it will use.
+The paper's algorithms repeatedly need the *canonical* allotment for a time
+threshold ``t``::
+
+    gamma_j(t) = min { p in [m] : t_j(p) <= t }
+
+i.e. the least number of processors on which job ``j`` finishes within ``t``.
+Because processing times are non-increasing, ``gamma_j(t)`` is found by binary
+search in ``O(log m)`` oracle calls (the key to running times polylogarithmic
+in ``m``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Optional
+
+from .job import MoldableJob
+
+__all__ = ["gamma", "Allotment", "canonical_allotment"]
+
+
+def gamma(job: MoldableJob, threshold: float, m: int) -> Optional[int]:
+    """Return ``gamma_j(threshold)`` or ``None`` if even ``m`` processors are
+    not enough (``t_j(m) > threshold``).
+
+    Parameters
+    ----------
+    job:
+        The moldable job (non-increasing processing times assumed).
+    threshold:
+        Target processing time ``t``.
+    m:
+        Number of available machines.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if threshold <= 0:
+        return None
+    if job.processing_time(m) > threshold:
+        return None
+    if job.processing_time(1) <= threshold:
+        return 1
+    lo, hi = 1, m  # t(lo) > threshold, t(hi) <= threshold
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if job.processing_time(mid) <= threshold:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def canonical_allotment(jobs: Iterable[MoldableJob], threshold: float, m: int) -> Optional["Allotment"]:
+    """Build the canonical allotment ``a_j = gamma_j(threshold)`` for all jobs.
+
+    Returns ``None`` if any job cannot meet the threshold even on all ``m``
+    machines.
+    """
+    counts: Dict[MoldableJob, int] = {}
+    for job in jobs:
+        g = gamma(job, threshold, m)
+        if g is None:
+            return None
+        counts[job] = g
+    return Allotment(counts)
+
+
+@dataclass
+class Allotment:
+    """A mapping from jobs to processor counts.
+
+    The class is a thin, validated wrapper around a ``dict`` with convenience
+    aggregates used throughout the algorithms (total work, total processors,
+    longest processing time).
+    """
+
+    counts: Dict[MoldableJob, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for job, k in self.counts.items():
+            if k < 1 or k != int(k):
+                raise ValueError(f"allotment for job {job.name!r} must be a positive integer, got {k!r}")
+            self.counts[job] = int(k)
+
+    # -------------------------------------------------------------- mapping
+    def __getitem__(self, job: MoldableJob) -> int:
+        return self.counts[job]
+
+    def __setitem__(self, job: MoldableJob, k: int) -> None:
+        if k < 1:
+            raise ValueError("allotment must be >= 1")
+        self.counts[job] = int(k)
+
+    def __contains__(self, job: MoldableJob) -> bool:
+        return job in self.counts
+
+    def __iter__(self) -> Iterator[MoldableJob]:
+        return iter(self.counts)
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def items(self):
+        return self.counts.items()
+
+    def get(self, job: MoldableJob, default: Optional[int] = None) -> Optional[int]:
+        return self.counts.get(job, default)
+
+    def copy(self) -> "Allotment":
+        return Allotment(dict(self.counts))
+
+    # ----------------------------------------------------------- aggregates
+    def total_processors(self) -> int:
+        """``sum_j a_j`` — processors needed to run all jobs simultaneously."""
+        return sum(self.counts.values())
+
+    def total_work(self) -> float:
+        """``sum_j w_j(a_j)``."""
+        return sum(job.work(k) for job, k in self.counts.items())
+
+    def max_time(self) -> float:
+        """``max_j t_j(a_j)``."""
+        return max((job.processing_time(k) for job, k in self.counts.items()), default=0.0)
+
+    def average_load(self, m: int) -> float:
+        """``total_work / m`` — the area lower bound induced by this allotment."""
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        return self.total_work() / m
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[MoldableJob, int]) -> "Allotment":
+        return cls(dict(mapping))

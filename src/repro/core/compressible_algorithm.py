@@ -1,0 +1,137 @@
+"""Algorithm 1 (Section 4.2.5): the `(3/2+eps)`-dual algorithm based on the
+knapsack problem with compressible items.
+
+The shelf-1 selection knapsack is solved *approximately in the sizes* (never
+in the profits): wide jobs — those using at least ``1/rho`` processors in
+shelf S1 — are treated as compressible because Lemma 4 lets them give up a
+``rho`` fraction of their processors at the cost of a ``(1+4rho)`` slowdown.
+The selected jobs are then scheduled with their ``gamma_j(d')`` processor
+counts for the slightly larger target ``d' = (1+4rho)d``, which is exactly
+what the compression argument pays for (Corollary 10).
+
+Running time of the dual step: ``O(n (log m + n log(eps*m)))`` oracle calls —
+polynomial in ``log m``, in contrast to the ``O(n*m)`` MRT baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from ..knapsack.compressible import solve_compressible_knapsack
+from ..knapsack.items import KnapsackItem
+from .allotment import gamma
+from .dual import DualSearchResult, dual_binary_search
+from .fptas import fptas_dual, fptas_machine_threshold
+from .job import MoldableJob
+from .schedule import Schedule
+from .shelves import build_three_shelf_schedule, partition_small_big, shelf_profit
+from .validation import assert_valid_schedule
+
+__all__ = ["compressible_dual", "compressible_schedule", "LARGE_M_FACTOR"]
+
+#: Above ``m >= LARGE_M_FACTOR * n`` the dual step delegates to the FPTAS dual
+#: with ``eps = 1/2`` (Section 4.2.5: "we only use Algorithm 1 if m < 16n").
+LARGE_M_FACTOR = 16
+
+
+def compressible_dual(
+    jobs: Sequence[MoldableJob],
+    m: int,
+    d: float,
+    eps: float,
+) -> Optional[Schedule]:
+    """One `(3/2+eps)`-dual step of Algorithm 1: schedule with makespan at most
+    ``(3/2)(1+4rho)d <= (3/2+eps)d`` (with ``rho = eps/6``) or reject ``d``."""
+    if d <= 0:
+        return None
+    jobs = list(jobs)
+    n = len(jobs)
+    if n == 0:
+        return Schedule(m=m)
+
+    if m >= LARGE_M_FACTOR * n:
+        # m >= 16n = 8n/(1/2): the FPTAS dual with eps=1/2 yields makespan <= 3d/2.
+        schedule = fptas_dual(jobs, m, d, 0.5)
+        if schedule is not None:
+            schedule.metadata["algorithm"] = "compressible_dual(large_m)"
+        return schedule
+
+    rho = eps / 6.0
+    d_prime = (1.0 + 4.0 * rho) * d
+    _, big = partition_small_big(jobs, d)
+
+    shelf1: List[MoldableJob] = []
+    knapsack_jobs: List[MoldableJob] = []
+    capacity = m
+    for job in big:
+        g_full = gamma(job, d, m)
+        if g_full is None:
+            return None
+        if gamma(job, d / 2.0, m) is None:
+            shelf1.append(job)
+            capacity -= g_full
+        else:
+            knapsack_jobs.append(job)
+    if capacity < 0:
+        return None
+
+    items = [
+        KnapsackItem(key=idx, size=gamma(job, d, m), profit=shelf_profit(job, d, m), payload=job)
+        for idx, job in enumerate(knapsack_jobs)
+    ]
+    compressible_keys = {item.key for item in items if item.size >= 1.0 / rho}
+
+    if items:
+        n_bar = max(1, int(math.floor(capacity * rho / (1.0 - rho))) + 1)
+        solution = solve_compressible_knapsack(
+            items,
+            compressible_keys,
+            capacity,
+            rho,
+            alpha_min=1.0 / rho,
+            beta_max=float(capacity),
+            n_bar=n_bar,
+        )
+        shelf1.extend(item.payload for item in solution.items)
+
+    # Corollary 10: schedule the selection for the inflated target d'.
+    schedule = build_three_shelf_schedule(jobs, m, d_prime, shelf1)
+    if schedule is not None:
+        schedule.metadata["algorithm"] = "compressible_dual"
+        schedule.metadata["d"] = d
+        schedule.metadata["d_prime"] = d_prime
+    return schedule
+
+
+def compressible_schedule(
+    jobs: Sequence[MoldableJob],
+    m: int,
+    eps: float = 0.1,
+    *,
+    validate: bool = True,
+) -> DualSearchResult:
+    """`(3/2+eps)`-approximation via Algorithm 1 and dual binary search.
+
+    The accuracy budget is split between the dual step (``eps/2``) and the
+    binary search (``eps/4``): the final makespan is at most
+    ``(3/2 + eps/2)(1 + eps/4) <= (3/2 + eps)`` times the optimum for
+    ``eps <= 1``.
+    """
+    if not 0 < eps <= 1:
+        raise ValueError("eps must lie in (0, 1]")
+    jobs = list(jobs)
+    dual_eps = eps / 2.0
+    tolerance = eps / 4.0
+    result = dual_binary_search(
+        jobs,
+        m,
+        lambda d: compressible_dual(jobs, m, d, dual_eps),
+        tolerance=tolerance,
+    )
+    result.schedule.metadata["algorithm"] = "compressible"
+    result.schedule.metadata["eps"] = eps
+    result.schedule.metadata["guarantee"] = 1.5 + eps
+    if validate and jobs:
+        assert_valid_schedule(result.schedule, jobs)
+    return result

@@ -1,0 +1,93 @@
+"""Compression of wide jobs (Lemma 4 and Lemma 16 of the paper).
+
+*Compression* is the paper's central technique for exploiting monotony: a job
+that occupies many processors can give some of them up in exchange for a
+bounded increase in processing time.
+
+Lemma 4
+    If a job uses ``b >= 1/rho`` processors (``rho in (0, 1/4]``), reducing the
+    count to ``floor(b * (1 - rho))`` increases the processing time by a factor
+    of at most ``1 + 4*rho``.
+
+Lemma 16
+    For an accuracy ``delta in (0, 1]`` set ``rho = (sqrt(1+delta) - 1) / 4``
+    and ``b = 1 / (2*rho - rho**2)``.  Any job using at least ``b`` processors
+    can be compressed with factor ``2*rho - rho**2``: its processor count drops
+    by a factor ``(1-rho)**2`` while its processing time grows by a factor of
+    less than ``1 + delta``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .job import MoldableJob
+
+__all__ = [
+    "compressed_count",
+    "compression_time_bound",
+    "is_compressible",
+    "CompressionParams",
+    "params_for_delta",
+    "verify_compression_lemma",
+]
+
+
+def compressed_count(b: int, rho: float) -> int:
+    """Processor count after one compression step: ``floor(b * (1 - rho))``."""
+    if b < 1:
+        raise ValueError("processor count must be >= 1")
+    if not 0 < rho <= 0.5:
+        raise ValueError("compression factor rho must lie in (0, 0.5]")
+    return max(1, math.floor(b * (1.0 - rho)))
+
+
+def compression_time_bound(time: float, rho: float) -> float:
+    """Upper bound ``(1 + 4*rho) * time`` on the processing time after compression."""
+    return (1.0 + 4.0 * rho) * time
+
+
+def is_compressible(count: int, rho: float) -> bool:
+    """A job is compressible with factor ``rho`` iff it uses at least ``1/rho``
+    processors (so at least one processor is freed)."""
+    return count >= 1.0 / rho
+
+
+@dataclass(frozen=True)
+class CompressionParams:
+    """Parameters derived from the accuracy ``delta`` as in Lemma 16."""
+
+    delta: float
+    rho: float
+    b: float  # compressibility threshold (jobs using >= b processors are wide)
+
+    @property
+    def double_factor(self) -> float:
+        """The combined compression factor ``2*rho - rho**2`` used by Algorithm 2/3."""
+        return 2.0 * self.rho - self.rho ** 2
+
+
+def params_for_delta(delta: float) -> CompressionParams:
+    """Compute ``rho`` and ``b`` from ``delta`` as in Lemma 16.
+
+    ``rho = (sqrt(1 + delta) - 1) / 4`` and ``b = 1 / (2*rho - rho**2)``.
+    """
+    if not 0 < delta <= 1.0 + 1e-12:
+        raise ValueError("delta must lie in (0, 1]")
+    rho = (math.sqrt(1.0 + delta) - 1.0) / 4.0
+    b = 1.0 / (2.0 * rho - rho ** 2)
+    return CompressionParams(delta=delta, rho=rho, b=b)
+
+
+def verify_compression_lemma(job: MoldableJob, b: int, rho: float) -> bool:
+    """Check Lemma 4 numerically for a specific job and processor count.
+
+    Returns ``True`` iff ``t_j(floor(b*(1-rho))) <= (1 + 4*rho) * t_j(b)``.
+    Only meaningful for monotone jobs with ``b >= 1/rho``; used by tests and
+    instance sanity checks.
+    """
+    if not is_compressible(b, rho):
+        raise ValueError(f"count {b} is not compressible with rho={rho} (needs >= {1.0 / rho:.3f})")
+    new_count = compressed_count(b, rho)
+    return job.processing_time(new_count) <= compression_time_bound(job.processing_time(b), rho) * (1 + 1e-12)

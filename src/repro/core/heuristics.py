@@ -1,0 +1,96 @@
+"""Simple practical heuristics (baselines not from the paper).
+
+These are the kinds of rules-of-thumb a cluster operator might use without the
+paper's machinery.  They carry no worst-case guarantee better than the trivial
+ones, but they are useful reference points in the quality studies and in the
+examples:
+
+* :func:`sequential_baseline` — every job on one processor, list-scheduled
+  (minimises total work, ignores parallelism);
+* :func:`max_parallelism_baseline` — every job on as many processors as keep
+  its parallel efficiency above a threshold, longest-processing-time first;
+* :func:`lpt_moldable` — a moldable LPT heuristic: allot each job the fewest
+  processors that bring it under the current area bound, then list-schedule
+  longest-first.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .allotment import Allotment, gamma
+from .bounds import trivial_lower_bound
+from .job import MoldableJob
+from .list_scheduling import list_schedule
+from .schedule import Schedule
+
+__all__ = ["sequential_baseline", "max_parallelism_baseline", "lpt_moldable"]
+
+
+def sequential_baseline(jobs: Sequence[MoldableJob], m: int) -> Schedule:
+    """Every job runs on a single processor; jobs are list-scheduled
+    longest-first.  Minimises total work but ignores all parallelism."""
+    jobs = list(jobs)
+    allot = Allotment({job: 1 for job in jobs})
+    order = sorted(jobs, key=lambda j: -j.processing_time(1))
+    schedule = list_schedule(jobs, allot, m, order=order) if jobs else Schedule(m=m)
+    schedule.metadata["algorithm"] = "sequential_baseline"
+    return schedule
+
+
+def max_parallelism_baseline(
+    jobs: Sequence[MoldableJob],
+    m: int,
+    *,
+    efficiency_threshold: float = 0.5,
+) -> Schedule:
+    """Give each job the largest processor count whose parallel efficiency is
+    still at least ``efficiency_threshold`` (capped at ``m``), then
+    list-schedule longest-first.
+
+    For monotone jobs the efficiency ``speedup(k)/k`` is non-increasing in
+    ``k``, so the largest admissible count is found by binary search.
+    """
+    if not 0 < efficiency_threshold <= 1:
+        raise ValueError("efficiency_threshold must lie in (0, 1]")
+    jobs = list(jobs)
+    counts = {}
+    for job in jobs:
+        lo, hi = 1, m  # efficiency(1) = 1 >= threshold always
+        while hi - lo > 0:
+            mid = (lo + hi + 1) // 2
+            if job.efficiency(mid) >= efficiency_threshold:
+                lo = mid
+            else:
+                hi = mid - 1
+        counts[job] = lo
+    allot = Allotment(counts)
+    order = sorted(jobs, key=lambda j: -j.processing_time(allot[j]))
+    schedule = list_schedule(jobs, allot, m, order=order) if jobs else Schedule(m=m)
+    schedule.metadata["algorithm"] = "max_parallelism_baseline"
+    schedule.metadata["efficiency_threshold"] = efficiency_threshold
+    return schedule
+
+
+def lpt_moldable(jobs: Sequence[MoldableJob], m: int, *, target: Optional[float] = None) -> Schedule:
+    """A moldable longest-processing-time heuristic.
+
+    Each job is allotted ``gamma_j(target)`` processors — the fewest that bring
+    it below the target (defaulting to twice the trivial lower bound, which is
+    always achievable) — and jobs are list-scheduled longest-first.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return Schedule(m=m, metadata={"algorithm": "lpt_moldable"})
+    if target is None:
+        target = 2.0 * trivial_lower_bound(jobs, m)
+    counts = {}
+    for job in jobs:
+        g = gamma(job, target, m)
+        counts[job] = g if g is not None else m
+    allot = Allotment(counts)
+    order = sorted(jobs, key=lambda j: -j.processing_time(allot[j]))
+    schedule = list_schedule(jobs, allot, m, order=order)
+    schedule.metadata["algorithm"] = "lpt_moldable"
+    schedule.metadata["target"] = target
+    return schedule

@@ -1,0 +1,288 @@
+"""Moldable job models.
+
+A *moldable job* can be executed on an arbitrary number ``k`` of processors;
+its processing time ``t_j(k)`` is accessed through an oracle (this module).
+Throughout the library we follow the conventions of Jansen & Land (2018):
+
+* processing times are non-increasing in ``k`` (more processors never hurt);
+* a job is *monotone* if its work ``w_j(k) = k * t_j(k)`` is non-decreasing in
+  ``k`` (parallelisation has an overhead).
+
+All job classes in this module expose ``processing_time(k)`` as an O(1) oracle
+so that instances with an astronomically large machine count ``m`` (compact
+input encoding) can be handled in time polylogarithmic in ``m``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "MoldableJob",
+    "TabulatedJob",
+    "OracleJob",
+    "AmdahlJob",
+    "PowerLawJob",
+    "CommunicationJob",
+    "RigidJob",
+    "total_minimal_work",
+    "max_sequential_time",
+]
+
+
+class MoldableJob(ABC):
+    """Abstract moldable job.
+
+    Subclasses implement :meth:`_time` returning the processing time on ``k``
+    processors for ``k >= 1``.  The public entry point
+    :meth:`processing_time` validates and memoises oracle calls; repeated
+    evaluation of ``t_j(k)`` for the same ``k`` is O(1).
+
+    Parameters
+    ----------
+    name:
+        Identifier used in schedules, reports and error messages.
+    """
+
+    __slots__ = ("name", "_cache")
+
+    def __init__(self, name: str) -> None:
+        self.name = str(name)
+        self._cache: dict[int, float] = {}
+
+    # ------------------------------------------------------------------ API
+    @abstractmethod
+    def _time(self, k: int) -> float:
+        """Return the processing time on ``k >= 1`` processors."""
+
+    def processing_time(self, k: int) -> float:
+        """Processing time ``t_j(k)`` on ``k`` processors.
+
+        Raises
+        ------
+        ValueError
+            If ``k`` is not a positive integer or the oracle returns a
+            non-positive / non-finite value.
+        """
+        if k != int(k) or k < 1:
+            raise ValueError(f"processor count must be a positive integer, got {k!r}")
+        k = int(k)
+        cached = self._cache.get(k)
+        if cached is not None:
+            return cached
+        value = float(self._time(k))
+        if not math.isfinite(value) or value <= 0.0:
+            raise ValueError(
+                f"job {self.name!r}: oracle returned invalid processing time {value!r} for k={k}"
+            )
+        # Keep the memo small for huge sweeps: cap at a generous size.
+        if len(self._cache) < 4096:
+            self._cache[k] = value
+        return value
+
+    def work(self, k: int) -> float:
+        """Work ``w_j(k) = k * t_j(k)``."""
+        return k * self.processing_time(k)
+
+    def speedup(self, k: int) -> float:
+        """Speedup ``s_j(k) = t_j(1) / t_j(k)``."""
+        return self.processing_time(1) / self.processing_time(k)
+
+    def efficiency(self, k: int) -> float:
+        """Parallel efficiency ``s_j(k) / k`` (equals ``w_j(1)/w_j(k)``)."""
+        return self.speedup(k) / k
+
+    # --------------------------------------------------------------- dunder
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+class TabulatedJob(MoldableJob):
+    """Job defined by an explicit table of processing times.
+
+    ``times[k-1]`` is the processing time on ``k`` processors.  For processor
+    counts beyond the table the last entry is used (the job stops speeding
+    up), which preserves non-increasing processing times and non-decreasing
+    work.
+
+    This is the "classical" (non-compact) encoding used by most prior work,
+    where the input explicitly lists ``t_j(1), ..., t_j(m)``.
+    """
+
+    __slots__ = ("times",)
+
+    def __init__(self, name: str, times: Sequence[float]) -> None:
+        super().__init__(name)
+        if len(times) == 0:
+            raise ValueError("times table must be non-empty")
+        self.times = tuple(float(t) for t in times)
+        if any(t <= 0 or not math.isfinite(t) for t in self.times):
+            raise ValueError(f"job {name!r}: all tabulated times must be positive and finite")
+
+    def _time(self, k: int) -> float:
+        if k <= len(self.times):
+            return self.times[k - 1]
+        return self.times[-1]
+
+
+class OracleJob(MoldableJob):
+    """Job whose processing time is given by an arbitrary callable.
+
+    This is the compact-encoding model of the paper: ``t_j(k)`` is computed on
+    demand in O(1), so ``m`` only enters running times through ``log m``.
+    """
+
+    __slots__ = ("func",)
+
+    def __init__(self, name: str, func: Callable[[int], float]) -> None:
+        super().__init__(name)
+        self.func = func
+
+    def _time(self, k: int) -> float:
+        return self.func(k)
+
+
+class AmdahlJob(MoldableJob):
+    """Amdahl's-law job: ``t(k) = t1 * (f + (1-f)/k)``.
+
+    ``f`` is the sequential fraction.  The speedup ``1/(f + (1-f)/k)`` is
+    concave, hence the job is monotone (concavity implies monotony, see the
+    paper's footnote 2).
+    """
+
+    __slots__ = ("t1", "serial_fraction")
+
+    def __init__(self, name: str, t1: float, serial_fraction: float) -> None:
+        super().__init__(name)
+        if t1 <= 0:
+            raise ValueError("t1 must be positive")
+        if not 0.0 <= serial_fraction <= 1.0:
+            raise ValueError("serial_fraction must lie in [0, 1]")
+        self.t1 = float(t1)
+        self.serial_fraction = float(serial_fraction)
+
+    def _time(self, k: int) -> float:
+        f = self.serial_fraction
+        return self.t1 * (f + (1.0 - f) / k)
+
+
+class PowerLawJob(MoldableJob):
+    """Power-law job: ``t(k) = t1 / k**alpha`` with ``0 <= alpha <= 1``.
+
+    ``alpha = 1`` gives perfect (linear) speedup, ``alpha = 0`` a sequential
+    job.  The work ``k**(1-alpha) * t1`` is non-decreasing, so the job is
+    monotone.
+    """
+
+    __slots__ = ("t1", "alpha")
+
+    def __init__(self, name: str, t1: float, alpha: float) -> None:
+        super().__init__(name)
+        if t1 <= 0:
+            raise ValueError("t1 must be positive")
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must lie in [0, 1]")
+        self.t1 = float(t1)
+        self.alpha = float(alpha)
+
+    def _time(self, k: int) -> float:
+        return self.t1 / (k ** self.alpha)
+
+
+class CommunicationJob(MoldableJob):
+    """Job with per-processor communication overhead.
+
+    The raw model ``t1/k + c*(k-1)`` eventually slows down when adding
+    processors, which would violate the non-increasing-time convention.  We
+    therefore cap the useful parallelism at ``k* = argmin_k t1/k + c*(k-1)``
+    and keep the processing time constant beyond ``k*``:
+
+    * for ``k <= k*``: ``t(k) = t1/k + c*(k-1)`` (non-increasing by choice of
+      ``k*``), work ``t1 + c*k*(k-1)`` (non-decreasing);
+    * for ``k > k*``: ``t(k) = t(k*)`` (constant), work grows linearly.
+
+    Both regimes give a monotone moldable job.
+    """
+
+    __slots__ = ("t1", "overhead", "k_star")
+
+    def __init__(self, name: str, t1: float, overhead: float) -> None:
+        super().__init__(name)
+        if t1 <= 0:
+            raise ValueError("t1 must be positive")
+        if overhead < 0:
+            raise ValueError("overhead must be non-negative")
+        self.t1 = float(t1)
+        self.overhead = float(overhead)
+        if overhead == 0:
+            self.k_star = None  # unbounded perfect scaling of the 1/k term
+        else:
+            # t(k) decreasing as long as t1/(k(k+1)) >= c  <=>  k(k+1) <= t1/c
+            k = int(math.floor((math.sqrt(1.0 + 4.0 * t1 / overhead) - 1.0) / 2.0))
+            self.k_star = max(1, k)
+
+    def _raw(self, k: int) -> float:
+        return self.t1 / k + self.overhead * (k - 1)
+
+    def _time(self, k: int) -> float:
+        if self.k_star is None:
+            return self.t1 / k
+        k_eff = min(k, self.k_star)
+        return self._raw(k_eff)
+
+
+class RigidJob(MoldableJob):
+    """A "rigid" parallel job disguised as a moldable one.
+
+    The job needs at least ``size`` processors; on fewer processors its
+    processing time is a large penalty value (it does not fit).  On ``size``
+    or more processors the time is constant.  These jobs are **not** monotone
+    (their work jumps down at ``k = size``); they model the reduction from
+    scheduling parallel jobs mentioned in the paper's introduction and are
+    used to exercise the non-monotone code paths and validation logic.
+    """
+
+    __slots__ = ("duration", "size", "penalty")
+
+    def __init__(self, name: str, duration: float, size: int, penalty: float | None = None) -> None:
+        super().__init__(name)
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.duration = float(duration)
+        self.size = int(size)
+        self.penalty = float(penalty) if penalty is not None else duration * 1e6
+
+    def _time(self, k: int) -> float:
+        if k >= self.size:
+            return self.duration
+        return self.penalty
+
+
+# --------------------------------------------------------------------------
+# Aggregate helpers
+# --------------------------------------------------------------------------
+
+def total_minimal_work(jobs: Iterable[MoldableJob]) -> float:
+    """Sum of the single-processor works ``sum_j w_j(1) = sum_j t_j(1)``.
+
+    For monotone jobs this is the minimum possible total work of any schedule
+    and hence ``total_minimal_work(jobs) / m`` is a valid makespan lower
+    bound.
+    """
+    return sum(job.processing_time(1) for job in jobs)
+
+
+def max_sequential_time(jobs: Iterable[MoldableJob], m: int) -> float:
+    """``max_j t_j(m)``: the largest processing time when every job gets all
+    ``m`` machines.  A valid makespan lower bound for any schedule."""
+    return max((job.processing_time(m) for job in jobs), default=0.0)

@@ -1,0 +1,112 @@
+"""The Mounié–Rapine–Trystram `(3/2)`-dual algorithm (Section 4.1).
+
+This is the paper's starting point and the `O(n*m)` baseline against which the
+accelerated algorithms are compared: the shelf-1 selection is an *exact* 0/1
+knapsack over the big jobs (size ``gamma_j(d)``, profit ``v_j(d)``, capacity
+``m``), solved by dynamic programming in time proportional to ``m``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..knapsack.dp import solve_knapsack, solve_knapsack_dense
+from ..knapsack.items import KnapsackItem
+from .allotment import gamma
+from .dual import DualSearchResult, dual_binary_search
+from .job import MoldableJob
+from .schedule import Schedule
+from .shelves import build_three_shelf_schedule, partition_small_big, shelf_profit
+from .validation import assert_valid_schedule
+
+__all__ = ["mrt_dual", "mrt_schedule"]
+
+
+#: Above this capacity the exact knapsack falls back from the dense O(n*m)
+#: table to the dominance-list engine (same optimum, far less memory).
+DENSE_KNAPSACK_LIMIT = 1 << 17
+
+
+def mrt_dual(
+    jobs: Sequence[MoldableJob],
+    m: int,
+    d: float,
+    *,
+    knapsack: str = "auto",
+) -> Optional[Schedule]:
+    """One dual step of the MRT algorithm: schedule with makespan ``<= 3d/2``
+    or reject the target ``d``.
+
+    Rejection is correct in the dual sense: if a schedule with makespan ``d``
+    exists, the step never rejects (Lemma 6).
+
+    Parameters
+    ----------
+    knapsack:
+        ``"dense"`` uses the classical ``O(n*m)`` table DP (the running time
+        the paper attributes to the original algorithm), ``"pairs"`` the
+        dominance-list DP (same optimum), ``"auto"`` picks dense for moderate
+        capacities and pairs otherwise.
+    """
+    if d <= 0:
+        return None
+    jobs = list(jobs)
+    _, big = partition_small_big(jobs, d)
+
+    # Jobs that cannot finish within d even on all machines force rejection.
+    shelf1: List[MoldableJob] = []
+    knapsack_jobs: List[MoldableJob] = []
+    capacity = m
+    for job in big:
+        g_full = gamma(job, d, m)
+        if g_full is None:
+            return None
+        g_half = gamma(job, d / 2.0, m)
+        if g_half is None:
+            # must run in shelf S1 (cannot fit the d/2 shelf at all)
+            shelf1.append(job)
+            capacity -= g_full
+        else:
+            knapsack_jobs.append(job)
+    if capacity < 0:
+        return None
+
+    items = [
+        KnapsackItem(key=idx, size=gamma(job, d, m), profit=shelf_profit(job, d, m), payload=job)
+        for idx, job in enumerate(knapsack_jobs)
+    ]
+    if knapsack not in ("auto", "dense", "pairs"):
+        raise ValueError(f"unknown knapsack engine {knapsack!r}")
+    use_dense = knapsack == "dense" or (knapsack == "auto" and capacity <= DENSE_KNAPSACK_LIMIT)
+    if use_dense:
+        _, chosen = solve_knapsack_dense(items, capacity)
+    else:
+        _, chosen = solve_knapsack(items, capacity)
+    shelf1.extend(item.payload for item in chosen)
+
+    return build_three_shelf_schedule(jobs, m, d, shelf1)
+
+
+def mrt_schedule(
+    jobs: Sequence[MoldableJob],
+    m: int,
+    eps: float = 0.1,
+    *,
+    validate: bool = True,
+) -> DualSearchResult:
+    """`(3/2 + eps)`-approximation via the MRT dual algorithm and binary search.
+
+    The binary-search tolerance is chosen so that the final makespan is at most
+    ``(3/2)(1 + 2*eps/3) <= 3/2 + eps`` times the optimum.
+    """
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    jobs = list(jobs)
+    tolerance = 2.0 * eps / 3.0
+    result = dual_binary_search(jobs, m, lambda d: mrt_dual(jobs, m, d), tolerance=tolerance)
+    result.schedule.metadata["algorithm"] = "mrt"
+    result.schedule.metadata["eps"] = eps
+    result.schedule.metadata["guarantee"] = 1.5 + eps
+    if validate and jobs:
+        assert_valid_schedule(result.schedule, jobs)
+    return result

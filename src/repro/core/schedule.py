@@ -1,0 +1,184 @@
+"""Schedules for moldable jobs.
+
+A schedule assigns every job a start time and a concrete set of machines.
+Machine sets are represented by *spans* ``(first_machine, count)`` so that
+instances with billions of machines never materialise per-machine data
+structures; a job almost always occupies one contiguous span, but unions of
+spans are supported (e.g. when a shelf construction reuses scattered leftover
+machines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from .job import MoldableJob
+
+__all__ = ["MachineSpan", "ScheduledJob", "Schedule"]
+
+
+MachineSpan = Tuple[int, int]
+"""A half-open machine range ``(first, count)`` covering machines
+``first, first+1, ..., first+count-1`` (0-indexed)."""
+
+
+def _normalize_spans(spans: Sequence[MachineSpan]) -> Tuple[MachineSpan, ...]:
+    cleaned: List[MachineSpan] = []
+    for first, count in spans:
+        first = int(first)
+        count = int(count)
+        if count <= 0:
+            raise ValueError(f"span count must be positive, got {count}")
+        if first < 0:
+            raise ValueError(f"span start must be non-negative, got {first}")
+        cleaned.append((first, count))
+    cleaned.sort()
+    # merge adjacent/overlapping spans belonging to the same job
+    merged: List[MachineSpan] = []
+    for first, count in cleaned:
+        if merged and first <= merged[-1][0] + merged[-1][1]:
+            prev_first, prev_count = merged[-1]
+            end = max(prev_first + prev_count, first + count)
+            merged[-1] = (prev_first, end - prev_first)
+        else:
+            merged.append((first, count))
+    return tuple(merged)
+
+
+@dataclass(frozen=True)
+class ScheduledJob:
+    """One job placed in a schedule.
+
+    Attributes
+    ----------
+    job:
+        The moldable job.
+    start:
+        Start time (the job runs in ``[start, start + duration)``).
+    spans:
+        Machine spans; the job uses ``processors = sum(count for _, count in spans)``
+        machines for its whole duration.
+    duration_override:
+        Normally the duration is ``job.processing_time(processors)``.  A few
+        constructions (e.g. conceptually "split" jobs in the shelf
+        transformation) need to pin the duration explicitly; tests assert that
+        overrides never *understate* the true processing time.
+    """
+
+    job: MoldableJob
+    start: float
+    spans: Tuple[MachineSpan, ...]
+    duration_override: float | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "spans", _normalize_spans(self.spans))
+        if self.start < 0:
+            raise ValueError(f"start time must be non-negative, got {self.start}")
+        if not self.spans:
+            raise ValueError("a scheduled job needs at least one machine span")
+
+    @property
+    def processors(self) -> int:
+        return sum(count for _, count in self.spans)
+
+    @property
+    def duration(self) -> float:
+        if self.duration_override is not None:
+            return self.duration_override
+        return self.job.processing_time(self.processors)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def work(self) -> float:
+        return self.processors * self.duration
+
+    def machines(self) -> Iterator[int]:
+        """Iterate over the individual machine indices (avoid for huge spans)."""
+        for first, count in self.spans:
+            yield from range(first, first + count)
+
+    def uses_machine(self, machine: int) -> bool:
+        return any(first <= machine < first + count for first, count in self.spans)
+
+
+@dataclass
+class Schedule:
+    """A complete schedule on ``m`` machines."""
+
+    m: int
+    entries: List[ScheduledJob] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise ValueError("m must be >= 1")
+
+    # ----------------------------------------------------------------- edit
+    def add(
+        self,
+        job: MoldableJob,
+        start: float,
+        spans: Sequence[MachineSpan],
+        duration_override: float | None = None,
+    ) -> ScheduledJob:
+        entry = ScheduledJob(job=job, start=start, spans=tuple(spans), duration_override=duration_override)
+        self.entries.append(entry)
+        return entry
+
+    def extend(self, entries: Iterable[ScheduledJob]) -> None:
+        self.entries.extend(entries)
+
+    # ---------------------------------------------------------------- query
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[ScheduledJob]:
+        return iter(self.entries)
+
+    @property
+    def makespan(self) -> float:
+        return max((e.end for e in self.entries), default=0.0)
+
+    @property
+    def total_work(self) -> float:
+        return sum(e.work for e in self.entries)
+
+    def jobs(self) -> List[MoldableJob]:
+        return [e.job for e in self.entries]
+
+    def entry_for(self, job: MoldableJob) -> ScheduledJob:
+        for e in self.entries:
+            if e.job is job:
+                return e
+        raise KeyError(f"job {job.name!r} is not in the schedule")
+
+    def average_utilization(self) -> float:
+        """Fraction of the ``m x makespan`` area covered by jobs."""
+        ms = self.makespan
+        if ms <= 0:
+            return 0.0
+        return self.total_work / (self.m * ms)
+
+    def peak_processor_usage(self) -> int:
+        """Maximum number of simultaneously busy machines (event sweep)."""
+        events: List[Tuple[float, int]] = []
+        for e in self.entries:
+            events.append((e.start, e.processors))
+            events.append((e.end, -e.processors))
+        events.sort(key=lambda ev: (ev[0], ev[1]))
+        busy = 0
+        peak = 0
+        for _, delta in events:
+            busy += delta
+            peak = max(peak, busy)
+        return peak
+
+    def sorted_by_start(self) -> List[ScheduledJob]:
+        return sorted(self.entries, key=lambda e: (e.start, -e.processors))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Schedule(m={self.m}, jobs={len(self.entries)}, makespan={self.makespan:.4g})"

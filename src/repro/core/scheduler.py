@@ -1,0 +1,151 @@
+"""Top-level scheduling facade.
+
+:func:`schedule_moldable` is the single entry point most users need: pick an
+algorithm (or let ``"auto"`` pick one), get back a feasible schedule together
+with a certified lower bound on the optimum and the implied ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .bounded_algorithm import bounded_schedule
+from .bounds import makespan_lower_bound
+from .compressible_algorithm import compressible_schedule
+from .exact_small import exact_schedule, exact_solver_applicable
+from .fptas import fptas_machine_threshold, fptas_schedule, ptas_schedule
+from .job import MoldableJob
+from .mrt import mrt_schedule
+from .schedule import Schedule
+from .two_approx import two_approximation
+from .validation import assert_valid_schedule
+
+__all__ = ["ALGORITHMS", "SchedulingResult", "schedule_moldable"]
+
+ALGORITHMS = (
+    "auto",
+    "two_approx",
+    "mrt",
+    "compressible",
+    "bounded",
+    "bounded_linear",
+    "fptas",
+    "ptas",
+    "exact",
+)
+
+
+@dataclass
+class SchedulingResult:
+    """Schedule plus certification data."""
+
+    schedule: Schedule
+    algorithm: str
+    eps: float
+    lower_bound: float
+    guarantee: Optional[float]
+
+    @property
+    def makespan(self) -> float:
+        return self.schedule.makespan
+
+    @property
+    def certified_ratio(self) -> float:
+        """Upper bound on makespan / OPT obtained from the lower bound.
+
+        This is a *pessimistic* figure (the true ratio is usually better); it
+        is the quantity reported in the quality experiments.
+        """
+        if self.lower_bound <= 0:
+            return 1.0
+        return self.makespan / self.lower_bound
+
+
+def schedule_moldable(
+    jobs: Sequence[MoldableJob],
+    m: int,
+    eps: float = 0.1,
+    *,
+    algorithm: str = "auto",
+    validate: bool = True,
+) -> SchedulingResult:
+    """Schedule monotone moldable jobs on ``m`` machines.
+
+    Parameters
+    ----------
+    jobs:
+        The moldable jobs (monotone work functions assumed; use
+        :func:`repro.core.validation.check_monotone_job` to verify instances).
+    m:
+        Number of identical machines.
+    eps:
+        Accuracy parameter of the chosen algorithm.
+    algorithm:
+        One of :data:`ALGORITHMS`:
+
+        ``"auto"``
+            FPTAS when ``m >= 8n/eps`` (Theorem 2), otherwise the
+            bounded-knapsack `(3/2+eps)` algorithm (Theorem 3).
+        ``"two_approx"``
+            Ludwig–Tiwari estimator + list scheduling (ratio 2).
+        ``"mrt"``
+            Mounié–Rapine–Trystram with the exact ``O(nm)`` knapsack.
+        ``"compressible"``
+            Algorithm 1 of Section 4.2.5.
+        ``"bounded"`` / ``"bounded_linear"``
+            Algorithm 3 of Section 4.3 / its linear variant of Section 4.3.3.
+        ``"fptas"`` / ``"ptas"``
+            Section 3 algorithms.
+        ``"exact"``
+            Branch-and-bound optimum (tiny instances only).
+    """
+    jobs = list(jobs)
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}; choose one of {ALGORITHMS}")
+
+    if not jobs:
+        return SchedulingResult(Schedule(m=m), algorithm, eps, 0.0, None)
+
+    chosen = algorithm
+    if algorithm == "auto":
+        chosen = "fptas" if m >= fptas_machine_threshold(len(jobs), eps) else "bounded"
+
+    if chosen == "two_approx":
+        res = two_approximation(jobs, m, validate=validate)
+        schedule = res.schedule
+        guarantee: Optional[float] = 2.0
+    elif chosen == "mrt":
+        schedule = mrt_schedule(jobs, m, eps, validate=validate).schedule
+        guarantee = 1.5 + eps
+    elif chosen == "compressible":
+        schedule = compressible_schedule(jobs, m, eps, validate=validate).schedule
+        guarantee = 1.5 + eps
+    elif chosen == "bounded":
+        schedule = bounded_schedule(jobs, m, eps, transform="heap", validate=validate).schedule
+        guarantee = 1.5 + eps
+    elif chosen == "bounded_linear":
+        schedule = bounded_schedule(jobs, m, eps, transform="bucket", validate=validate).schedule
+        guarantee = 1.5 + eps
+    elif chosen == "fptas":
+        schedule = fptas_schedule(jobs, m, eps, validate=validate).schedule
+        guarantee = 1.0 + eps
+    elif chosen == "ptas":
+        result = ptas_schedule(jobs, m, eps, validate=validate)
+        schedule = result.schedule
+        guarantee = schedule.metadata.get("guarantee")
+    elif chosen == "exact":
+        if not exact_solver_applicable(len(jobs), m):
+            raise ValueError("the exact algorithm only handles tiny instances (n <= 7, m <= 8)")
+        schedule = exact_schedule(jobs, m)
+        guarantee = 1.0
+        if validate:
+            assert_valid_schedule(schedule, jobs)
+    else:  # pragma: no cover - exhaustiveness guard
+        raise AssertionError(chosen)
+
+    lower = makespan_lower_bound(jobs, m)
+    schedule.metadata.setdefault("algorithm", chosen)
+    return SchedulingResult(schedule=schedule, algorithm=chosen, eps=eps, lower_bound=lower, guarantee=guarantee)

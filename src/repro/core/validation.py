@@ -1,0 +1,250 @@
+"""Schedule and job validation.
+
+Every algorithm in this library validates the schedules it returns; these
+helpers implement the checks:
+
+* **Completeness** — every input job is scheduled exactly once.
+* **Machine bounds** — all machine spans lie within ``[0, m)``.
+* **No conflicts** — no machine executes two jobs at the same time.  The check
+  is performed with a sweep over machine-span boundaries so it never iterates
+  over the (possibly astronomically many) machines.
+* **Duration consistency** — the recorded duration of each placement is at
+  least the oracle processing time for the allotted processor count
+  (durations may be *over*-stated by shelf constructions but never
+  under-stated).
+
+Job-level monotony checks (`non-increasing processing time`, `non-decreasing
+work`) are also provided; they are O(k_max) and intended for tests and
+instance sanity checks, not for the algorithms themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .job import MoldableJob
+from .schedule import Schedule, ScheduledJob
+
+__all__ = [
+    "ValidationError",
+    "ValidationReport",
+    "validate_schedule",
+    "assert_valid_schedule",
+    "is_nonincreasing_time",
+    "is_monotone_work",
+    "check_monotone_job",
+]
+
+#: Relative tolerance used when comparing floating-point times.
+REL_TOL = 1e-9
+#: Absolute tolerance used when comparing floating-point times.
+ABS_TOL = 1e-9
+
+
+class ValidationError(AssertionError):
+    """Raised by :func:`assert_valid_schedule` when a schedule is infeasible."""
+
+
+@dataclass
+class ValidationReport:
+    """Result of :func:`validate_schedule`."""
+
+    ok: bool
+    violations: List[str] = field(default_factory=list)
+    makespan: float = 0.0
+    peak_processors: int = 0
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def _approx_le(a: float, b: float) -> bool:
+    return a <= b + ABS_TOL + REL_TOL * max(abs(a), abs(b))
+
+
+def _overlap(a_start: float, a_end: float, b_start: float, b_end: float) -> bool:
+    """Strict time-interval overlap with tolerance (touching intervals ok)."""
+    lo = max(a_start, b_start)
+    hi = min(a_end, b_end)
+    return hi - lo > ABS_TOL + REL_TOL * max(abs(hi), abs(lo), 1.0)
+
+
+def _machine_conflicts(entries: Sequence[ScheduledJob]) -> List[str]:
+    """Detect conflicts via a sweep over machine-span boundaries.
+
+    Spans are cut at every distinct boundary; within one elementary machine
+    interval the covering placements must have pairwise disjoint time
+    intervals, which we verify by sorting by start time and checking adjacent
+    pairs.
+    """
+    violations: List[str] = []
+    # (machine_first, machine_end, entry)
+    pieces: List[Tuple[int, int, ScheduledJob]] = []
+    boundaries: set[int] = set()
+    for entry in entries:
+        for first, count in entry.spans:
+            pieces.append((first, first + count, entry))
+            boundaries.add(first)
+            boundaries.add(first + count)
+    if not pieces:
+        return violations
+    cuts = sorted(boundaries)
+    # map each piece to the elementary intervals it covers; to stay near-linear
+    # we sweep over cuts with an active list.
+    pieces.sort(key=lambda p: p[0])
+    import bisect
+
+    active: List[Tuple[int, ScheduledJob]] = []  # (machine_end, entry)
+    idx = 0
+    reported: set[tuple[int, int]] = set()
+    for ci in range(len(cuts) - 1):
+        seg_start = cuts[ci]
+        # add pieces starting here
+        while idx < len(pieces) and pieces[idx][0] <= seg_start:
+            active.append((pieces[idx][1], pieces[idx][2]))
+            idx += 1
+        # drop pieces that ended
+        active = [(end, e) for end, e in active if end > seg_start]
+        if len(active) > 1:
+            # check pairwise time overlap among active entries on this segment
+            stacked = sorted(active, key=lambda p: p[1].start)
+            for i in range(len(stacked) - 1):
+                a = stacked[i][1]
+                b = stacked[i + 1][1]
+                if a is b:
+                    continue
+                if _overlap(a.start, a.end, b.start, b.end):
+                    key = (id(a), id(b))
+                    if key not in reported:
+                        reported.add(key)
+                        violations.append(
+                            f"machine conflict on machines [{seg_start}, {cuts[ci + 1]}): "
+                            f"job {a.job.name!r} [{a.start:.6g}, {a.end:.6g}) overlaps "
+                            f"job {b.job.name!r} [{b.start:.6g}, {b.end:.6g})"
+                        )
+    return violations
+
+
+def validate_schedule(
+    schedule: Schedule,
+    jobs: Optional[Iterable[MoldableJob]] = None,
+    *,
+    max_makespan: Optional[float] = None,
+    require_all_jobs: bool = True,
+) -> ValidationReport:
+    """Check a schedule for feasibility.
+
+    Parameters
+    ----------
+    schedule:
+        The schedule to validate.
+    jobs:
+        If given and ``require_all_jobs`` is true, every job must appear in the
+        schedule exactly once (and no foreign job may appear).
+    max_makespan:
+        Optional upper bound the makespan must respect.
+    """
+    violations: List[str] = []
+    entries = schedule.entries
+
+    # machine index bounds
+    for entry in entries:
+        for first, count in entry.spans:
+            if first + count > schedule.m:
+                violations.append(
+                    f"job {entry.job.name!r}: span ({first}, {count}) exceeds machine count m={schedule.m}"
+                )
+        if entry.processors > schedule.m:
+            violations.append(
+                f"job {entry.job.name!r}: uses {entry.processors} > m={schedule.m} processors"
+            )
+
+    # duration consistency
+    for entry in entries:
+        oracle = entry.job.processing_time(entry.processors)
+        if entry.duration_override is not None and entry.duration_override + ABS_TOL < oracle * (1 - REL_TOL):
+            violations.append(
+                f"job {entry.job.name!r}: recorded duration {entry.duration_override:.6g} understates "
+                f"oracle time {oracle:.6g} on {entry.processors} processors"
+            )
+
+    # completeness
+    if jobs is not None and require_all_jobs:
+        wanted = list(jobs)
+        scheduled = [e.job for e in entries]
+        scheduled_ids = {}
+        for job in scheduled:
+            scheduled_ids[id(job)] = scheduled_ids.get(id(job), 0) + 1
+        for job in wanted:
+            cnt = scheduled_ids.get(id(job), 0)
+            if cnt == 0:
+                violations.append(f"job {job.name!r} is missing from the schedule")
+            elif cnt > 1:
+                violations.append(f"job {job.name!r} is scheduled {cnt} times")
+        wanted_ids = {id(job) for job in wanted}
+        for job in scheduled:
+            if id(job) not in wanted_ids:
+                violations.append(f"job {job.name!r} was scheduled but is not part of the instance")
+
+    # machine conflicts
+    violations.extend(_machine_conflicts(entries))
+
+    # makespan bound
+    ms = schedule.makespan
+    if max_makespan is not None and not _approx_le(ms, max_makespan):
+        violations.append(f"makespan {ms:.6g} exceeds bound {max_makespan:.6g}")
+
+    return ValidationReport(
+        ok=not violations,
+        violations=violations,
+        makespan=ms,
+        peak_processors=schedule.peak_processor_usage(),
+    )
+
+
+def assert_valid_schedule(
+    schedule: Schedule,
+    jobs: Optional[Iterable[MoldableJob]] = None,
+    *,
+    max_makespan: Optional[float] = None,
+) -> ValidationReport:
+    """Like :func:`validate_schedule` but raises :class:`ValidationError`."""
+    report = validate_schedule(schedule, jobs, max_makespan=max_makespan)
+    if not report.ok:
+        raise ValidationError("; ".join(report.violations))
+    return report
+
+
+# --------------------------------------------------------------------------
+# Job-level checks
+# --------------------------------------------------------------------------
+
+def is_nonincreasing_time(job: MoldableJob, k_max: int) -> bool:
+    """True iff ``t_j(k)`` is non-increasing for ``k = 1..k_max``."""
+    prev = job.processing_time(1)
+    for k in range(2, k_max + 1):
+        cur = job.processing_time(k)
+        if cur > prev * (1 + REL_TOL) + ABS_TOL:
+            return False
+        prev = cur
+    return True
+
+
+def is_monotone_work(job: MoldableJob, k_max: int) -> bool:
+    """True iff ``w_j(k) = k * t_j(k)`` is non-decreasing for ``k = 1..k_max``."""
+    prev = job.work(1)
+    for k in range(2, k_max + 1):
+        cur = job.work(k)
+        if cur < prev * (1 - REL_TOL) - ABS_TOL:
+            return False
+        prev = cur
+    return True
+
+
+def check_monotone_job(job: MoldableJob, k_max: int) -> None:
+    """Raise :class:`ValueError` if the job violates either monotony property."""
+    if not is_nonincreasing_time(job, k_max):
+        raise ValueError(f"job {job.name!r}: processing time is not non-increasing up to k={k_max}")
+    if not is_monotone_work(job, k_max):
+        raise ValueError(f"job {job.name!r}: work is not non-decreasing up to k={k_max}")

@@ -1,0 +1,40 @@
+"""Reproduction of the paper's table and figures plus supporting studies.
+
+Each submodule exposes a ``run(...)`` function returning structured rows and a
+``main()`` that prints them; ``python -m repro <experiment>`` dispatches here.
+
+=====================  ====================================================
+module                 reproduces
+=====================  ====================================================
+``table1``             Table 1 — runtime scaling of the three (3/2+eps)
+                       dual algorithms in n, m and eps
+``fig1_hardness``      Figure 1 — structure of the 4-Partition reduction
+``fig2_fig3_shelves``  Figures 2 & 3 — two-shelf and three-shelf schedules
+``fig4_intervals``     Figure 4 — adaptive normalisation interval structure
+``fptas_study``        Theorem 2 — FPTAS quality and runtime for large m
+``quality_study``      Theorem 3 — measured approximation ratios
+``crossover_study``    O(nm) MRT vs polylog-in-m algorithms
+=====================  ====================================================
+"""
+
+from . import (
+    common,
+    crossover_study,
+    fig1_hardness,
+    fig2_fig3_shelves,
+    fig4_intervals,
+    fptas_study,
+    quality_study,
+    table1,
+)
+
+__all__ = [
+    "common",
+    "table1",
+    "fig1_hardness",
+    "fig2_fig3_shelves",
+    "fig4_intervals",
+    "fptas_study",
+    "quality_study",
+    "crossover_study",
+]

@@ -1,0 +1,93 @@
+"""Shared helpers for the experiment drivers: timing, tables, scaling fits."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["timed", "Table", "geometric_levels", "fit_power_law"]
+
+
+def timed(fn: Callable[[], object], *, repeat: int = 1) -> Tuple[float, object]:
+    """Run ``fn`` ``repeat`` times and return (best wall-clock seconds, last result)."""
+    best = math.inf
+    result: object = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+@dataclass
+class Table:
+    """A minimal text table: headers + rows of cells."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[str]]
+
+    def add(self, *cells: object) -> None:
+        self.rows.append([_fmt(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, ""]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print(self.render())
+        print()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def geometric_levels(low: int, high: int, factor: int = 2) -> List[int]:
+    """Integer levels ``low, low*factor, ...`` up to ``high`` (inclusive)."""
+    if low < 1 or high < low or factor < 2:
+        raise ValueError("invalid level specification")
+    levels = []
+    value = low
+    while value <= high:
+        levels.append(value)
+        value *= factor
+    return levels
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares exponent ``p`` of ``y ~ x**p`` (log-log regression slope).
+
+    Used to check empirical scaling shapes (e.g. runtime ~ n**1 for the linear
+    algorithm, ~ m**1 for the MRT baseline, ~ polylog(m) i.e. exponent near 0
+    for the compact-encoding algorithms).
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two points")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(max(y, 1e-12)) for y in ys]
+    n = len(lx)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    num = sum((a - mean_x) * (b - mean_y) for a, b in zip(lx, ly))
+    den = sum((a - mean_x) ** 2 for a in lx)
+    if den == 0:
+        return 0.0
+    return num / den

@@ -1,0 +1,115 @@
+"""Figure 1 reproduction: structure of the hardness-reduction schedule.
+
+Figure 1 of the paper shows the schedule that a yes-instance of 4-Partition
+induces: ``m = n`` machines, every machine running exactly four
+single-processor jobs back to back, every machine loaded for exactly ``n*B``
+time units.  The experiment
+
+* generates planted yes-instances and no-instances of 4-Partition,
+* applies the Theorem 1 reduction,
+* solves the 4-Partition instances exactly (small sizes),
+* builds the Figure 1 schedule, validates it, maps it back to a partition,
+* and reports the structural invariants (jobs per machine, per-machine load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.validation import assert_valid_schedule
+from ..hardness.four_partition import random_no_instance, random_yes_instance, solve_four_partition
+from ..hardness.reduction import reduce_to_scheduling, schedule_from_partition, partition_from_schedule
+from ..hardness.four_partition import verify_four_partition_solution
+from ..simulator.gantt import render_gantt
+from .common import Table
+
+__all__ = ["Fig1Row", "run", "main"]
+
+
+@dataclass
+class Fig1Row:
+    groups: int
+    kind: str  # "yes" or "no"
+    solved: bool
+    target_makespan: float
+    schedule_makespan: Optional[float]
+    jobs_per_machine_ok: Optional[bool]
+    machine_loads_ok: Optional[bool]
+    roundtrip_ok: Optional[bool]
+
+
+def run(*, group_sizes=(3, 4, 5, 6), seed: int = 11) -> List[Fig1Row]:
+    rows: List[Fig1Row] = []
+    for idx, groups in enumerate(group_sizes):
+        for kind in ("yes", "no"):
+            if kind == "yes":
+                instance = random_yes_instance(groups, seed=seed + idx)
+            else:
+                instance = random_no_instance(groups, seed=seed + idx)
+            reduced = reduce_to_scheduling(instance)
+            solution = solve_four_partition(instance)
+            row = Fig1Row(
+                groups=groups,
+                kind=kind,
+                solved=solution is not None,
+                target_makespan=reduced.target_makespan,
+                schedule_makespan=None,
+                jobs_per_machine_ok=None,
+                machine_loads_ok=None,
+                roundtrip_ok=None,
+            )
+            if solution is not None:
+                schedule = schedule_from_partition(reduced, solution)
+                assert_valid_schedule(schedule, reduced.jobs, max_makespan=reduced.target_makespan)
+                row.schedule_makespan = schedule.makespan
+                per_machine: Dict[int, List] = {}
+                loads: Dict[int, float] = {}
+                for entry in schedule.entries:
+                    machine = entry.spans[0][0]
+                    per_machine.setdefault(machine, []).append(entry)
+                    loads[machine] = loads.get(machine, 0.0) + entry.duration
+                row.jobs_per_machine_ok = all(len(v) == 4 for v in per_machine.values())
+                row.machine_loads_ok = all(
+                    abs(load - reduced.target_makespan) <= 1e-6 * reduced.target_makespan
+                    for load in loads.values()
+                )
+                back = partition_from_schedule(reduced, schedule)
+                row.roundtrip_ok = verify_four_partition_solution(instance, back)
+            rows.append(row)
+    return rows
+
+
+def main(show_gantt: bool = True) -> None:  # pragma: no cover - console entry point
+    rows = run()
+    table = Table(
+        "Figure 1 reproduction — 4-Partition reduction schedules",
+        ["groups (m=n)", "instance", "4-partition solvable", "target nB", "makespan", "4 jobs/machine", "loads = nB", "round trip"],
+        [],
+    )
+    for r in rows:
+        table.add(
+            r.groups,
+            r.kind,
+            r.solved,
+            r.target_makespan,
+            r.schedule_makespan if r.schedule_makespan is not None else "-",
+            r.jobs_per_machine_ok if r.jobs_per_machine_ok is not None else "-",
+            r.machine_loads_ok if r.machine_loads_ok is not None else "-",
+            r.roundtrip_ok if r.roundtrip_ok is not None else "-",
+        )
+    table.print()
+
+    if show_gantt:
+        instance = random_yes_instance(4, seed=3)
+        reduced = reduce_to_scheduling(instance)
+        solution = solve_four_partition(instance)
+        if solution:
+            schedule = schedule_from_partition(reduced, solution)
+            print("Example Figure 1 schedule (m = n = 4 machines):")
+            print(render_gantt(schedule))
+            print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

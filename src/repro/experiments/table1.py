@@ -1,0 +1,171 @@
+"""Table 1 reproduction: running times of the `(3/2+eps)`-dual algorithms.
+
+The paper's Table 1 lists the asymptotic running times of the three dual
+algorithms:
+
+=================  =====================================================
+Section 4.2.5      ``O(n (log m + n log(eps m)))``
+Section 4.3        ``O(n (1/eps^2 log m (log m / eps + log^3(eps m)) + log n))``
+Section 4.3.3      ``O(n 1/eps^2 log m (log m / eps + log^3(eps m)))``
+=================  =====================================================
+
+Since those are asymptotic statements, the reproduction measures *wall-clock*
+running time of one dual step of each algorithm over sweeps of ``n``, ``m``
+and ``eps`` and reports
+
+* the measured times (the table rows), and
+* the fitted power-law exponents in ``n`` and ``m`` — the "shape" check: the
+  Section 4.3/4.3.3 algorithms should be roughly linear in ``n`` and
+  polylogarithmic in ``m`` (small exponent), whereas Section 4.2.5 grows
+  super-linearly in ``n``; all three are far below the ``O(n*m)`` MRT baseline
+  for large ``m`` (see the crossover study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.bounded_algorithm import bounded_dual
+from ..core.bounds import ludwig_tiwari_estimator
+from ..core.compressible_algorithm import compressible_dual
+from ..workloads.generators import random_mixed_instance
+from .common import Table, fit_power_law, timed
+
+__all__ = ["ALGORITHM_LABELS", "run", "main"]
+
+ALGORITHM_LABELS = {
+    "sec_4_2_5": "Section 4.2.5 (compressible knapsack)",
+    "sec_4_3": "Section 4.3 (bounded knapsack, heap transform)",
+    "sec_4_3_3": "Section 4.3.3 (bounded knapsack, bucket transform)",
+}
+
+
+def _dual_runner(key: str) -> Callable:
+    if key == "sec_4_2_5":
+        return lambda jobs, m, d, eps: compressible_dual(jobs, m, d, eps)
+    if key == "sec_4_3":
+        return lambda jobs, m, d, eps: bounded_dual(jobs, m, d, eps, transform="heap")
+    if key == "sec_4_3_3":
+        return lambda jobs, m, d, eps: bounded_dual(jobs, m, d, eps, transform="bucket")
+    raise KeyError(key)
+
+
+@dataclass
+class Table1Row:
+    algorithm: str
+    n: int
+    m: int
+    eps: float
+    seconds: float
+    makespan: float
+    accepted: bool
+
+
+def run(
+    *,
+    n_values: Sequence[int] = (100, 200, 400, 800),
+    m_values: Sequence[int] = (512, 1024, 2048, 4096),
+    eps_values: Sequence[float] = (0.1, 0.2, 0.4),
+    base_n: int = 400,
+    base_m: int = 1024,
+    base_eps: float = 0.2,
+    seed: int = 7,
+    repeat: int = 1,
+) -> Dict[str, List[Table1Row]]:
+    """Measure one dual step of each algorithm over sweeps of n, m and eps.
+
+    Each sweep varies one parameter and pins the others at the ``base_*``
+    values; the dual target ``d`` is set to ``1.1 * omega`` (just above the
+    estimator lower bound) so the step does real work and typically accepts.
+
+    The defaults keep ``m < 16 n`` so that the knapsack machinery of the
+    Section 4 algorithms is actually exercised (for ``m >= 16 n`` all of them
+    delegate to the FPTAS dual, exactly as prescribed in Section 4.2.5).
+    """
+    rows: Dict[str, List[Table1Row]] = {key: [] for key in ALGORITHM_LABELS}
+
+    def measure(key: str, n: int, m: int, eps: float) -> Table1Row:
+        instance = random_mixed_instance(n, m, seed=seed)
+        omega = ludwig_tiwari_estimator(instance.jobs, m).omega
+        d = 1.1 * omega
+        runner = _dual_runner(key)
+        seconds, schedule = timed(lambda: runner(instance.jobs, m, d, eps), repeat=repeat)
+        return Table1Row(
+            algorithm=key,
+            n=n,
+            m=m,
+            eps=eps,
+            seconds=seconds,
+            makespan=schedule.makespan if schedule is not None else float("nan"),
+            accepted=schedule is not None,
+        )
+
+    for key in ALGORITHM_LABELS:
+        for n in n_values:
+            rows[key].append(measure(key, n, base_m, base_eps))
+        for m in m_values:
+            rows[key].append(measure(key, base_n, m, base_eps))
+        for eps in eps_values:
+            rows[key].append(measure(key, base_n, base_m, eps))
+    return rows
+
+
+def scaling_exponents(rows: Dict[str, List[Table1Row]]) -> Dict[str, Dict[str, float]]:
+    """Fitted power-law exponents of runtime vs n and vs m for each algorithm."""
+    out: Dict[str, Dict[str, float]] = {}
+    for key, entries in rows.items():
+        by_n = [(r.n, r.seconds) for r in entries if r.eps == entries[0].eps]
+        # group: the first len(n_values) entries vary n at fixed m
+        n_points = {}
+        m_points = {}
+        for r in entries:
+            n_points.setdefault((r.m, r.eps), []).append((r.n, r.seconds))
+            m_points.setdefault((r.n, r.eps), []).append((r.m, r.seconds))
+        best_n = max(n_points.values(), key=len)
+        best_m = max(m_points.values(), key=len)
+        out[key] = {
+            "n_exponent": fit_power_law([p[0] for p in best_n], [p[1] for p in best_n])
+            if len(best_n) >= 2
+            else float("nan"),
+            "m_exponent": fit_power_law([p[0] for p in best_m], [p[1] for p in best_m])
+            if len(best_m) >= 2
+            else float("nan"),
+        }
+    return out
+
+
+def main(quick: bool = False) -> None:  # pragma: no cover - console entry point
+    kwargs = {}
+    if quick:
+        kwargs = dict(
+            n_values=(100, 200, 400),
+            m_values=(256, 512, 1024),
+            eps_values=(0.2, 0.4),
+            base_n=200,
+            base_m=512,
+        )
+    rows = run(**kwargs)
+    table = Table(
+        "Table 1 reproduction — wall-clock time of one (3/2+eps)-dual step",
+        ["algorithm", "n", "m", "eps", "seconds", "accepted"],
+        [],
+    )
+    for key, entries in rows.items():
+        for r in entries:
+            table.add(ALGORITHM_LABELS[key], r.n, r.m, r.eps, r.seconds, r.accepted)
+    table.print()
+
+    exponents = scaling_exponents(rows)
+    shape = Table(
+        "Scaling shape (fitted power-law exponents of runtime)",
+        ["algorithm", "exponent in n", "exponent in m"],
+        [],
+    )
+    for key, vals in exponents.items():
+        shape.add(ALGORITHM_LABELS[key], vals["n_exponent"], vals["m_exponent"])
+    shape.print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,37 @@
+"""NP-completeness of monotone moldable job scheduling (Theorem 1, Section 2).
+
+The reduction from 4-Partition maps numbers ``a_i`` to strictly monotone
+moldable jobs ``t_{j_i}(k) = m*a_i - k + 1`` on ``m = n`` machines with target
+makespan ``d = n*B``; a schedule of length ``d`` exists iff the 4-Partition
+instance is a yes-instance.
+"""
+
+from .four_partition import (
+    FourPartitionInstance,
+    random_yes_instance,
+    random_no_instance,
+    solve_four_partition,
+    verify_four_partition_solution,
+)
+from .reduction import (
+    ReductionJob,
+    ReducedInstance,
+    reduce_to_scheduling,
+    schedule_from_partition,
+    partition_from_schedule,
+    verify_reduction,
+)
+
+__all__ = [
+    "FourPartitionInstance",
+    "random_yes_instance",
+    "random_no_instance",
+    "solve_four_partition",
+    "verify_four_partition_solution",
+    "ReductionJob",
+    "ReducedInstance",
+    "reduce_to_scheduling",
+    "schedule_from_partition",
+    "partition_from_schedule",
+    "verify_reduction",
+]

@@ -1,0 +1,166 @@
+"""4-Partition instances, generators, solver and verifier.
+
+An instance consists of ``4n`` natural numbers ``a_1, ..., a_4n`` and a bound
+``B`` with ``sum a_i = n*B`` and (in the strongly NP-hard restriction used by
+the paper) ``B/5 < a_i < B/3`` for every ``i``.  The question is whether the
+numbers can be partitioned into ``n`` groups of four, each summing to ``B``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "FourPartitionInstance",
+    "random_yes_instance",
+    "random_no_instance",
+    "solve_four_partition",
+    "verify_four_partition_solution",
+]
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def _rng(seed: SeedLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+@dataclass(frozen=True)
+class FourPartitionInstance:
+    """A 4-Partition instance."""
+
+    numbers: Tuple[int, ...]
+    bound: int  # B
+
+    def __post_init__(self) -> None:
+        if len(self.numbers) % 4 != 0:
+            raise ValueError("the number of items must be a multiple of 4")
+        if any(a <= 0 for a in self.numbers):
+            raise ValueError("all numbers must be positive")
+
+    @property
+    def groups(self) -> int:
+        """The number ``n`` of groups to form."""
+        return len(self.numbers) // 4
+
+    @property
+    def is_balanced(self) -> bool:
+        """Whether ``sum a_i = n * B`` (a necessary condition for yes)."""
+        return sum(self.numbers) == self.groups * self.bound
+
+    @property
+    def is_strict(self) -> bool:
+        """Whether every number lies strictly between ``B/5`` and ``B/3``
+        (the restriction under which 4-Partition stays strongly NP-hard)."""
+        return all(5 * a > self.bound and 3 * a < self.bound for a in self.numbers)
+
+
+def random_yes_instance(groups: int, *, seed: SeedLike = None, scale: int = 1000) -> FourPartitionInstance:
+    """Generate a yes-instance with ``groups`` planted quadruples.
+
+    Each quadruple is drawn so that its numbers lie strictly in
+    ``(B/5, B/3)`` and sum to ``B = 4*scale``.
+    """
+    if groups < 1:
+        raise ValueError("groups must be >= 1")
+    rng = _rng(seed)
+    bound = 4 * scale
+    lo = bound // 5 + 1
+    hi = bound // 3 - 1
+    numbers: List[int] = []
+    for _ in range(groups):
+        # draw three values, fix the fourth; retry until all lie in range
+        for _attempt in range(10_000):
+            vals = [int(rng.integers(lo, hi + 1)) for _ in range(3)]
+            fourth = bound - sum(vals)
+            if lo <= fourth <= hi:
+                numbers.extend(vals + [fourth])
+                break
+        else:  # pragma: no cover - astronomically unlikely
+            raise RuntimeError("failed to generate a quadruple in range")
+    order = rng.permutation(len(numbers))
+    numbers = [numbers[i] for i in order]
+    return FourPartitionInstance(tuple(numbers), bound)
+
+
+def random_no_instance(groups: int, *, seed: SeedLike = None, scale: int = 1000) -> FourPartitionInstance:
+    """Generate an instance that is certainly a no-instance.
+
+    The numbers are drawn in range but their total is made different from
+    ``groups * B`` by perturbing one element, which already rules out any
+    perfect partition.
+    """
+    instance = random_yes_instance(groups, seed=seed, scale=scale)
+    numbers = list(instance.numbers)
+    numbers[0] += 1  # break the balance, stay within (B/5, B/3) for scale >= 3
+    return FourPartitionInstance(tuple(numbers), instance.bound)
+
+
+def verify_four_partition_solution(
+    instance: FourPartitionInstance,
+    groups: Sequence[Sequence[int]],
+) -> bool:
+    """Check that ``groups`` (given as index quadruples) solves the instance."""
+    seen: List[int] = []
+    for group in groups:
+        if len(group) != 4:
+            return False
+        if sum(instance.numbers[i] for i in group) != instance.bound:
+            return False
+        seen.extend(group)
+    return sorted(seen) == list(range(len(instance.numbers)))
+
+
+def solve_four_partition(
+    instance: FourPartitionInstance,
+    *,
+    max_items: int = 32,
+) -> Optional[List[Tuple[int, int, int, int]]]:
+    """Exact solver (backtracking over quadruples) for small instances.
+
+    Returns a list of index quadruples or ``None`` if no solution exists.
+    Intended for instances with at most ``max_items`` numbers (8 groups); the
+    problem is strongly NP-hard, so do not expect this to scale.
+    """
+    n_items = len(instance.numbers)
+    if n_items > max_items:
+        raise ValueError(f"instance too large for the exact solver ({n_items} > {max_items} items)")
+    if not instance.is_balanced:
+        return None
+
+    numbers = instance.numbers
+    bound = instance.bound
+    indices = sorted(range(n_items), key=lambda i: -numbers[i])
+    used = [False] * n_items
+    solution: List[Tuple[int, int, int, int]] = []
+
+    def backtrack() -> bool:
+        try:
+            first = next(i for i in indices if not used[i])
+        except StopIteration:
+            return True
+        used[first] = True
+        remaining = [i for i in indices if not used[i]]
+        for trio in itertools.combinations(remaining, 3):
+            if numbers[first] + sum(numbers[i] for i in trio) != bound:
+                continue
+            for i in trio:
+                used[i] = True
+            solution.append((first, *trio))
+            if backtrack():
+                return True
+            solution.pop()
+            for i in trio:
+                used[i] = False
+        used[first] = False
+        return False
+
+    if backtrack():
+        return solution
+    return None

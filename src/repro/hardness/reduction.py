@@ -1,0 +1,168 @@
+"""The Theorem 1 reduction: 4-Partition → monotone moldable scheduling.
+
+Given a 4-Partition instance with numbers ``a_1, ..., a_4n`` and bound ``B``
+(with ``sum a_i = n*B``), the reduction creates ``m = n`` machines and, for
+every number ``a_i``, a job with processing time
+
+    t_{j_i}(k) = m * a_i - k + 1 .
+
+These jobs are strictly monotone (Eq. (1) of the paper), and a schedule with
+makespan ``d = n*B`` exists iff the 4-Partition instance is a yes-instance:
+the total single-processor work already equals ``m*d``, so any such schedule
+must run every job on exactly one processor and fill every machine exactly —
+i.e. it *is* a 4-partition (Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.job import MoldableJob
+from ..core.schedule import Schedule
+from ..core.validation import assert_valid_schedule
+from .four_partition import FourPartitionInstance, solve_four_partition, verify_four_partition_solution
+
+__all__ = [
+    "ReductionJob",
+    "ReducedInstance",
+    "reduce_to_scheduling",
+    "schedule_from_partition",
+    "partition_from_schedule",
+    "verify_reduction",
+]
+
+
+class ReductionJob(MoldableJob):
+    """The job ``t(k) = m*a - k + 1`` used by the reduction.
+
+    Strictly decreasing processing time and strictly increasing work as long
+    as ``m*a >= 2*k`` for all relevant ``k`` (guaranteed after the paper's
+    scaling ``a_i >= 2``).
+    """
+
+    __slots__ = ("a", "m_machines", "index")
+
+    def __init__(self, index: int, a: int, m_machines: int) -> None:
+        super().__init__(f"reduction-{index}")
+        if a < 1:
+            raise ValueError("a must be >= 1")
+        self.index = index
+        self.a = int(a)
+        self.m_machines = int(m_machines)
+
+    def _time(self, k: int) -> float:
+        value = self.m_machines * self.a - k + 1
+        if value <= 0:
+            # beyond the meaningful range; keep the oracle positive
+            value = 1e-9
+        return float(value)
+
+
+@dataclass
+class ReducedInstance:
+    """The scheduling instance produced by the reduction."""
+
+    source: FourPartitionInstance
+    jobs: List[ReductionJob]
+    m: int
+    target_makespan: float
+    scaling: int  # factor applied to the numbers so that a_i >= 2
+
+    def job_for_number(self, index: int) -> ReductionJob:
+        return self.jobs[index]
+
+
+def reduce_to_scheduling(instance: FourPartitionInstance) -> ReducedInstance:
+    """Apply the Theorem 1 reduction.
+
+    The numbers are scaled by 2 if necessary so that every ``a_i >= 2``
+    (exactly as in the paper's proof); the target makespan scales with them.
+    If the instance is not balanced, the reduction still produces the
+    scheduling instance — it is then a no-instance of the scheduling problem
+    as well (the paper simply outputs a trivial no-instance in this case).
+    """
+    scaling = 1 if min(instance.numbers) >= 2 else 2
+    numbers = [a * scaling for a in instance.numbers]
+    bound = instance.bound * scaling
+    m = instance.groups
+    jobs = [ReductionJob(i, a, m) for i, a in enumerate(numbers)]
+    return ReducedInstance(
+        source=instance,
+        jobs=jobs,
+        m=m,
+        target_makespan=float(m * bound),
+        scaling=scaling,
+    )
+
+
+def schedule_from_partition(
+    reduced: ReducedInstance,
+    groups: Sequence[Sequence[int]],
+) -> Schedule:
+    """Build the Figure 1 schedule from a 4-Partition solution.
+
+    Each group of four numbers becomes one machine's sequence of four
+    single-processor jobs with total length exactly ``n*B``.
+    """
+    if not verify_four_partition_solution(reduced.source, groups):
+        raise ValueError("the provided groups do not solve the 4-Partition instance")
+    schedule = Schedule(m=reduced.m, metadata={"construction": "hardness_reduction"})
+    for machine, group in enumerate(groups):
+        start = 0.0
+        for index in group:
+            job = reduced.job_for_number(index)
+            schedule.add(job, start, [(machine, 1)])
+            start += job.processing_time(1)
+    return schedule
+
+
+def partition_from_schedule(reduced: ReducedInstance, schedule: Schedule) -> List[Tuple[int, ...]]:
+    """Extract a 4-Partition solution from a schedule of makespan ``n*B``.
+
+    The schedule must allot one processor to every job (this is forced for any
+    schedule meeting the target makespan, by the strict monotony argument of
+    the paper); jobs are grouped by the machine they run on.
+    """
+    groups_by_machine: Dict[int, List[int]] = {}
+    for entry in schedule.entries:
+        if entry.processors != 1:
+            raise ValueError(
+                f"job {entry.job.name!r} uses {entry.processors} processors; a makespan-(nB) schedule "
+                "must be single-processor"
+            )
+        machine = entry.spans[0][0]
+        job = entry.job
+        if not isinstance(job, ReductionJob):
+            raise TypeError("schedule contains foreign jobs")
+        groups_by_machine.setdefault(machine, []).append(job.index)
+    return [tuple(sorted(v)) for _, v in sorted(groups_by_machine.items())]
+
+
+def verify_reduction(instance: FourPartitionInstance, *, solve: bool = True) -> dict:
+    """End-to-end check of the reduction on one instance.
+
+    Returns a report dict with the keys ``is_yes`` (4-Partition answer, if
+    ``solve``), ``schedulable`` (whether the Figure 1 schedule could be built)
+    and ``roundtrip_ok`` (whether mapping the schedule back yields a valid
+    4-partition).
+    """
+    reduced = reduce_to_scheduling(instance)
+    report = {
+        "groups": instance.groups,
+        "target_makespan": reduced.target_makespan,
+        "is_yes": None,
+        "schedulable": False,
+        "roundtrip_ok": False,
+    }
+    solution: Optional[List[Tuple[int, int, int, int]]] = None
+    if solve:
+        solution = solve_four_partition(instance)
+        report["is_yes"] = solution is not None
+    if solution:
+        schedule = schedule_from_partition(reduced, solution)
+        assert_valid_schedule(schedule, reduced.jobs, max_makespan=reduced.target_makespan)
+        report["schedulable"] = True
+        back = partition_from_schedule(reduced, schedule)
+        report["roundtrip_ok"] = verify_four_partition_solution(instance, back)
+    return report

@@ -1,0 +1,216 @@
+"""Serialisation of instances and schedules (JSON).
+
+A production scheduler needs to persist workloads and schedules; this module
+provides a stable JSON format for both.
+
+* **Instances** — every analytic job family of :mod:`repro.core.job` plus the
+  hardness-reduction jobs can be round-tripped (oracle jobs with arbitrary
+  Python callables cannot, by design: a closure is not data).
+* **Schedules** — placements are stored as ``(job name, start, spans)``;
+  loading a schedule requires the corresponding instance so that placements
+  can be re-attached to job objects and re-validated.
+
+The format is versioned; loaders reject unknown versions instead of guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from .core.job import (
+    AmdahlJob,
+    CommunicationJob,
+    MoldableJob,
+    PowerLawJob,
+    RigidJob,
+    TabulatedJob,
+)
+from .core.schedule import Schedule
+from .core.validation import assert_valid_schedule
+from .hardness.reduction import ReductionJob
+
+__all__ = [
+    "FORMAT_VERSION",
+    "SerializationError",
+    "job_to_dict",
+    "job_from_dict",
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+]
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+class SerializationError(ValueError):
+    """Raised when an object cannot be (de)serialised."""
+
+
+# --------------------------------------------------------------------------
+# Jobs
+# --------------------------------------------------------------------------
+
+def job_to_dict(job: MoldableJob) -> Dict[str, Any]:
+    """Serialise a job to a plain dict."""
+    if isinstance(job, TabulatedJob):
+        return {"kind": "tabulated", "name": job.name, "times": list(job.times)}
+    if isinstance(job, AmdahlJob):
+        return {"kind": "amdahl", "name": job.name, "t1": job.t1, "serial_fraction": job.serial_fraction}
+    if isinstance(job, PowerLawJob):
+        return {"kind": "power_law", "name": job.name, "t1": job.t1, "alpha": job.alpha}
+    if isinstance(job, CommunicationJob):
+        return {"kind": "communication", "name": job.name, "t1": job.t1, "overhead": job.overhead}
+    if isinstance(job, RigidJob):
+        return {
+            "kind": "rigid",
+            "name": job.name,
+            "duration": job.duration,
+            "size": job.size,
+            "penalty": job.penalty,
+        }
+    if isinstance(job, ReductionJob):
+        return {"kind": "reduction", "name": job.name, "index": job.index, "a": job.a, "m": job.m_machines}
+    raise SerializationError(
+        f"job {job.name!r} of type {type(job).__name__} cannot be serialised "
+        "(oracle jobs with arbitrary callables are not data)"
+    )
+
+
+def job_from_dict(data: Dict[str, Any]) -> MoldableJob:
+    """Rebuild a job from :func:`job_to_dict` output."""
+    kind = data.get("kind")
+    if kind == "tabulated":
+        return TabulatedJob(data["name"], data["times"])
+    if kind == "amdahl":
+        return AmdahlJob(data["name"], data["t1"], data["serial_fraction"])
+    if kind == "power_law":
+        return PowerLawJob(data["name"], data["t1"], data["alpha"])
+    if kind == "communication":
+        return CommunicationJob(data["name"], data["t1"], data["overhead"])
+    if kind == "rigid":
+        return RigidJob(data["name"], data["duration"], data["size"], data.get("penalty"))
+    if kind == "reduction":
+        return ReductionJob(data["index"], data["a"], data["m"])
+    raise SerializationError(f"unknown job kind {kind!r}")
+
+
+# --------------------------------------------------------------------------
+# Instances
+# --------------------------------------------------------------------------
+
+def instance_to_dict(jobs: Sequence[MoldableJob], m: int, *, metadata: Optional[dict] = None) -> Dict[str, Any]:
+    return {
+        "format": "repro-instance",
+        "version": FORMAT_VERSION,
+        "m": int(m),
+        "metadata": metadata or {},
+        "jobs": [job_to_dict(job) for job in jobs],
+    }
+
+
+def instance_from_dict(data: Dict[str, Any]) -> tuple[List[MoldableJob], int, dict]:
+    _check_header(data, "repro-instance")
+    jobs = [job_from_dict(item) for item in data["jobs"]]
+    return jobs, int(data["m"]), dict(data.get("metadata", {}))
+
+
+def save_instance(path: PathLike, jobs: Sequence[MoldableJob], m: int, *, metadata: Optional[dict] = None) -> None:
+    Path(path).write_text(json.dumps(instance_to_dict(jobs, m, metadata=metadata), indent=2))
+
+
+def load_instance(path: PathLike) -> tuple[List[MoldableJob], int, dict]:
+    return instance_from_dict(json.loads(Path(path).read_text()))
+
+
+# --------------------------------------------------------------------------
+# Schedules
+# --------------------------------------------------------------------------
+
+def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
+    entries = []
+    for entry in schedule.entries:
+        entries.append(
+            {
+                "job": entry.job.name,
+                "start": entry.start,
+                "spans": [list(span) for span in entry.spans],
+                "duration_override": entry.duration_override,
+            }
+        )
+    return {
+        "format": "repro-schedule",
+        "version": FORMAT_VERSION,
+        "m": schedule.m,
+        "metadata": _jsonable(schedule.metadata),
+        "entries": entries,
+    }
+
+
+def schedule_from_dict(
+    data: Dict[str, Any],
+    jobs: Iterable[MoldableJob],
+    *,
+    validate: bool = True,
+) -> Schedule:
+    """Rebuild a schedule; jobs are matched to placements by name."""
+    _check_header(data, "repro-schedule")
+    by_name: Dict[str, MoldableJob] = {}
+    for job in jobs:
+        if job.name in by_name:
+            raise SerializationError(f"duplicate job name {job.name!r}: cannot re-attach placements")
+        by_name[job.name] = job
+    schedule = Schedule(m=int(data["m"]), metadata=dict(data.get("metadata", {})))
+    for item in data["entries"]:
+        name = item["job"]
+        if name not in by_name:
+            raise SerializationError(f"schedule references unknown job {name!r}")
+        schedule.add(
+            by_name[name],
+            float(item["start"]),
+            [tuple(span) for span in item["spans"]],
+            duration_override=item.get("duration_override"),
+        )
+    if validate:
+        assert_valid_schedule(schedule, by_name.values())
+    return schedule
+
+
+def save_schedule(path: PathLike, schedule: Schedule) -> None:
+    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+
+
+def load_schedule(path: PathLike, jobs: Iterable[MoldableJob], *, validate: bool = True) -> Schedule:
+    return schedule_from_dict(json.loads(Path(path).read_text()), jobs, validate=validate)
+
+
+# --------------------------------------------------------------------------
+# helpers
+# --------------------------------------------------------------------------
+
+def _check_header(data: Dict[str, Any], expected_format: str) -> None:
+    if data.get("format") != expected_format:
+        raise SerializationError(f"not a {expected_format} document (format={data.get('format')!r})")
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise SerializationError(f"unsupported {expected_format} version {version!r} (expected {FORMAT_VERSION})")
+
+
+def _jsonable(obj: Any) -> Any:
+    """Best-effort conversion of metadata to JSON-serialisable values."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return str(obj)

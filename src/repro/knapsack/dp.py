@@ -1,0 +1,180 @@
+"""Exact 0/1 knapsack solvers.
+
+Two engines are provided:
+
+* :func:`solve_knapsack_dense` — the textbook ``O(n * C)`` table dynamic
+  program over integer capacities.  Simple and ideal for cross-checking in
+  tests, but memory-bound for large capacities.
+* :func:`solve_knapsack` — Lawler's dominance-list dynamic program: a list of
+  undominated ``(profit, size)`` pairs is maintained; the number of pairs is
+  bounded by the number of distinct reachable sizes (≤ C+1 for integer sizes),
+  so the worst case matches the dense DP while typical instances are far
+  faster and float sizes are supported.  Solutions are recovered through
+  parent pointers.
+
+Both return the optimal profit and the list of chosen item keys.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .items import KnapsackItem
+
+__all__ = ["solve_knapsack", "solve_knapsack_dense", "DominanceList", "Pair"]
+
+
+@dataclass
+class Pair:
+    """An undominated (profit, size) state with backtracking information."""
+
+    profit: float
+    size: float
+    item_index: Optional[int]  # index of the item added to reach this state
+    parent: Optional["Pair"]
+
+    def backtrack(self, items: Sequence[KnapsackItem]) -> List[KnapsackItem]:
+        chosen: List[KnapsackItem] = []
+        node: Optional[Pair] = self
+        while node is not None and node.item_index is not None:
+            chosen.append(items[node.item_index])
+            node = node.parent
+        chosen.reverse()
+        return chosen
+
+
+class DominanceList:
+    """A list of mutually undominated pairs, sorted by size.
+
+    Invariant: sizes strictly increasing and profits strictly increasing.
+    (If profits were not increasing, the later pair would be dominated.)
+    """
+
+    def __init__(self) -> None:
+        root = Pair(0.0, 0.0, None, None)
+        self._pairs: List[Pair] = [root]
+
+    @property
+    def pairs(self) -> List[Pair]:
+        return self._pairs
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def best_for_capacity(self, capacity: float) -> Pair:
+        """Best pair with size <= capacity (always exists: the empty pair)."""
+        sizes = [p.size for p in self._pairs]
+        idx = bisect_right(sizes, capacity) - 1
+        if idx < 0:
+            return self._pairs[0]
+        return self._pairs[idx]
+
+    def add_item(
+        self,
+        item: KnapsackItem,
+        item_index: int,
+        capacity: float,
+        *,
+        size_transform=None,
+    ) -> None:
+        """Merge in the states obtained by adding ``item`` to every state.
+
+        ``size_transform`` optionally normalises the new size (used by the
+        adaptive-normalisation solver); it receives the raw new size and
+        returns the recorded size.
+        """
+        new_pairs: List[Pair] = []
+        for pair in self._pairs:
+            new_size = pair.size + item.size
+            if size_transform is not None:
+                new_size = size_transform(new_size)
+            if new_size > capacity + 1e-12:
+                continue
+            new_pairs.append(Pair(pair.profit + item.profit, new_size, item_index, pair))
+        if not new_pairs:
+            return
+        self._pairs = _merge_and_prune(self._pairs, new_pairs)
+
+
+def _merge_and_prune(old: List[Pair], new: List[Pair]) -> List[Pair]:
+    """Merge two size-sorted pair lists and drop dominated pairs."""
+    new.sort(key=lambda p: (p.size, -p.profit))
+    merged: List[Pair] = []
+    i = j = 0
+    while i < len(old) or j < len(new):
+        if j >= len(new) or (i < len(old) and (old[i].size, -old[i].profit) <= (new[j].size, -new[j].profit)):
+            candidate = old[i]
+            i += 1
+        else:
+            candidate = new[j]
+            j += 1
+        if merged and candidate.profit <= merged[-1].profit + 1e-15:
+            continue  # dominated: not more profitable than a smaller-or-equal state
+        if merged and abs(candidate.size - merged[-1].size) < 1e-15:
+            # same size, higher profit: replace
+            merged[-1] = candidate
+            continue
+        merged.append(candidate)
+    return merged
+
+
+def solve_knapsack(
+    items: Sequence[KnapsackItem],
+    capacity: float,
+) -> Tuple[float, List[KnapsackItem]]:
+    """Exact 0/1 knapsack via the dominance-list dynamic program.
+
+    Returns ``(optimal_profit, chosen_items)``.
+    """
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    dom = DominanceList()
+    for index, item in enumerate(items):
+        if item.size > capacity + 1e-12:
+            continue
+        dom.add_item(item, index, capacity)
+    best = max(dom.pairs, key=lambda p: p.profit)
+    return best.profit, best.backtrack(items)
+
+
+def solve_knapsack_dense(
+    items: Sequence[KnapsackItem],
+    capacity: int,
+) -> Tuple[float, List[KnapsackItem]]:
+    """Exact 0/1 knapsack via the classic ``O(n*C)`` table DP.
+
+    Requires integer item sizes and an integer capacity.  Intended for small
+    capacities (tests, the MRT baseline on small ``m``).
+    """
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    capacity = int(capacity)
+    for item in items:
+        if item.size != int(item.size):
+            raise ValueError(f"dense DP requires integer sizes, item {item.key!r} has size {item.size}")
+
+    profits = [0.0] * (capacity + 1)
+    # choice[i] is a bytearray marking for item i whether it is taken at each capacity
+    choices: List[bytearray] = []
+    for item in items:
+        size = int(item.size)
+        taken = bytearray(capacity + 1)
+        if size <= capacity and item.profit >= 0:
+            for c in range(capacity, size - 1, -1):
+                candidate = profits[c - size] + item.profit
+                if candidate > profits[c] + 1e-15:
+                    profits[c] = candidate
+                    taken[c] = 1
+        choices.append(taken)
+
+    # backtrack
+    c = capacity
+    chosen: List[KnapsackItem] = []
+    for i in range(len(items) - 1, -1, -1):
+        if choices[i][c]:
+            chosen.append(items[i])
+            c -= int(items[i].size)
+    chosen.reverse()
+    return profits[capacity], chosen

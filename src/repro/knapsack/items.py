@@ -1,0 +1,67 @@
+"""Item containers for the knapsack solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, List
+
+__all__ = ["KnapsackItem", "ItemType"]
+
+
+@dataclass(frozen=True)
+class KnapsackItem:
+    """A single 0/1 knapsack item.
+
+    Attributes
+    ----------
+    key:
+        A hashable identifier (unique within an instance).
+    size:
+        Non-negative size (weight).  Integer in most scheduling uses
+        (processor counts) but float sizes are supported by all solvers.
+    profit:
+        Non-negative profit.
+    payload:
+        Arbitrary attached object (e.g. the job the item represents); ignored
+        by the solvers.
+    """
+
+    key: Hashable
+    size: float
+    profit: float
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"item {self.key!r}: size must be non-negative, got {self.size}")
+        if self.profit < 0:
+            raise ValueError(f"item {self.key!r}: profit must be non-negative, got {self.profit}")
+
+
+@dataclass
+class ItemType:
+    """An item type of a *bounded* knapsack instance.
+
+    All members of the type share (rounded) ``size`` and ``profit``; ``count``
+    is the number of copies available.  ``members`` optionally records the
+    identities of the original objects of this type so that a solution in
+    terms of types can be mapped back to concrete objects.
+    """
+
+    key: Hashable
+    size: float
+    profit: float
+    count: int
+    members: List[Any] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"item type {self.key!r}: count must be >= 1, got {self.count}")
+        if self.size < 0:
+            raise ValueError(f"item type {self.key!r}: size must be non-negative")
+        if self.profit < 0:
+            raise ValueError(f"item type {self.key!r}: profit must be non-negative")
+        if self.members and len(self.members) != self.count:
+            raise ValueError(
+                f"item type {self.key!r}: {len(self.members)} members listed but count is {self.count}"
+            )

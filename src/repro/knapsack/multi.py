@@ -1,0 +1,59 @@
+"""Solving one knapsack instance for many capacities in a single pass.
+
+Section 4.2.4 of the paper observes that the dominance-list dynamic program
+naturally answers *all* capacities at once: build the list up to the largest
+capacity, then, for each requested capacity ``beta``, report the most
+profitable pair whose size does not exceed ``beta``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .dp import DominanceList
+from .items import KnapsackItem
+
+__all__ = ["solve_knapsack_multi"]
+
+
+def solve_knapsack_multi(
+    items: Sequence[KnapsackItem],
+    capacities: Sequence[float],
+) -> Dict[float, Tuple[float, List[KnapsackItem]]]:
+    """Solve the 0/1 knapsack for each capacity in ``capacities``.
+
+    Returns a dict mapping each capacity to ``(profit, chosen_items)``.
+    The work is a single dominance-list pass up to ``max(capacities)``.
+    """
+    if any(c < 0 for c in capacities):
+        raise ValueError("capacities must be non-negative")
+    if not capacities:
+        return {}
+    max_cap = max(capacities)
+    dom = DominanceList()
+    for index, item in enumerate(items):
+        if item.size > max_cap + 1e-12:
+            continue
+        dom.add_item(item, index, max_cap)
+
+    # prefix maxima over the size-sorted pair list
+    pairs = dom.pairs
+    best_prefix: List[int] = []
+    best_idx = 0
+    for i, pair in enumerate(pairs):
+        if pair.profit > pairs[best_idx].profit:
+            best_idx = i
+        best_prefix.append(best_idx)
+
+    sizes = [p.size for p in pairs]
+    from bisect import bisect_right
+
+    results: Dict[float, Tuple[float, List[KnapsackItem]]] = {}
+    for cap in capacities:
+        idx = bisect_right(sizes, cap + 1e-12) - 1
+        if idx < 0:
+            results[cap] = (0.0, [])
+            continue
+        pair = pairs[best_prefix[idx]]
+        results[cap] = (pair.profit, pair.backtrack(items))
+    return results

@@ -1,0 +1,87 @@
+"""ASCII Gantt-chart and shelf renderings.
+
+The paper's Figures 1–3 are structural diagrams of schedules; these helpers
+render the corresponding pictures as text so that the figure-reproduction
+experiments can print them.  Machine rows are grouped (a job occupying a
+contiguous span of machines is drawn once with its height annotated), so the
+output stays readable even for schedules on thousands of machines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.schedule import Schedule, ScheduledJob
+
+__all__ = ["render_gantt", "render_shelves"]
+
+
+def render_gantt(
+    schedule: Schedule,
+    *,
+    width: int = 72,
+    max_rows: int = 40,
+    label_width: int = 14,
+) -> str:
+    """Render a schedule as an ASCII Gantt chart.
+
+    One row per scheduled job (grouped spans), time on the horizontal axis.
+    """
+    if not schedule.entries:
+        return "(empty schedule)"
+    horizon = schedule.makespan
+    if horizon <= 0:
+        return "(zero-length schedule)"
+    rows: List[str] = []
+    header = f"{'job':<{label_width}} |" + f" 0 {'·' * (width - 10)} {horizon:.3g}"
+    rows.append(header)
+    entries = schedule.sorted_by_start()
+    shown = entries[:max_rows]
+    for entry in shown:
+        start_col = int(round(entry.start / horizon * width))
+        end_col = max(start_col + 1, int(round(entry.end / horizon * width)))
+        bar = " " * start_col + "█" * (end_col - start_col)
+        procs = entry.processors
+        label = f"{entry.job.name[:label_width - 1]:<{label_width - 1}}"
+        rows.append(f"{label} |{bar[:width]}| p={procs}")
+    if len(entries) > max_rows:
+        rows.append(f"... ({len(entries) - max_rows} more jobs not shown)")
+    return "\n".join(rows)
+
+
+def render_shelves(
+    schedule: Schedule,
+    d: float,
+    *,
+    width: int = 72,
+    max_rows: int = 40,
+) -> str:
+    """Render a shelf-structured schedule (Figures 2 and 3).
+
+    Jobs are classified by their start/end relative to the shelf boundaries
+    ``0``, ``d`` and ``3d/2``: S1 jobs start at 0 and are at most ``d`` long,
+    S2 jobs end at ``3d/2``, S0 jobs run alongside both shelves, and small
+    jobs fill the remaining gaps.
+    """
+    half = 1.5 * d
+    groups: Dict[str, List[ScheduledJob]] = {"S0": [], "S1": [], "S2": [], "small": []}
+    for entry in schedule.entries:
+        duration = entry.duration
+        if entry.start <= 1e-9 and duration > d * 1.0 + 1e-9:
+            groups["S0"].append(entry)
+        elif entry.start <= 1e-9 and duration > d / 2.0 + 1e-9:
+            groups["S1"].append(entry)
+        elif abs(entry.end - half) <= 1e-6 * max(half, 1.0) and duration > d / 4.0:
+            groups["S2"].append(entry)
+        else:
+            groups["small"].append(entry)
+
+    lines: List[str] = []
+    lines.append(f"shelf structure for d = {d:.4g} (makespan bound 3d/2 = {half:.4g}, m = {schedule.m})")
+    for shelf in ("S0", "S1", "S2", "small"):
+        entries = groups[shelf]
+        procs = sum(e.processors for e in entries)
+        lines.append(f"  {shelf:<5} jobs={len(entries):<5} processors={procs}")
+    lines.append("")
+    lines.append(render_gantt(schedule, width=width, max_rows=max_rows))
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Online list-scheduling simulator.
+
+Whereas :func:`repro.core.list_scheduling.list_schedule` computes a list
+schedule analytically, :class:`OnlineListScheduler` *simulates* the same
+policy the way an online cluster scheduler would run it: jobs are submitted to
+a queue, machines announce themselves idle, and the scheduler dispatches the
+head of the queue whenever enough machines are idle.  The two implementations
+must agree on the makespan — a cross-check exercised in the test suite — and
+the simulator additionally supports release times, which the analytic code
+does not.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.allotment import Allotment
+from ..core.job import MoldableJob
+from ..core.schedule import Schedule
+
+__all__ = ["OnlineListScheduler"]
+
+
+@dataclass
+class _QueuedJob:
+    job: MoldableJob
+    processors: int
+    release: float
+
+
+class OnlineListScheduler:
+    """Event-driven list scheduling with fixed allotments and release times."""
+
+    def __init__(self, m: int) -> None:
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        self.m = m
+        self._queue: List[_QueuedJob] = []
+
+    def submit(self, job: MoldableJob, processors: int, release: float = 0.0) -> None:
+        """Add a job to the submission queue."""
+        if processors < 1 or processors > self.m:
+            raise ValueError(f"processors must lie in [1, {self.m}]")
+        if release < 0:
+            raise ValueError("release time must be non-negative")
+        self._queue.append(_QueuedJob(job, processors, release))
+
+    def submit_allotment(self, jobs: Sequence[MoldableJob], allotment: Allotment) -> None:
+        for job in jobs:
+            self.submit(job, allotment[job])
+
+    def run(self) -> Schedule:
+        """Simulate FCFS list scheduling and return the produced schedule."""
+        schedule = Schedule(m=self.m, metadata={"algorithm": "online_list_scheduler"})
+        if not self._queue:
+            return schedule
+        # machine groups as (free_time, seq, first, count)
+        heap: List[Tuple[float, int, int, int]] = [(0.0, 0, 0, self.m)]
+        seq = 1
+        pending = sorted(self._queue, key=lambda q: q.release)
+        # FCFS within release order
+        for queued in pending:
+            need = queued.processors
+            gathered: List[Tuple[float, int, int]] = []
+            have = 0
+            while have < need:
+                free_at, _, first, count = heapq.heappop(heap)
+                take = min(count, need - have)
+                gathered.append((free_at, first, take))
+                if take < count:
+                    heapq.heappush(heap, (free_at, seq, first + take, count - take))
+                    seq += 1
+                have += take
+            start = max(queued.release, max(f for f, _, _ in gathered))
+            spans = [(first, count) for _, first, count in gathered]
+            entry = schedule.add(queued.job, start, spans)
+            for _, first, count in gathered:
+                heapq.heappush(heap, (entry.end, seq, first, count))
+                seq += 1
+        self._queue.clear()
+        return schedule

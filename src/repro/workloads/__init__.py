@@ -1,0 +1,51 @@
+"""Synthetic workload models and instance generators.
+
+The paper's algorithms are evaluated here on synthetic monotone moldable
+workloads modelled after common HPC application behaviour:
+
+* Amdahl's-law jobs (a sequential fraction limits speedup);
+* power-law (sub-linear) speedup jobs;
+* communication-overhead jobs (speedup saturates, then extra processors are
+  pure overhead);
+* arbitrary random monotone speedup profiles (tabulated);
+* planted-optimum instances where a perfect packing of the machine area is
+  known by construction (used to certify approximation ratios).
+"""
+
+from .speedup_models import (
+    amdahl_speedup,
+    communication_speedup,
+    is_valid_monotone_speedup,
+    power_law_speedup,
+    random_monotone_speedup,
+)
+from .generators import (
+    InstanceSpec,
+    WorkloadInstance,
+    random_amdahl_instance,
+    random_communication_instance,
+    random_mixed_instance,
+    random_monotone_tabulated_instance,
+    random_power_law_instance,
+    planted_partition_instance,
+    scenario,
+    SCENARIOS,
+)
+
+__all__ = [
+    "amdahl_speedup",
+    "power_law_speedup",
+    "communication_speedup",
+    "random_monotone_speedup",
+    "is_valid_monotone_speedup",
+    "InstanceSpec",
+    "WorkloadInstance",
+    "random_amdahl_instance",
+    "random_power_law_instance",
+    "random_communication_instance",
+    "random_mixed_instance",
+    "random_monotone_tabulated_instance",
+    "planted_partition_instance",
+    "scenario",
+    "SCENARIOS",
+]

@@ -1,0 +1,239 @@
+"""Random instance generators and scenario presets.
+
+Every generator takes a seed (or an ``numpy.random.Generator``) and returns a
+:class:`WorkloadInstance` bundling the jobs, the machine count and provenance
+metadata.  Generators with analytic speedup models (Amdahl, power law,
+communication) produce oracle jobs usable with astronomically large ``m``;
+the tabulated generator produces classical explicit-encoding jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.job import AmdahlJob, CommunicationJob, MoldableJob, PowerLawJob, TabulatedJob
+from .speedup_models import random_monotone_speedup
+
+__all__ = [
+    "InstanceSpec",
+    "WorkloadInstance",
+    "random_amdahl_instance",
+    "random_power_law_instance",
+    "random_communication_instance",
+    "random_mixed_instance",
+    "random_monotone_tabulated_instance",
+    "planted_partition_instance",
+    "scenario",
+    "SCENARIOS",
+]
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def _rng(seed: SeedLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """Parameters describing a generated instance (for provenance/reporting)."""
+
+    kind: str
+    n: int
+    m: int
+    seed: Optional[int] = None
+    params: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class WorkloadInstance:
+    """A generated scheduling instance."""
+
+    jobs: List[MoldableJob]
+    m: int
+    spec: InstanceSpec
+    known_optimum: Optional[float] = None
+
+    @property
+    def n(self) -> int:
+        return len(self.jobs)
+
+
+# --------------------------------------------------------------------------
+# Analytic-model generators
+# --------------------------------------------------------------------------
+
+def random_amdahl_instance(
+    n: int,
+    m: int,
+    *,
+    seed: SeedLike = None,
+    t1_range: tuple[float, float] = (1.0, 100.0),
+    serial_fraction_range: tuple[float, float] = (0.01, 0.3),
+) -> WorkloadInstance:
+    """Jobs following Amdahl's law with random base times and serial fractions."""
+    rng = _rng(seed)
+    jobs: List[MoldableJob] = []
+    for i in range(n):
+        t1 = float(rng.uniform(*t1_range))
+        f = float(rng.uniform(*serial_fraction_range))
+        jobs.append(AmdahlJob(f"amdahl-{i}", t1=t1, serial_fraction=f))
+    spec = InstanceSpec("amdahl", n, m, params={"t1_lo": t1_range[0], "t1_hi": t1_range[1]})
+    return WorkloadInstance(jobs, m, spec)
+
+
+def random_power_law_instance(
+    n: int,
+    m: int,
+    *,
+    seed: SeedLike = None,
+    t1_range: tuple[float, float] = (1.0, 100.0),
+    alpha_range: tuple[float, float] = (0.5, 1.0),
+) -> WorkloadInstance:
+    """Jobs with power-law (sub-linear) speedups."""
+    rng = _rng(seed)
+    jobs: List[MoldableJob] = []
+    for i in range(n):
+        t1 = float(rng.uniform(*t1_range))
+        alpha = float(rng.uniform(*alpha_range))
+        jobs.append(PowerLawJob(f"powerlaw-{i}", t1=t1, alpha=alpha))
+    spec = InstanceSpec("power_law", n, m, params={"alpha_lo": alpha_range[0], "alpha_hi": alpha_range[1]})
+    return WorkloadInstance(jobs, m, spec)
+
+
+def random_communication_instance(
+    n: int,
+    m: int,
+    *,
+    seed: SeedLike = None,
+    t1_range: tuple[float, float] = (10.0, 500.0),
+    overhead_range: tuple[float, float] = (1e-4, 1e-2),
+) -> WorkloadInstance:
+    """Jobs with per-processor communication overhead (speedup saturates)."""
+    rng = _rng(seed)
+    jobs: List[MoldableJob] = []
+    for i in range(n):
+        t1 = float(rng.uniform(*t1_range))
+        c = float(rng.uniform(*overhead_range))
+        jobs.append(CommunicationJob(f"comm-{i}", t1=t1, overhead=c))
+    spec = InstanceSpec("communication", n, m)
+    return WorkloadInstance(jobs, m, spec)
+
+
+def random_mixed_instance(
+    n: int,
+    m: int,
+    *,
+    seed: SeedLike = None,
+    t1_range: tuple[float, float] = (1.0, 200.0),
+) -> WorkloadInstance:
+    """A mix of Amdahl, power-law and communication jobs (one third each)."""
+    rng = _rng(seed)
+    jobs: List[MoldableJob] = []
+    for i in range(n):
+        t1 = float(rng.uniform(*t1_range))
+        kind = i % 3
+        if kind == 0:
+            jobs.append(AmdahlJob(f"mixed-amdahl-{i}", t1=t1, serial_fraction=float(rng.uniform(0.01, 0.4))))
+        elif kind == 1:
+            jobs.append(PowerLawJob(f"mixed-powerlaw-{i}", t1=t1, alpha=float(rng.uniform(0.4, 1.0))))
+        else:
+            jobs.append(CommunicationJob(f"mixed-comm-{i}", t1=t1, overhead=float(rng.uniform(1e-4, 5e-2))))
+    spec = InstanceSpec("mixed", n, m)
+    return WorkloadInstance(jobs, m, spec)
+
+
+def random_monotone_tabulated_instance(
+    n: int,
+    m: int,
+    *,
+    seed: SeedLike = None,
+    t1_range: tuple[float, float] = (1.0, 100.0),
+    efficiency_floor: float = 0.0,
+) -> WorkloadInstance:
+    """Explicit-encoding jobs with arbitrary random monotone speedup tables.
+
+    ``m`` should be modest here (the tables have ``m`` entries) — this is the
+    classical input encoding against which the compact encoding is compared.
+    """
+    if m > 1 << 16:
+        raise ValueError("tabulated instances are limited to m <= 65536 (use an analytic model instead)")
+    rng = _rng(seed)
+    jobs: List[MoldableJob] = []
+    for i in range(n):
+        t1 = float(rng.uniform(*t1_range))
+        speedup = random_monotone_speedup(m, rng, efficiency_floor=efficiency_floor)
+        times = [t1 / s for s in speedup]
+        jobs.append(TabulatedJob(f"tab-{i}", times))
+    spec = InstanceSpec("tabulated", n, m)
+    return WorkloadInstance(jobs, m, spec)
+
+
+# --------------------------------------------------------------------------
+# Planted-optimum instances
+# --------------------------------------------------------------------------
+
+def planted_partition_instance(
+    groups: int,
+    *,
+    seed: SeedLike = None,
+    target: float = 100.0,
+    jobs_per_group: int = 4,
+) -> WorkloadInstance:
+    """An instance whose optimum is known exactly by construction.
+
+    ``groups`` machines are each filled by ``jobs_per_group`` sequential jobs
+    whose single-processor times sum to exactly ``target``; the jobs do not
+    speed up at all (constant processing time), so every schedule has total
+    work at least ``groups * target`` and the planted packing with makespan
+    ``target`` is optimal.  Used to certify approximation ratios on instances
+    far larger than the exact solver can handle.
+    """
+    if groups < 1 or jobs_per_group < 1:
+        raise ValueError("groups and jobs_per_group must be >= 1")
+    rng = _rng(seed)
+    jobs: List[MoldableJob] = []
+    for g in range(groups):
+        cuts = np.sort(rng.uniform(0.05, 0.95, size=jobs_per_group - 1)) * target
+        edges = np.concatenate(([0.0], cuts, [target]))
+        durations = np.diff(edges)
+        # guard against degenerate tiny pieces
+        durations = np.maximum(durations, target * 1e-3)
+        durations = durations / durations.sum() * target
+        for j, duration in enumerate(durations):
+            t1 = float(duration)
+            jobs.append(TabulatedJob(f"planted-{g}-{j}", [t1]))  # constant time on any k
+    spec = InstanceSpec("planted_partition", len(jobs), groups, params={"target": target})
+    return WorkloadInstance(jobs, groups, spec, known_optimum=target)
+
+
+# --------------------------------------------------------------------------
+# Scenario presets
+# --------------------------------------------------------------------------
+
+SCENARIOS: Dict[str, Callable[[SeedLike], WorkloadInstance]] = {
+    # A departmental cluster: many moderately parallel jobs, few machines.
+    "cluster_small": lambda seed=None: random_mixed_instance(200, 128, seed=seed),
+    # A large HPC machine with compact encoding: m far exceeds n.
+    "hpc_large_m": lambda seed=None: random_amdahl_instance(64, 1 << 20, seed=seed),
+    # A cloud region: power-law scaling services.
+    "cloud_powerlaw": lambda seed=None: random_power_law_instance(400, 4096, seed=seed),
+    # Communication-bound simulation codes.
+    "simulation_comm": lambda seed=None: random_communication_instance(150, 512, seed=seed),
+    # Explicit tables, the classical encoding.
+    "tabulated_classic": lambda seed=None: random_monotone_tabulated_instance(80, 64, seed=seed),
+}
+
+
+def scenario(name: str, seed: SeedLike = None) -> WorkloadInstance:
+    """Instantiate a named scenario preset (see :data:`SCENARIOS`)."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}") from exc
+    return factory(seed)

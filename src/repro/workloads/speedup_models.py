@@ -1,0 +1,94 @@
+"""Speedup models for monotone moldable jobs.
+
+A speedup function ``s(k)`` (with ``s(1) = 1``) induces processing times
+``t(k) = t(1) / s(k)``.  The job is a valid *monotone* moldable job iff
+
+* ``s`` is non-decreasing (processing time non-increasing), and
+* ``k / s(k)`` is non-decreasing (work non-decreasing), equivalently
+  ``s(k+1)/s(k) <= (k+1)/k``.
+
+All generators in this module produce speedup sequences satisfying both
+properties by construction; :func:`is_valid_monotone_speedup` checks them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "amdahl_speedup",
+    "power_law_speedup",
+    "communication_speedup",
+    "random_monotone_speedup",
+    "is_valid_monotone_speedup",
+]
+
+
+def amdahl_speedup(k_max: int, serial_fraction: float) -> List[float]:
+    """Amdahl's law: ``s(k) = 1 / (f + (1-f)/k)``."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError("serial_fraction must lie in [0, 1]")
+    return [1.0 / (serial_fraction + (1.0 - serial_fraction) / k) for k in range(1, k_max + 1)]
+
+
+def power_law_speedup(k_max: int, alpha: float) -> List[float]:
+    """Power law: ``s(k) = k**alpha`` with ``alpha in [0, 1]``."""
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError("alpha must lie in [0, 1]")
+    return [float(k) ** alpha for k in range(1, k_max + 1)]
+
+
+def communication_speedup(k_max: int, t1: float, overhead: float) -> List[float]:
+    """Speedup of the communication-overhead model, capped at its maximum.
+
+    ``t(k) = t1/k + overhead*(k-1)`` while that is non-increasing, constant
+    afterwards; the returned values are ``t1 / t(k)``.
+    """
+    if t1 <= 0:
+        raise ValueError("t1 must be positive")
+    if overhead < 0:
+        raise ValueError("overhead must be non-negative")
+    times: List[float] = []
+    best = float("inf")
+    for k in range(1, k_max + 1):
+        raw = t1 / k + overhead * (k - 1)
+        best = min(best, raw)
+        times.append(best)
+    return [t1 / t for t in times]
+
+
+def random_monotone_speedup(k_max: int, rng: np.random.Generator, *, efficiency_floor: float = 0.0) -> List[float]:
+    """A random valid monotone speedup profile.
+
+    Built multiplicatively: ``s(k+1) = s(k) * u`` with
+    ``u`` drawn uniformly from ``[1, (k+1)/k]`` — the largest interval that
+    keeps both monotony properties.  ``efficiency_floor`` optionally biases the
+    draws towards better scaling (``u`` drawn from the top part of the
+    interval).
+    """
+    if k_max < 1:
+        raise ValueError("k_max must be >= 1")
+    if not 0.0 <= efficiency_floor < 1.0:
+        raise ValueError("efficiency_floor must lie in [0, 1)")
+    speedup = [1.0]
+    for k in range(1, k_max):
+        hi = (k + 1) / k
+        lo = 1.0 + efficiency_floor * (hi - 1.0)
+        u = rng.uniform(lo, hi)
+        speedup.append(speedup[-1] * u)
+    return speedup
+
+
+def is_valid_monotone_speedup(speedup: Sequence[float], *, tol: float = 1e-9) -> bool:
+    """Check the two monotony properties of a speedup sequence."""
+    if not speedup or abs(speedup[0] - 1.0) > tol:
+        return False
+    for k in range(1, len(speedup)):
+        ratio = speedup[k] / speedup[k - 1]
+        if ratio < 1.0 - tol:
+            return False
+        if ratio > (k + 1) / k + tol:
+            return False
+    return True

@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.job import AmdahlJob, PowerLawJob, TabulatedJob
+from repro.workloads.generators import random_mixed_instance
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_mixed_instance():
+    """A small mixed workload used by many algorithm tests (n=20, m=24)."""
+    return random_mixed_instance(20, 24, seed=42)
+
+
+@pytest.fixture
+def medium_mixed_instance():
+    """A medium mixed workload (n=60, m=64)."""
+    return random_mixed_instance(60, 64, seed=7)
+
+
+@pytest.fixture
+def simple_jobs():
+    """Three hand-constructed monotone jobs with easy-to-reason-about values."""
+    return [
+        TabulatedJob("seq", [10.0]),                      # never speeds up
+        AmdahlJob("amdahl", t1=40.0, serial_fraction=0.1),
+        PowerLawJob("power", t1=30.0, alpha=0.8),
+    ]
+
+
+def assert_within(value: float, bound: float, *, rel: float = 1e-6, msg: str = ""):
+    assert value <= bound * (1.0 + rel) + 1e-9, msg or f"{value} exceeds bound {bound}"

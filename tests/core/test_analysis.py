@@ -1,0 +1,88 @@
+"""Tests for schedule analysis metrics and comparisons."""
+
+import pytest
+
+from repro.analysis import analyze_schedule, compare_schedules
+from repro.core.job import TabulatedJob
+from repro.core.schedule import Schedule
+from repro.core.scheduler import schedule_moldable
+from repro.workloads.generators import planted_partition_instance, random_mixed_instance
+
+
+class TestAnalyzeSchedule:
+    def test_empty_schedule(self):
+        metrics = analyze_schedule(Schedule(m=4), [])
+        assert metrics.makespan == 0.0
+        assert metrics.utilization == 0.0
+        assert metrics.jobs == 0
+
+    def test_hand_built_schedule(self):
+        a = TabulatedJob("a", [10.0, 6.0])
+        b = TabulatedJob("b", [4.0, 3.0])
+        schedule = Schedule(m=2)
+        schedule.add(a, 0.0, [(0, 2)])   # 2 procs, 6 time units, work 12
+        schedule.add(b, 6.0, [(0, 1)])   # 1 proc, 4 time units, work 4
+        metrics = analyze_schedule(schedule, [a, b])
+        assert metrics.makespan == pytest.approx(10.0)
+        assert metrics.total_work == pytest.approx(16.0)
+        assert metrics.sequential_work == pytest.approx(14.0)
+        assert metrics.utilization == pytest.approx(16.0 / 20.0)
+        assert metrics.work_inflation == pytest.approx(16.0 / 14.0)
+        assert metrics.peak_processors == 2
+        assert metrics.jobs == 2
+        per_job = {j.name: j for j in metrics.per_job}
+        assert per_job["a"].work_inflation == pytest.approx(12.0 / 10.0)
+        assert per_job["a"].efficiency == pytest.approx((10.0 / 6.0) / 2.0)
+        assert per_job["b"].stretch == pytest.approx(10.0 / 3.0)
+
+    def test_ratio_vs_lower_bound_at_least_one(self):
+        instance = random_mixed_instance(20, 16, seed=1)
+        result = schedule_moldable(instance.jobs, 16, 0.25, algorithm="bounded")
+        metrics = analyze_schedule(result.schedule, instance.jobs)
+        assert metrics.ratio_vs_lower_bound >= 1.0 - 1e-9
+        assert 0.0 < metrics.utilization <= 1.0
+        assert metrics.work_inflation >= 1.0 - 1e-9
+
+    def test_explicit_lower_bound_used(self):
+        a = TabulatedJob("a", [5.0])
+        schedule = Schedule(m=1)
+        schedule.add(a, 0.0, [(0, 1)])
+        metrics = analyze_schedule(schedule, [a], lower_bound=2.5)
+        assert metrics.ratio_vs_lower_bound == pytest.approx(2.0)
+
+    def test_average_parallelism(self):
+        a = TabulatedJob("a", [8.0, 4.0])
+        schedule = Schedule(m=4)
+        schedule.add(a, 0.0, [(0, 2)])
+        metrics = analyze_schedule(schedule, [a])
+        assert metrics.average_parallelism == pytest.approx(2.0)
+
+
+class TestCompareSchedules:
+    def test_orders_by_makespan(self):
+        instance = planted_partition_instance(8, seed=2)
+        schedules = {
+            name: schedule_moldable(instance.jobs, instance.m, 0.2, algorithm=name).schedule
+            for name in ("two_approx", "mrt")
+        }
+        rows = compare_schedules(schedules, instance.jobs, instance.m)
+        assert len(rows) == 2
+        assert rows[0].makespan <= rows[1].makespan
+        assert rows[0].ratio_vs_best == pytest.approx(1.0)
+        assert all(r.ratio_vs_lower_bound >= 1.0 - 1e-9 for r in rows)
+
+    def test_empty(self):
+        assert compare_schedules({}, [], 4) == []
+
+    def test_all_algorithms_comparable(self):
+        instance = random_mixed_instance(25, 24, seed=3)
+        schedules = {
+            name: schedule_moldable(instance.jobs, 24, 0.25, algorithm=name).schedule
+            for name in ("two_approx", "bounded", "compressible")
+        }
+        rows = compare_schedules(schedules, instance.jobs, 24)
+        labels = {r.label for r in rows}
+        assert labels == set(schedules)
+        for row in rows:
+            assert row.ratio_vs_best >= 1.0 - 1e-9
+            assert 0.0 < row.utilization <= 1.0

@@ -1,0 +1,113 @@
+"""Tests for Algorithm 3 (Section 4.3) and the linear variant (Section 4.3.3)."""
+
+import pytest
+
+from repro.core.bounded_algorithm import bounded_dual, bounded_schedule
+from repro.core.bounds import ludwig_tiwari_estimator, makespan_lower_bound, serial_upper_bound
+from repro.core.exact_small import exact_makespan
+from repro.core.validation import assert_valid_schedule
+from repro.simulator.engine import simulate_schedule
+from repro.workloads.generators import (
+    planted_partition_instance,
+    random_amdahl_instance,
+    random_mixed_instance,
+    random_monotone_tabulated_instance,
+)
+
+
+class TestBoundedDual:
+    @pytest.mark.parametrize("transform", ["heap", "bucket"])
+    def test_accepts_serial_upper_bound(self, transform):
+        instance = random_mixed_instance(20, 16, seed=0)
+        d = serial_upper_bound(instance.jobs)
+        eps = 0.25
+        schedule = bounded_dual(instance.jobs, 16, d, eps, transform=transform)
+        assert schedule is not None
+        assert schedule.makespan <= (1.5 + eps) * d * (1 + 1e-9)
+        assert_valid_schedule(schedule, instance.jobs)
+
+    @pytest.mark.parametrize("transform", ["heap", "bucket"])
+    def test_never_rejects_above_exact_optimum(self, transform):
+        eps = 0.3
+        for seed in range(3):
+            instance = random_monotone_tabulated_instance(4, 4, seed=seed)
+            opt = exact_makespan(instance.jobs, 4)
+            for factor in (1.0, 1.3, 1.8):
+                schedule = bounded_dual(instance.jobs, 4, opt * factor, eps, transform=transform)
+                assert schedule is not None, f"rejected d = {factor} * OPT (seed {seed})"
+                assert schedule.makespan <= (1.5 + eps) * opt * factor * (1 + 1e-9)
+
+    def test_rejects_impossible_target(self):
+        instance = random_mixed_instance(20, 4, seed=1)
+        lb = makespan_lower_bound(instance.jobs, 4)
+        assert bounded_dual(instance.jobs, 4, lb * 0.3, 0.2) is None
+
+    def test_large_m_dispatch(self):
+        instance = random_amdahl_instance(8, 256, seed=3)
+        omega = ludwig_tiwari_estimator(instance.jobs, 256).omega
+        schedule = bounded_dual(instance.jobs, 256, 1.2 * omega, 0.2)
+        assert schedule is not None
+        assert "large_m" in schedule.metadata["algorithm"]
+
+    def test_records_item_type_count(self):
+        instance = random_mixed_instance(60, 64, seed=4)
+        omega = ludwig_tiwari_estimator(instance.jobs, 64).omega
+        schedule = bounded_dual(instance.jobs, 64, 1.5 * omega, 0.3)
+        if schedule is not None and "num_item_types" in schedule.metadata:
+            assert 1 <= schedule.metadata["num_item_types"] <= 60
+
+    def test_number_of_types_far_below_n_for_large_instances(self):
+        """The whole point of Section 4.3: the knapsack sees types, not jobs."""
+        instance = random_mixed_instance(300, 512, seed=5)
+        omega = ludwig_tiwari_estimator(instance.jobs, 512).omega
+        schedule = bounded_dual(instance.jobs, 512, 1.3 * omega, 0.3)
+        if schedule is not None and "num_item_types" in schedule.metadata:
+            assert schedule.metadata["num_item_types"] < 300
+
+    def test_empty_instance(self):
+        schedule = bounded_dual([], 4, 1.0, 0.2)
+        assert schedule is not None and schedule.makespan == 0.0
+
+
+class TestBoundedSchedule:
+    @pytest.mark.parametrize("transform", ["heap", "bucket"])
+    def test_guarantee_vs_exact_optimum(self, transform):
+        eps = 0.25
+        for seed in range(3):
+            instance = random_monotone_tabulated_instance(5, 4, seed=seed + 3)
+            opt = exact_makespan(instance.jobs, 4)
+            result = bounded_schedule(instance.jobs, 4, eps, transform=transform)
+            assert result.makespan <= (1.5 + eps) * opt * (1 + 1e-6)
+
+    def test_guarantee_vs_planted_optimum(self):
+        eps = 0.2
+        instance = planted_partition_instance(12, seed=9)
+        result = bounded_schedule(instance.jobs, instance.m, eps)
+        assert instance.known_optimum is not None
+        assert result.makespan <= (1.5 + eps) * instance.known_optimum * (1 + 1e-6)
+
+    @pytest.mark.parametrize("transform", ["heap", "bucket"])
+    def test_schedules_are_valid(self, transform):
+        instance = random_mixed_instance(40, 32, seed=14)
+        result = bounded_schedule(instance.jobs, 32, 0.2, transform=transform)
+        assert_valid_schedule(result.schedule, instance.jobs)
+        simulate_schedule(result.schedule)
+
+    def test_heap_and_bucket_agree_on_feasibility(self):
+        instance = random_mixed_instance(25, 16, seed=15)
+        heap = bounded_schedule(instance.jobs, 16, 0.25, transform="heap")
+        bucket = bounded_schedule(instance.jobs, 16, 0.25, transform="bucket")
+        lb = makespan_lower_bound(instance.jobs, 16)
+        assert heap.makespan <= (1.75) * lb * 1.2
+        assert bucket.makespan <= (1.75) * lb * 1.2
+
+    def test_metadata(self):
+        instance = random_mixed_instance(10, 8, seed=16)
+        heap = bounded_schedule(instance.jobs, 8, 0.3, transform="heap")
+        bucket = bounded_schedule(instance.jobs, 8, 0.3, transform="bucket")
+        assert heap.schedule.metadata["algorithm"] == "bounded"
+        assert bucket.schedule.metadata["algorithm"] == "bounded_linear"
+
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            bounded_schedule([], 4, 0.0)

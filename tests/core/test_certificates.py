@@ -1,0 +1,73 @@
+"""Tests for NP-membership certificates (Theorem 1, membership half)."""
+
+import math
+
+import pytest
+
+from repro.core.certificates import Certificate, extract_certificate, replay_certificate, verify_certificate
+from repro.core.exact_small import exact_schedule
+from repro.core.job import TabulatedJob
+from repro.core.scheduler import schedule_moldable
+from repro.core.validation import assert_valid_schedule
+from repro.workloads.generators import random_mixed_instance, random_monotone_tabulated_instance
+
+
+class TestCertificateBasics:
+    def test_encoded_bits_formula(self):
+        cert = Certificate(allotment=(1, 2, 3, 4), order=(0, 1, 2, 3))
+        n, m = 4, 16
+        assert cert.encoded_bits(m) == n * (math.ceil(math.log2(m)) + math.ceil(math.log2(n)))
+
+    def test_encoded_bits_empty(self):
+        assert Certificate(allotment=(), order=()).encoded_bits(8) == 0
+
+    def test_replay_validates_inputs(self):
+        jobs = [TabulatedJob("a", [1.0]), TabulatedJob("b", [1.0])]
+        with pytest.raises(ValueError):
+            replay_certificate(jobs, 2, Certificate(allotment=(1,), order=(0,)))
+        with pytest.raises(ValueError):
+            replay_certificate(jobs, 2, Certificate(allotment=(1, 1), order=(0, 0)))
+
+
+class TestRoundTrip:
+    def test_extract_and_replay_list_schedule(self):
+        """Certificates extracted from list-generated schedules replay to the
+        same (or better) makespan — the core of the NP-membership argument."""
+        instance = random_mixed_instance(25, 16, seed=1)
+        result = schedule_moldable(instance.jobs, 16, 0.25, algorithm="two_approx")
+        cert = extract_certificate(result.schedule, instance.jobs)
+        accepted, replayed = verify_certificate(instance.jobs, 16, result.makespan, cert)
+        assert accepted
+        assert_valid_schedule(replayed, instance.jobs)
+        assert replayed.makespan <= result.makespan * (1 + 1e-9)
+
+    def test_certificate_for_exact_optimum(self):
+        """An optimal schedule's certificate certifies d = OPT... or better:
+        the replay is itself a feasible schedule, so it can never beat OPT."""
+        instance = random_monotone_tabulated_instance(4, 3, seed=2)
+        optimal = exact_schedule(instance.jobs, 3)
+        cert = extract_certificate(optimal, instance.jobs)
+        accepted, replayed = verify_certificate(instance.jobs, 3, optimal.makespan, cert)
+        assert_valid_schedule(replayed, instance.jobs)
+        assert replayed.makespan >= optimal.makespan * (1 - 1e-9)
+
+    def test_rejects_too_small_d(self):
+        instance = random_mixed_instance(10, 8, seed=3)
+        result = schedule_moldable(instance.jobs, 8, 0.25, algorithm="two_approx")
+        cert = extract_certificate(result.schedule, instance.jobs)
+        accepted, _ = verify_certificate(instance.jobs, 8, result.makespan * 0.01, cert)
+        assert not accepted
+
+    def test_extract_rejects_foreign_jobs(self):
+        instance = random_mixed_instance(5, 4, seed=4)
+        other = random_mixed_instance(5, 4, seed=5)
+        result = schedule_moldable(instance.jobs, 4, 0.3, algorithm="two_approx")
+        with pytest.raises(ValueError):
+            extract_certificate(result.schedule, other.jobs)
+
+    def test_certificate_is_polynomial_sized(self):
+        instance = random_mixed_instance(40, 1 << 20, seed=6)
+        result = schedule_moldable(instance.jobs, instance.m, 0.2, algorithm="two_approx")
+        cert = extract_certificate(result.schedule, instance.jobs)
+        # n (log m + log n) bits: tiny compared to m
+        assert cert.encoded_bits(instance.m) <= 40 * (20 + 6)

@@ -1,0 +1,106 @@
+"""Tests for Algorithm 1 (Section 4.2.5): compressible-knapsack scheduling."""
+
+import pytest
+
+from repro.core.bounds import ludwig_tiwari_estimator, makespan_lower_bound, serial_upper_bound
+from repro.core.compressible_algorithm import compressible_dual, compressible_schedule
+from repro.core.exact_small import exact_makespan
+from repro.core.validation import assert_valid_schedule
+from repro.simulator.engine import simulate_schedule
+from repro.workloads.generators import (
+    planted_partition_instance,
+    random_amdahl_instance,
+    random_mixed_instance,
+    random_monotone_tabulated_instance,
+)
+
+
+class TestCompressibleDual:
+    def test_accepts_serial_upper_bound(self):
+        instance = random_mixed_instance(20, 16, seed=0)
+        d = serial_upper_bound(instance.jobs)
+        eps = 0.2
+        schedule = compressible_dual(instance.jobs, 16, d, eps)
+        assert schedule is not None
+        # makespan <= (3/2)(1 + 4 * eps/6) d = (3/2 + eps) d
+        assert schedule.makespan <= (1.5 + eps) * d * (1 + 1e-9)
+        assert_valid_schedule(schedule, instance.jobs)
+
+    def test_never_rejects_above_exact_optimum(self):
+        eps = 0.3
+        for seed in range(4):
+            instance = random_monotone_tabulated_instance(4, 4, seed=seed)
+            opt = exact_makespan(instance.jobs, 4)
+            for factor in (1.0, 1.2, 1.6):
+                schedule = compressible_dual(instance.jobs, 4, opt * factor, eps)
+                assert schedule is not None, f"rejected d = {factor} * OPT (seed {seed})"
+                assert schedule.makespan <= (1.5 + eps) * opt * factor * (1 + 1e-9)
+
+    def test_rejects_impossible_target(self):
+        instance = random_mixed_instance(20, 4, seed=1)
+        lb = makespan_lower_bound(instance.jobs, 4)
+        assert compressible_dual(instance.jobs, 4, lb * 0.3, 0.2) is None
+
+    def test_rejects_nonpositive_target(self):
+        instance = random_mixed_instance(5, 4, seed=2)
+        assert compressible_dual(instance.jobs, 4, 0.0, 0.2) is None
+
+    def test_large_m_dispatch_uses_fptas_dual(self):
+        """For m >= 16n the dual delegates to the FPTAS step (Section 4.2.5)."""
+        instance = random_amdahl_instance(10, 1000, seed=3)
+        omega = ludwig_tiwari_estimator(instance.jobs, 1000).omega
+        schedule = compressible_dual(instance.jobs, 1000, 1.2 * omega, 0.2)
+        assert schedule is not None
+        assert "large_m" in schedule.metadata["algorithm"]
+        assert schedule.makespan <= 1.5 * 1.2 * omega * (1 + 1e-9)
+
+    def test_empty_instance(self):
+        schedule = compressible_dual([], 4, 1.0, 0.2)
+        assert schedule is not None
+        assert schedule.makespan == 0.0
+
+    def test_schedules_validated_by_simulator(self):
+        for seed in range(3):
+            instance = random_mixed_instance(40, 48, seed=seed + 7)
+            omega = ludwig_tiwari_estimator(instance.jobs, 48).omega
+            schedule = compressible_dual(instance.jobs, 48, 1.3 * omega, 0.25)
+            if schedule is not None:
+                simulate_schedule(schedule)
+
+
+class TestCompressibleSchedule:
+    def test_guarantee_vs_exact_optimum(self):
+        eps = 0.25
+        for seed in range(3):
+            instance = random_monotone_tabulated_instance(5, 4, seed=seed + 3)
+            opt = exact_makespan(instance.jobs, 4)
+            result = compressible_schedule(instance.jobs, 4, eps)
+            assert result.makespan <= (1.5 + eps) * opt * (1 + 1e-6)
+
+    def test_guarantee_vs_planted_optimum(self):
+        eps = 0.2
+        instance = planted_partition_instance(10, seed=8)
+        result = compressible_schedule(instance.jobs, instance.m, eps)
+        assert instance.known_optimum is not None
+        assert result.makespan <= (1.5 + eps) * instance.known_optimum * (1 + 1e-6)
+
+    def test_schedules_are_valid(self):
+        instance = random_mixed_instance(30, 20, seed=12)
+        result = compressible_schedule(instance.jobs, 20, 0.15)
+        assert_valid_schedule(result.schedule, instance.jobs)
+
+    def test_metadata_and_guarantee_record(self):
+        instance = random_mixed_instance(10, 8, seed=13)
+        result = compressible_schedule(instance.jobs, 8, 0.3)
+        assert result.schedule.metadata["algorithm"] == "compressible"
+        assert result.schedule.metadata["guarantee"] == pytest.approx(1.8)
+
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            compressible_schedule([], 4, -0.1)
+        with pytest.raises(ValueError):
+            compressible_schedule([], 4, 2.0)
+
+    def test_empty_instance(self):
+        result = compressible_schedule([], 8, 0.2)
+        assert result.makespan == 0.0

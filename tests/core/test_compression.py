@@ -1,0 +1,111 @@
+"""Tests for the compression lemmas (Lemma 4 and Lemma 16)."""
+
+import math
+
+import pytest
+
+from repro.core.compression import (
+    compressed_count,
+    compression_time_bound,
+    is_compressible,
+    params_for_delta,
+    verify_compression_lemma,
+)
+from repro.core.job import AmdahlJob, PowerLawJob, TabulatedJob
+
+
+class TestCompressedCount:
+    def test_basic(self):
+        assert compressed_count(100, 0.1) == 90
+        assert compressed_count(10, 0.25) == 7
+
+    def test_never_below_one(self):
+        assert compressed_count(1, 0.25) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            compressed_count(0, 0.1)
+        with pytest.raises(ValueError):
+            compressed_count(10, 0.0)
+        with pytest.raises(ValueError):
+            compressed_count(10, 0.9)
+
+
+class TestIsCompressible:
+    def test_threshold(self):
+        assert is_compressible(10, 0.1)
+        assert not is_compressible(9, 0.1)
+        assert is_compressible(4, 0.25)
+
+
+class TestLemma4:
+    """t_j(floor(b(1-rho))) <= (1+4 rho) t_j(b) for monotone jobs."""
+
+    @pytest.mark.parametrize("rho", [0.05, 0.1, 0.2, 0.25])
+    @pytest.mark.parametrize(
+        "job",
+        [
+            AmdahlJob("a", 100.0, 0.05),
+            AmdahlJob("a2", 250.0, 0.3),
+            PowerLawJob("p", 80.0, 0.9),
+            PowerLawJob("p2", 80.0, 0.4),
+        ],
+    )
+    def test_analytic_jobs(self, job, rho):
+        for b in (math.ceil(1 / rho), 2 * math.ceil(1 / rho), 64, 321):
+            if not is_compressible(b, rho):
+                continue
+            assert verify_compression_lemma(job, b, rho)
+
+    def test_worst_case_sequential_job(self):
+        """A job that does not speed up at all still satisfies the lemma
+        trivially (its time never changes)."""
+        job = TabulatedJob("seq", [7.0])
+        assert verify_compression_lemma(job, 10, 0.1)
+
+    def test_requires_compressible_count(self):
+        job = AmdahlJob("a", 10.0, 0.1)
+        with pytest.raises(ValueError):
+            verify_compression_lemma(job, 3, 0.1)
+
+    def test_bound_value(self):
+        assert compression_time_bound(10.0, 0.1) == pytest.approx(14.0)
+
+
+class TestLemma16Params:
+    @pytest.mark.parametrize("delta", [0.05, 0.1, 0.25, 0.5, 1.0])
+    def test_identity(self, delta):
+        params = params_for_delta(delta)
+        # (1 + 4 rho)^2 = 1 + delta by construction
+        assert (1.0 + 4.0 * params.rho) ** 2 == pytest.approx(1.0 + delta)
+
+    @pytest.mark.parametrize("delta", [0.05, 0.1, 0.25, 0.5, 1.0])
+    def test_rho_is_theta_delta(self, delta):
+        params = params_for_delta(delta)
+        assert delta / 12.0 <= params.rho <= delta / 4.0
+
+    @pytest.mark.parametrize("delta", [0.05, 0.1, 0.25, 0.5, 1.0])
+    def test_b_is_theta_one_over_delta(self, delta):
+        params = params_for_delta(delta)
+        assert params.b == pytest.approx(1.0 / params.double_factor)
+        assert 1.0 / (2.0 * delta) <= params.b <= 12.0 / (1.75 * delta)
+
+    def test_double_compression_processor_reduction(self):
+        """Compressing with factor 2rho - rho^2 reduces counts by (1-rho)^2."""
+        params = params_for_delta(0.2)
+        b = 1000
+        reduced = math.floor(b * (1.0 - params.double_factor))
+        assert reduced == math.floor(b * (1.0 - params.rho) ** 2)
+
+    def test_time_increase_below_delta(self):
+        """Lemma 16: the processing-time increase factor is < 1 + delta."""
+        for delta in (0.1, 0.3, 0.7, 1.0):
+            params = params_for_delta(delta)
+            increase = 1.0 + 4.0 * params.double_factor
+            assert increase < 1.0 + delta + 1e-12
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            params_for_delta(0.0)
+        with pytest.raises(ValueError):
+            params_for_delta(1.5)

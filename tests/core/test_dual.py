@@ -1,0 +1,95 @@
+"""Tests for the dual-approximation binary-search driver."""
+
+import math
+
+import pytest
+
+from repro.core.dual import dual_binary_search
+from repro.core.job import AmdahlJob, TabulatedJob
+from repro.core.schedule import Schedule
+from repro.workloads.generators import random_mixed_instance
+
+
+def make_threshold_dual(jobs, m, threshold, factor=1.5):
+    """A toy dual algorithm: accepts d >= threshold with makespan factor*d."""
+
+    calls = []
+
+    def dual(d):
+        calls.append(d)
+        if d < threshold:
+            return None
+        schedule = Schedule(m=m)
+        start = 0.0
+        for job in jobs:
+            schedule.add(job, 0.0, [(0, 1)], duration_override=factor * d)
+            break
+        return schedule
+
+    return dual, calls
+
+
+class TestDualBinarySearch:
+    def test_empty_jobs(self):
+        result = dual_binary_search([], 4, lambda d: Schedule(m=4), tolerance=0.1)
+        assert result.makespan == 0.0
+
+    def test_converges_to_threshold(self):
+        jobs = [TabulatedJob("a", [10.0])]
+        m = 2
+        threshold = 7.0
+        dual, calls = make_threshold_dual(jobs, m, threshold)
+        result = dual_binary_search(jobs, m, dual, tolerance=0.01, lower=1.0, upper=20.0)
+        # the accepted d converges to within (1+tolerance) of the threshold
+        assert threshold <= result.accepted_d <= threshold * 1.02
+        assert result.dual_calls == len(calls)
+
+    def test_tolerance_controls_accuracy(self):
+        jobs = [TabulatedJob("a", [10.0])]
+        dual, _ = make_threshold_dual(jobs, 2, 5.0)
+        coarse = dual_binary_search(jobs, 2, dual, tolerance=0.5, lower=1.0, upper=20.0)
+        fine = dual_binary_search(jobs, 2, dual, tolerance=0.01, lower=1.0, upper=20.0)
+        assert fine.accepted_d <= coarse.accepted_d + 1e-9
+        assert fine.iterations >= coarse.iterations
+
+    def test_widens_bracket_when_upper_rejected(self):
+        jobs = [TabulatedJob("a", [10.0])]
+        dual, _ = make_threshold_dual(jobs, 2, 50.0)
+        result = dual_binary_search(jobs, 2, dual, tolerance=0.05, lower=1.0, upper=2.0)
+        assert result.accepted_d >= 50.0
+
+    def test_raises_when_never_accepting(self):
+        jobs = [TabulatedJob("a", [10.0])]
+        with pytest.raises(RuntimeError):
+            dual_binary_search(jobs, 2, lambda d: None, tolerance=0.1, lower=1.0, upper=2.0)
+
+    def test_invalid_tolerance(self):
+        jobs = [TabulatedJob("a", [10.0])]
+        with pytest.raises(ValueError):
+            dual_binary_search(jobs, 2, lambda d: None, tolerance=0.0)
+
+    def test_default_bracket_from_estimator(self):
+        instance = random_mixed_instance(15, 8, seed=4)
+
+        def dual(d):
+            # trivial dual: serial schedule if d is at least the serial time
+            total = sum(j.processing_time(1) for j in instance.jobs)
+            if d < total:
+                return None
+            schedule = Schedule(m=8)
+            t = 0.0
+            for job in instance.jobs:
+                schedule.add(job, t, [(0, 1)])
+                t += job.processing_time(1)
+            return schedule
+
+        result = dual_binary_search(instance.jobs, 8, dual, tolerance=0.05)
+        total = sum(j.processing_time(1) for j in instance.jobs)
+        assert result.makespan == pytest.approx(total)
+
+    def test_iteration_count_logarithmic(self):
+        """The number of dual calls grows like log(1/tolerance), not linearly."""
+        jobs = [AmdahlJob("a", 100.0, 0.1)]
+        dual, calls = make_threshold_dual(jobs, 4, 9.0)
+        dual_binary_search(jobs, 4, dual, tolerance=1e-4, lower=1.0, upper=16.0)
+        assert len(calls) <= 10 + math.ceil(math.log2(math.log(16.0) / math.log(1 + 1e-4)))

@@ -1,0 +1,87 @@
+"""Tests for the exact branch-and-bound solver for tiny instances."""
+
+import pytest
+
+from repro.core.bounds import trivial_lower_bound
+from repro.core.exact_small import exact_makespan, exact_schedule, exact_solver_applicable
+from repro.core.job import TabulatedJob
+from repro.core.validation import assert_valid_schedule
+from repro.workloads.generators import random_monotone_tabulated_instance
+
+
+class TestApplicability:
+    def test_limits(self):
+        assert exact_solver_applicable(5, 4)
+        assert not exact_solver_applicable(20, 4)
+        assert not exact_solver_applicable(4, 100)
+        assert not exact_solver_applicable(0, 4)
+
+    def test_too_large_raises(self):
+        jobs = [TabulatedJob(f"j{i}", [1.0]) for i in range(12)]
+        with pytest.raises(ValueError):
+            exact_schedule(jobs, 4)
+
+
+class TestExactOptimum:
+    def test_empty(self):
+        schedule = exact_schedule([], 4)
+        assert schedule.makespan == 0.0
+
+    def test_single_job_uses_all_machines(self):
+        job = TabulatedJob("j", [10.0, 6.0, 4.0])
+        assert exact_makespan([job], 3) == pytest.approx(4.0)
+
+    def test_two_sequential_jobs_two_machines(self):
+        jobs = [TabulatedJob("a", [5.0]), TabulatedJob("b", [7.0])]
+        assert exact_makespan(jobs, 2) == pytest.approx(7.0)
+
+    def test_two_sequential_jobs_one_machine(self):
+        jobs = [TabulatedJob("a", [5.0]), TabulatedJob("b", [7.0])]
+        assert exact_makespan(jobs, 1) == pytest.approx(12.0)
+
+    def test_known_tradeoff_instance(self):
+        """Two moldable jobs on 2 machines: run both sequentially in parallel
+        (makespan 8) rather than both wide one after the other (6+6=12)."""
+        a = TabulatedJob("a", [8.0, 6.0])
+        b = TabulatedJob("b", [8.0, 6.0])
+        assert exact_makespan([a, b], 2) == pytest.approx(8.0)
+
+    def test_wide_job_preferred_when_beneficial(self):
+        """A single dominant job should be parallelised."""
+        a = TabulatedJob("a", [12.0, 6.5, 4.5])
+        b = TabulatedJob("b", [2.0])
+        c = TabulatedJob("c", [2.0])
+        # best: a on all 3 machines (4.5), then b and c in parallel (2) -> 6.5
+        # alternative: a on 2 (6.5) with b,c stacked on third (4) -> 6.5
+        assert exact_makespan([a, b, c], 3) == pytest.approx(6.5)
+
+    def test_perfect_packing_found(self):
+        """Four unit jobs on two machines pack perfectly."""
+        jobs = [TabulatedJob(f"j{i}", [1.0]) for i in range(4)]
+        assert exact_makespan(jobs, 2) == pytest.approx(2.0)
+
+    def test_schedule_is_valid_and_matches_reported_makespan(self):
+        for seed in range(4):
+            instance = random_monotone_tabulated_instance(5, 3, seed=seed)
+            schedule = exact_schedule(instance.jobs, 3)
+            assert_valid_schedule(schedule, instance.jobs)
+
+    def test_never_below_lower_bound(self):
+        for seed in range(4):
+            instance = random_monotone_tabulated_instance(4, 4, seed=seed + 10)
+            opt = exact_makespan(instance.jobs, 4)
+            assert opt >= trivial_lower_bound(instance.jobs, 4) * (1 - 1e-9)
+
+    def test_monotone_in_machine_count(self):
+        """More machines never increase the optimal makespan."""
+        for seed in range(3):
+            instance = random_monotone_tabulated_instance(4, 4, seed=seed + 20)
+            opt2 = exact_makespan(instance.jobs, 2)
+            opt4 = exact_makespan(instance.jobs, 4)
+            assert opt4 <= opt2 * (1 + 1e-9)
+
+    def test_force_flag(self):
+        jobs = [TabulatedJob(f"j{i}", [1.0]) for i in range(3)]
+        # m=9 exceeds the default limit but force allows it
+        schedule = exact_schedule(jobs, 9, force=True)
+        assert schedule.makespan == pytest.approx(1.0)

@@ -1,0 +1,74 @@
+"""Tests for the practical heuristic baselines."""
+
+import pytest
+
+from repro.core.bounds import serial_upper_bound, trivial_lower_bound
+from repro.core.heuristics import lpt_moldable, max_parallelism_baseline, sequential_baseline
+from repro.core.job import AmdahlJob
+from repro.core.validation import assert_valid_schedule
+from repro.workloads.generators import random_mixed_instance
+
+
+class TestSequentialBaseline:
+    def test_feasible_and_single_processor(self):
+        instance = random_mixed_instance(20, 8, seed=1)
+        schedule = sequential_baseline(instance.jobs, 8)
+        assert_valid_schedule(schedule, instance.jobs)
+        assert all(e.processors == 1 for e in schedule.entries)
+
+    def test_never_exceeds_serial_upper_bound(self):
+        instance = random_mixed_instance(15, 4, seed=2)
+        schedule = sequential_baseline(instance.jobs, 4)
+        assert schedule.makespan <= serial_upper_bound(instance.jobs) * (1 + 1e-9)
+
+    def test_empty(self):
+        assert sequential_baseline([], 4).makespan == 0.0
+
+
+class TestMaxParallelismBaseline:
+    def test_feasible(self):
+        instance = random_mixed_instance(20, 32, seed=3)
+        schedule = max_parallelism_baseline(instance.jobs, 32)
+        assert_valid_schedule(schedule, instance.jobs)
+
+    def test_efficiency_threshold_respected(self):
+        instance = random_mixed_instance(15, 64, seed=4)
+        threshold = 0.6
+        schedule = max_parallelism_baseline(instance.jobs, 64, efficiency_threshold=threshold)
+        for entry in schedule.entries:
+            assert entry.job.efficiency(entry.processors) >= threshold - 1e-9
+
+    def test_threshold_one_means_perfectly_efficient_counts(self):
+        # an Amdahl job with serial fraction > 0 is only 100% efficient on one processor
+        job = AmdahlJob("a", 10.0, 0.2)
+        schedule = max_parallelism_baseline([job], 16, efficiency_threshold=1.0)
+        assert schedule.entry_for(job).processors == 1
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            max_parallelism_baseline([], 4, efficiency_threshold=0.0)
+
+
+class TestLptMoldable:
+    def test_feasible(self):
+        instance = random_mixed_instance(25, 16, seed=5)
+        schedule = lpt_moldable(instance.jobs, 16)
+        assert_valid_schedule(schedule, instance.jobs)
+
+    def test_respects_custom_target_when_possible(self):
+        instance = random_mixed_instance(10, 32, seed=6)
+        target = serial_upper_bound(instance.jobs)
+        schedule = lpt_moldable(instance.jobs, 32, target=target)
+        for entry in schedule.entries:
+            assert entry.duration <= target * (1 + 1e-9)
+
+    def test_not_worse_than_four_times_lower_bound(self):
+        """Crude sanity: the heuristic is never catastrophically bad on the
+        standard workloads (factor-4 of the certified lower bound)."""
+        for seed in range(3):
+            instance = random_mixed_instance(30, 24, seed=seed + 7)
+            schedule = lpt_moldable(instance.jobs, 24)
+            assert schedule.makespan <= 4.0 * trivial_lower_bound(instance.jobs, 24)
+
+    def test_empty(self):
+        assert lpt_moldable([], 4).makespan == 0.0

@@ -1,0 +1,129 @@
+"""Tests for instance/schedule serialisation."""
+
+import json
+
+import pytest
+
+from repro.core.job import AmdahlJob, CommunicationJob, OracleJob, PowerLawJob, RigidJob, TabulatedJob
+from repro.core.scheduler import schedule_moldable
+from repro.hardness.reduction import ReductionJob
+from repro.io import (
+    SerializationError,
+    instance_from_dict,
+    instance_to_dict,
+    job_from_dict,
+    job_to_dict,
+    load_instance,
+    load_schedule,
+    save_instance,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.workloads.generators import random_mixed_instance
+
+ALL_JOB_EXAMPLES = [
+    TabulatedJob("tab", [10.0, 6.0, 4.0]),
+    AmdahlJob("amd", 20.0, 0.15),
+    PowerLawJob("pow", 30.0, 0.7),
+    CommunicationJob("com", 40.0, 0.01),
+    RigidJob("rig", 5.0, 3),
+    ReductionJob(2, 7, 4),
+]
+
+
+class TestJobSerialization:
+    @pytest.mark.parametrize("job", ALL_JOB_EXAMPLES, ids=lambda j: type(j).__name__)
+    def test_round_trip_preserves_processing_times(self, job):
+        clone = job_from_dict(job_to_dict(job))
+        for k in (1, 2, 3, 5, 8):
+            assert clone.processing_time(k) == pytest.approx(job.processing_time(k))
+
+    def test_oracle_jobs_rejected(self):
+        job = OracleJob("o", lambda k: 1.0 / k)
+        with pytest.raises(SerializationError):
+            job_to_dict(job)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            job_from_dict({"kind": "quantum", "name": "x"})
+
+    def test_dict_is_json_serialisable(self):
+        for job in ALL_JOB_EXAMPLES:
+            json.dumps(job_to_dict(job))
+
+
+class TestInstanceSerialization:
+    def test_round_trip(self, tmp_path):
+        jobs = ALL_JOB_EXAMPLES[:4]
+        path = tmp_path / "instance.json"
+        save_instance(path, jobs, 64, metadata={"source": "unit-test"})
+        loaded_jobs, m, metadata = load_instance(path)
+        assert m == 64
+        assert metadata == {"source": "unit-test"}
+        assert [j.name for j in loaded_jobs] == [j.name for j in jobs]
+
+    def test_version_check(self):
+        data = instance_to_dict([ALL_JOB_EXAMPLES[0]], 4)
+        data["version"] = 99
+        with pytest.raises(SerializationError):
+            instance_from_dict(data)
+
+    def test_format_check(self):
+        with pytest.raises(SerializationError):
+            instance_from_dict({"format": "something-else", "version": 1, "m": 1, "jobs": []})
+
+
+class TestScheduleSerialization:
+    def test_round_trip(self, tmp_path):
+        instance = random_mixed_instance(15, 16, seed=1)
+        result = schedule_moldable(instance.jobs, 16, 0.25, algorithm="bounded")
+        path = tmp_path / "schedule.json"
+        save_schedule(path, result.schedule)
+        loaded = load_schedule(path, instance.jobs)
+        assert loaded.makespan == pytest.approx(result.makespan)
+        assert len(loaded) == len(result.schedule)
+        assert loaded.m == 16
+
+    def test_round_trip_preserves_spans(self):
+        instance = random_mixed_instance(10, 8, seed=2)
+        result = schedule_moldable(instance.jobs, 8, 0.3, algorithm="mrt")
+        data = schedule_to_dict(result.schedule)
+        loaded = schedule_from_dict(data, instance.jobs)
+        original_spans = sorted((e.job.name, e.spans) for e in result.schedule.entries)
+        loaded_spans = sorted((e.job.name, e.spans) for e in loaded.entries)
+        assert original_spans == loaded_spans
+
+    def test_unknown_job_rejected(self):
+        instance = random_mixed_instance(5, 4, seed=3)
+        result = schedule_moldable(instance.jobs, 4, 0.3, algorithm="two_approx")
+        data = schedule_to_dict(result.schedule)
+        # an instance whose job *names* differ: placements cannot be re-attached
+        from repro.workloads.generators import random_amdahl_instance
+
+        other = random_amdahl_instance(5, 4, seed=4)
+        with pytest.raises(SerializationError):
+            schedule_from_dict(data, other.jobs)
+
+    def test_duplicate_job_names_rejected(self):
+        a = TabulatedJob("same", [1.0])
+        b = TabulatedJob("same", [2.0])
+        data = {"format": "repro-schedule", "version": 1, "m": 2, "entries": []}
+        with pytest.raises(SerializationError):
+            schedule_from_dict(data, [a, b])
+
+    def test_corrupted_schedule_fails_validation(self):
+        instance = random_mixed_instance(8, 8, seed=5)
+        result = schedule_moldable(instance.jobs, 8, 0.3, algorithm="two_approx")
+        data = schedule_to_dict(result.schedule)
+        # corrupt: force two entries onto the same machine at the same time
+        if len(data["entries"]) >= 2:
+            data["entries"][1]["spans"] = data["entries"][0]["spans"]
+            data["entries"][1]["start"] = data["entries"][0]["start"]
+            from repro.core.validation import ValidationError
+
+            with pytest.raises(ValidationError):
+                schedule_from_dict(data, instance.jobs, validate=True)
+            # but loading without validation still works for forensics
+            loaded = schedule_from_dict(data, instance.jobs, validate=False)
+            assert len(loaded) == len(result.schedule)

@@ -1,0 +1,199 @@
+"""Tests for the moldable job models."""
+
+import math
+
+import pytest
+
+from repro.core.job import (
+    AmdahlJob,
+    CommunicationJob,
+    MoldableJob,
+    OracleJob,
+    PowerLawJob,
+    RigidJob,
+    TabulatedJob,
+    max_sequential_time,
+    total_minimal_work,
+)
+from repro.core.validation import is_monotone_work, is_nonincreasing_time
+
+
+class TestTabulatedJob:
+    def test_lookup(self):
+        job = TabulatedJob("t", [10.0, 6.0, 5.0])
+        assert job.processing_time(1) == 10.0
+        assert job.processing_time(2) == 6.0
+        assert job.processing_time(3) == 5.0
+
+    def test_clamp_beyond_table(self):
+        job = TabulatedJob("t", [10.0, 6.0])
+        assert job.processing_time(5) == 6.0
+        assert job.processing_time(1000) == 6.0
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            TabulatedJob("t", [])
+
+    def test_nonpositive_time_rejected(self):
+        with pytest.raises(ValueError):
+            TabulatedJob("t", [1.0, 0.0])
+
+    def test_work_and_speedup(self):
+        job = TabulatedJob("t", [12.0, 7.0, 6.0])
+        assert job.work(2) == pytest.approx(14.0)
+        assert job.speedup(3) == pytest.approx(2.0)
+        assert job.efficiency(3) == pytest.approx(2.0 / 3.0)
+
+
+class TestOracleJob:
+    def test_callable_is_used(self):
+        job = OracleJob("o", lambda k: 100.0 / k)
+        assert job.processing_time(4) == pytest.approx(25.0)
+
+    def test_memoisation(self):
+        calls = []
+
+        def oracle(k):
+            calls.append(k)
+            return 10.0 / k
+
+        job = OracleJob("o", oracle)
+        job.processing_time(3)
+        job.processing_time(3)
+        assert calls == [3]
+
+    def test_invalid_oracle_value(self):
+        job = OracleJob("bad", lambda k: -1.0)
+        with pytest.raises(ValueError):
+            job.processing_time(1)
+
+    def test_nan_oracle_value(self):
+        job = OracleJob("nan", lambda k: float("nan"))
+        with pytest.raises(ValueError):
+            job.processing_time(2)
+
+
+class TestProcessorCountValidation:
+    def test_zero_processors_rejected(self):
+        job = AmdahlJob("a", 10.0, 0.1)
+        with pytest.raises(ValueError):
+            job.processing_time(0)
+
+    def test_negative_processors_rejected(self):
+        job = AmdahlJob("a", 10.0, 0.1)
+        with pytest.raises(ValueError):
+            job.processing_time(-2)
+
+    def test_fractional_processors_rejected(self):
+        job = AmdahlJob("a", 10.0, 0.1)
+        with pytest.raises(ValueError):
+            job.processing_time(1.5)
+
+
+class TestAmdahlJob:
+    def test_serial_fraction_one_means_no_speedup(self):
+        job = AmdahlJob("a", 10.0, 1.0)
+        assert job.processing_time(64) == pytest.approx(10.0)
+
+    def test_serial_fraction_zero_means_linear_speedup(self):
+        job = AmdahlJob("a", 10.0, 0.0)
+        assert job.processing_time(10) == pytest.approx(1.0)
+
+    def test_monotone(self):
+        job = AmdahlJob("a", 100.0, 0.07)
+        assert is_nonincreasing_time(job, 256)
+        assert is_monotone_work(job, 256)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AmdahlJob("a", -1.0, 0.1)
+        with pytest.raises(ValueError):
+            AmdahlJob("a", 1.0, 1.5)
+
+
+class TestPowerLawJob:
+    def test_alpha_one_is_linear(self):
+        job = PowerLawJob("p", 64.0, 1.0)
+        assert job.processing_time(8) == pytest.approx(8.0)
+
+    def test_alpha_zero_is_sequential(self):
+        job = PowerLawJob("p", 64.0, 0.0)
+        assert job.processing_time(8) == pytest.approx(64.0)
+
+    def test_monotone(self):
+        job = PowerLawJob("p", 50.0, 0.6)
+        assert is_nonincreasing_time(job, 200)
+        assert is_monotone_work(job, 200)
+
+    def test_work_grows_as_power(self):
+        job = PowerLawJob("p", 10.0, 0.5)
+        assert job.work(4) == pytest.approx(10.0 * 4 ** 0.5)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PowerLawJob("p", 1.0, 2.0)
+
+
+class TestCommunicationJob:
+    def test_monotone_despite_overhead(self):
+        job = CommunicationJob("c", t1=100.0, overhead=0.5)
+        assert is_nonincreasing_time(job, 128)
+        assert is_monotone_work(job, 128)
+
+    def test_saturation(self):
+        job = CommunicationJob("c", t1=100.0, overhead=1.0)
+        k_star = job.k_star
+        assert k_star is not None
+        # beyond saturation the processing time stays constant
+        assert job.processing_time(k_star) == pytest.approx(job.processing_time(k_star + 10))
+
+    def test_zero_overhead_is_linear(self):
+        job = CommunicationJob("c", t1=100.0, overhead=0.0)
+        assert job.processing_time(10) == pytest.approx(10.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CommunicationJob("c", t1=0.0, overhead=0.1)
+        with pytest.raises(ValueError):
+            CommunicationJob("c", t1=1.0, overhead=-0.1)
+
+
+class TestRigidJob:
+    def test_penalty_below_size(self):
+        job = RigidJob("r", duration=5.0, size=4)
+        assert job.processing_time(3) > 1000 * job.processing_time(4)
+
+    def test_constant_at_or_above_size(self):
+        job = RigidJob("r", duration=5.0, size=4)
+        assert job.processing_time(4) == pytest.approx(5.0)
+        assert job.processing_time(9) == pytest.approx(5.0)
+
+    def test_not_monotone_work(self):
+        job = RigidJob("r", duration=5.0, size=4)
+        assert not is_monotone_work(job, 8)
+
+
+class TestAggregates:
+    def test_total_minimal_work(self):
+        jobs = [TabulatedJob("a", [3.0]), TabulatedJob("b", [4.0])]
+        assert total_minimal_work(jobs) == pytest.approx(7.0)
+
+    def test_max_sequential_time(self):
+        jobs = [AmdahlJob("a", 10.0, 0.5), AmdahlJob("b", 30.0, 0.5)]
+        assert max_sequential_time(jobs, 4) == pytest.approx(30.0 * (0.5 + 0.5 / 4))
+
+    def test_empty(self):
+        assert total_minimal_work([]) == 0.0
+        assert max_sequential_time([], 4) == 0.0
+
+
+class TestJobIdentity:
+    def test_jobs_hash_by_identity(self):
+        a = TabulatedJob("same", [1.0])
+        b = TabulatedJob("same", [1.0])
+        assert a != b
+        assert len({a, b}) == 2
+
+    def test_is_abstract(self):
+        with pytest.raises(TypeError):
+            MoldableJob("abstract")  # type: ignore[abstract]

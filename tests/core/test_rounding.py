@@ -1,0 +1,95 @@
+"""Tests for the geometric job rounding of Section 4.3."""
+
+import math
+
+import pytest
+
+from repro.core.allotment import gamma
+from repro.core.bounds import ludwig_tiwari_estimator
+from repro.core.rounding import round_jobs_to_types
+from repro.core.shelves import partition_small_big
+from repro.workloads.generators import random_mixed_instance
+
+
+def _prepare(n, m, seed, d_factor=1.3):
+    instance = random_mixed_instance(n, m, seed=seed)
+    omega = ludwig_tiwari_estimator(instance.jobs, m).omega
+    d = d_factor * omega
+    _, big = partition_small_big(instance.jobs, d)
+    eligible = [j for j in big if gamma(j, d / 2.0, m) is not None and gamma(j, d, m) is not None]
+    return instance, d, eligible
+
+
+class TestRoundJobsToTypes:
+    def test_sizes_never_exceed_true_counts(self):
+        instance, d, big = _prepare(60, 64, seed=1)
+        scheme = round_jobs_to_types(big, 64, d, delta=0.1)
+        for rj in scheme.rounded:
+            assert rj.size <= rj.gamma_full
+            assert rj.size >= 1
+
+    def test_size_underestimate_bounded_by_one_plus_rho(self):
+        """Rounded counts are within a (1+rho) factor of the true counts."""
+        instance, d, big = _prepare(60, 64, seed=2)
+        scheme = round_jobs_to_types(big, 64, d, delta=0.2)
+        rho = scheme.params.rho
+        for rj in scheme.rounded:
+            assert rj.gamma_full <= rj.size * (1.0 + rho) * (1 + 1e-9) or rj.size == rj.gamma_full
+
+    def test_narrow_counts_kept_exact(self):
+        instance, d, big = _prepare(60, 64, seed=3)
+        scheme = round_jobs_to_types(big, 64, d, delta=0.1)
+        b = scheme.params.b
+        for rj in scheme.rounded:
+            if rj.gamma_full <= b:
+                assert rj.size == rj.gamma_full
+
+    def test_profits_nonnegative(self):
+        instance, d, big = _prepare(80, 96, seed=4)
+        scheme = round_jobs_to_types(big, 96, d, delta=0.15)
+        assert all(rj.profit >= 0.0 for rj in scheme.rounded)
+
+    def test_rounded_times_below_true_times(self):
+        """Wide-in-S2 jobs have processing times rounded *down*."""
+        instance, d, big = _prepare(80, 96, seed=5)
+        scheme = round_jobs_to_types(big, 96, d, delta=0.15)
+        for rj in scheme.rounded:
+            if rj.type_key[0] == "wide":
+                assert rj.rounded_time_full <= rj.job.processing_time(rj.gamma_full) * (1 + 1e-9)
+                assert rj.rounded_time_half <= rj.job.processing_time(rj.gamma_half) * (1 + 1e-9)
+
+    def test_members_grouped_consistently(self):
+        instance, d, big = _prepare(100, 128, seed=6)
+        scheme = round_jobs_to_types(big, 128, d, delta=0.2)
+        total_members = sum(t.count for t in scheme.types)
+        assert total_members == len(big)
+        for t in scheme.types:
+            assert len(t.members) == t.count
+
+    def test_type_count_far_below_job_count_for_large_n(self):
+        instance, d, big = _prepare(400, 512, seed=7)
+        scheme = round_jobs_to_types(big, 512, d, delta=0.25)
+        assert scheme.num_types < len(big)
+
+    def test_type_count_within_theoretical_bound_order(self):
+        """Not a strict check of the constant, but the bound expression should
+        dominate the observed count for reasonable deltas."""
+        instance, d, big = _prepare(200, 256, seed=8)
+        scheme = round_jobs_to_types(big, 256, d, delta=0.2)
+        assert scheme.num_types <= 10 * scheme.theoretical_type_bound()
+
+    def test_raises_on_forced_jobs(self):
+        """Jobs that cannot meet d/2 must be removed by the caller first."""
+        from repro.core.job import AmdahlJob
+
+        stubborn = AmdahlJob("stubborn", 100.0, 1.0)
+        with pytest.raises(ValueError):
+            round_jobs_to_types([stubborn], 64, 110.0, delta=0.1)
+
+    def test_narrow_small_profits_dropped_to_zero(self):
+        instance, d, big = _prepare(60, 64, seed=9)
+        delta = 0.2
+        scheme = round_jobs_to_types(big, 64, d, delta=delta)
+        for rj in scheme.rounded:
+            if rj.type_key[0] == "narrow" and rj.profit > 0.0:
+                assert rj.profit >= delta / 2.0 * d * (1 - 1e-9)

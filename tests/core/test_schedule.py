@@ -1,0 +1,137 @@
+"""Tests for Schedule / ScheduledJob with machine spans."""
+
+import pytest
+
+from repro.core.job import TabulatedJob
+from repro.core.schedule import Schedule, ScheduledJob
+
+
+def make_job(name="j", times=(10.0, 6.0, 4.0, 3.0)):
+    return TabulatedJob(name, list(times))
+
+
+class TestScheduledJob:
+    def test_processors_and_duration(self):
+        job = make_job()
+        entry = ScheduledJob(job=job, start=0.0, spans=((0, 2),))
+        assert entry.processors == 2
+        assert entry.duration == pytest.approx(6.0)
+        assert entry.end == pytest.approx(6.0)
+        assert entry.work == pytest.approx(12.0)
+
+    def test_multi_span(self):
+        job = make_job()
+        entry = ScheduledJob(job=job, start=1.0, spans=((0, 1), (5, 2)))
+        assert entry.processors == 3
+        assert entry.duration == pytest.approx(4.0)
+        assert list(entry.machines()) == [0, 5, 6]
+
+    def test_span_merging(self):
+        job = make_job()
+        entry = ScheduledJob(job=job, start=0.0, spans=((0, 2), (2, 2)))
+        assert entry.spans == ((0, 4),)
+        assert entry.processors == 4
+
+    def test_overlapping_spans_merge(self):
+        job = make_job()
+        entry = ScheduledJob(job=job, start=0.0, spans=((0, 3), (2, 2)))
+        assert entry.spans == ((0, 4),)
+
+    def test_duration_override(self):
+        job = make_job()
+        entry = ScheduledJob(job=job, start=0.0, spans=((0, 1),), duration_override=12.0)
+        assert entry.duration == pytest.approx(12.0)
+
+    def test_uses_machine(self):
+        job = make_job()
+        entry = ScheduledJob(job=job, start=0.0, spans=((3, 2),))
+        assert entry.uses_machine(3)
+        assert entry.uses_machine(4)
+        assert not entry.uses_machine(5)
+
+    def test_invalid_spans(self):
+        job = make_job()
+        with pytest.raises(ValueError):
+            ScheduledJob(job=job, start=0.0, spans=((0, 0),))
+        with pytest.raises(ValueError):
+            ScheduledJob(job=job, start=0.0, spans=((-1, 2),))
+        with pytest.raises(ValueError):
+            ScheduledJob(job=job, start=0.0, spans=())
+
+    def test_negative_start(self):
+        job = make_job()
+        with pytest.raises(ValueError):
+            ScheduledJob(job=job, start=-1.0, spans=((0, 1),))
+
+
+class TestSchedule:
+    def test_makespan(self):
+        a, b = make_job("a"), make_job("b")
+        schedule = Schedule(m=4)
+        schedule.add(a, 0.0, [(0, 1)])
+        schedule.add(b, 10.0, [(1, 2)])
+        assert schedule.makespan == pytest.approx(16.0)
+
+    def test_empty_schedule(self):
+        schedule = Schedule(m=3)
+        assert schedule.makespan == 0.0
+        assert schedule.total_work == 0.0
+        assert schedule.peak_processor_usage() == 0
+        assert len(schedule) == 0
+
+    def test_peak_processor_usage(self):
+        a, b, c = make_job("a"), make_job("b"), make_job("c")
+        schedule = Schedule(m=10)
+        schedule.add(a, 0.0, [(0, 3)])    # [0, 4)
+        schedule.add(b, 0.0, [(3, 4)])    # [0, 3)
+        schedule.add(c, 5.0, [(0, 2)])    # [5, 11)
+        assert schedule.peak_processor_usage() == 7
+
+    def test_peak_with_touching_intervals(self):
+        """A job starting exactly when another ends should not double-count."""
+        a, b = make_job("a", (5.0,)), make_job("b", (5.0,))
+        schedule = Schedule(m=1)
+        schedule.add(a, 0.0, [(0, 1)])
+        schedule.add(b, 5.0, [(0, 1)])
+        assert schedule.peak_processor_usage() == 1
+
+    def test_average_utilization(self):
+        a = make_job("a", (10.0,))
+        schedule = Schedule(m=2)
+        schedule.add(a, 0.0, [(0, 1)])
+        assert schedule.average_utilization() == pytest.approx(0.5)
+
+    def test_entry_for(self):
+        a, b = make_job("a"), make_job("b")
+        schedule = Schedule(m=2)
+        schedule.add(a, 0.0, [(0, 1)])
+        assert schedule.entry_for(a).job is a
+        with pytest.raises(KeyError):
+            schedule.entry_for(b)
+
+    def test_jobs_and_iteration(self):
+        a, b = make_job("a"), make_job("b")
+        schedule = Schedule(m=2)
+        schedule.add(a, 0.0, [(0, 1)])
+        schedule.add(b, 0.0, [(1, 1)])
+        assert schedule.jobs() == [a, b]
+        assert len(list(schedule)) == 2
+
+    def test_sorted_by_start(self):
+        a, b = make_job("a"), make_job("b")
+        schedule = Schedule(m=2)
+        schedule.add(a, 5.0, [(0, 1)])
+        schedule.add(b, 1.0, [(1, 1)])
+        assert [e.job for e in schedule.sorted_by_start()] == [b, a]
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            Schedule(m=0)
+
+    def test_huge_machine_counts_supported(self):
+        """Spans keep schedules cheap even with 10^9 machines."""
+        job = make_job("wide", (1000.0, *[1000.0 / k for k in range(2, 10)]))
+        schedule = Schedule(m=10 ** 9)
+        entry = schedule.add(job, 0.0, [(0, 10 ** 8)])
+        assert entry.processors == 10 ** 8
+        assert schedule.peak_processor_usage() == 10 ** 8

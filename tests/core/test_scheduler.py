@@ -1,0 +1,83 @@
+"""Tests for the top-level schedule_moldable facade."""
+
+import pytest
+
+from repro.core.scheduler import ALGORITHMS, schedule_moldable
+from repro.core.validation import assert_valid_schedule
+from repro.workloads.generators import random_amdahl_instance, random_mixed_instance, random_monotone_tabulated_instance
+
+
+class TestFacade:
+    def test_empty_instance(self):
+        result = schedule_moldable([], 8)
+        assert result.makespan == 0.0
+        assert result.guarantee is None
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            schedule_moldable([], 0)
+
+    def test_unknown_algorithm(self):
+        instance = random_mixed_instance(5, 4, seed=0)
+        with pytest.raises(ValueError):
+            schedule_moldable(instance.jobs, 4, algorithm="quantum")
+
+    @pytest.mark.parametrize("algorithm", ["two_approx", "mrt", "compressible", "bounded", "bounded_linear"])
+    def test_all_algorithms_produce_valid_schedules(self, algorithm, small_mixed_instance):
+        instance = small_mixed_instance
+        result = schedule_moldable(instance.jobs, instance.m, 0.25, algorithm=algorithm)
+        assert_valid_schedule(result.schedule, instance.jobs)
+        assert result.algorithm == algorithm
+        assert result.lower_bound > 0
+        assert result.makespan >= result.lower_bound * (1 - 1e-9)
+
+    def test_auto_prefers_fptas_for_large_m(self):
+        instance = random_amdahl_instance(10, 10 ** 6, seed=1)
+        result = schedule_moldable(instance.jobs, instance.m, 0.1, algorithm="auto")
+        assert result.algorithm == "fptas"
+        assert result.guarantee == pytest.approx(1.1)
+
+    def test_auto_prefers_bounded_for_small_m(self):
+        instance = random_mixed_instance(30, 16, seed=2)
+        result = schedule_moldable(instance.jobs, instance.m, 0.2, algorithm="auto")
+        assert result.algorithm == "bounded"
+        assert result.guarantee == pytest.approx(1.7)
+
+    def test_fptas_requires_threshold(self):
+        instance = random_mixed_instance(30, 16, seed=3)
+        with pytest.raises(ValueError):
+            schedule_moldable(instance.jobs, 16, 0.1, algorithm="fptas")
+
+    def test_exact_algorithm(self):
+        instance = random_monotone_tabulated_instance(4, 4, seed=4)
+        result = schedule_moldable(instance.jobs, 4, algorithm="exact")
+        assert result.guarantee == 1.0
+        assert_valid_schedule(result.schedule, instance.jobs)
+
+    def test_exact_rejects_large_instances(self):
+        instance = random_mixed_instance(30, 16, seed=5)
+        with pytest.raises(ValueError):
+            schedule_moldable(instance.jobs, 16, algorithm="exact")
+
+    def test_ptas_algorithm(self):
+        instance = random_amdahl_instance(8, 10 ** 5, seed=6)
+        result = schedule_moldable(instance.jobs, instance.m, 0.2, algorithm="ptas")
+        assert_valid_schedule(result.schedule, instance.jobs)
+
+    def test_certified_ratio_consistency(self):
+        instance = random_mixed_instance(25, 32, seed=7)
+        result = schedule_moldable(instance.jobs, 32, 0.2, algorithm="bounded")
+        assert result.certified_ratio == pytest.approx(result.makespan / result.lower_bound)
+
+    def test_algorithm_list_is_stable(self):
+        assert "auto" in ALGORITHMS
+        assert set(ALGORITHMS) >= {"two_approx", "mrt", "compressible", "bounded", "fptas", "ptas", "exact"}
+
+    def test_guarantees_hold_against_lower_bound_times_slack(self):
+        """All algorithms stay within guarantee * (OPT/LB slack) on random instances."""
+        instance = random_mixed_instance(40, 48, seed=8)
+        for algorithm in ("two_approx", "mrt", "compressible", "bounded", "bounded_linear"):
+            result = schedule_moldable(instance.jobs, 48, 0.2, algorithm=algorithm)
+            assert result.guarantee is not None
+            # the lower bound may be below OPT, so allow a generous 30% slack
+            assert result.makespan <= result.guarantee * result.lower_bound * 1.3

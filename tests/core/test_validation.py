@@ -1,0 +1,156 @@
+"""Tests for schedule validation and job monotony checks."""
+
+import pytest
+
+from repro.core.job import RigidJob, TabulatedJob
+from repro.core.schedule import Schedule
+from repro.core.validation import (
+    ValidationError,
+    assert_valid_schedule,
+    check_monotone_job,
+    is_monotone_work,
+    is_nonincreasing_time,
+    validate_schedule,
+)
+
+
+def make_job(name="j", times=(10.0, 6.0, 4.0)):
+    return TabulatedJob(name, list(times))
+
+
+class TestValidateSchedule:
+    def test_valid_schedule_passes(self):
+        a, b = make_job("a"), make_job("b")
+        schedule = Schedule(m=3)
+        schedule.add(a, 0.0, [(0, 2)])
+        schedule.add(b, 0.0, [(2, 1)])
+        report = validate_schedule(schedule, [a, b])
+        assert report.ok
+        assert report.violations == []
+
+    def test_machine_conflict_detected(self):
+        a, b = make_job("a"), make_job("b")
+        schedule = Schedule(m=3)
+        schedule.add(a, 0.0, [(0, 2)])
+        schedule.add(b, 1.0, [(1, 1)])  # overlaps machine 1 while a still runs
+        report = validate_schedule(schedule, [a, b])
+        assert not report.ok
+        assert any("conflict" in v for v in report.violations)
+
+    def test_sequential_use_of_same_machine_ok(self):
+        a, b = make_job("a", (5.0,)), make_job("b", (5.0,))
+        schedule = Schedule(m=1)
+        schedule.add(a, 0.0, [(0, 1)])
+        schedule.add(b, 5.0, [(0, 1)])
+        assert validate_schedule(schedule, [a, b]).ok
+
+    def test_missing_job_detected(self):
+        a, b = make_job("a"), make_job("b")
+        schedule = Schedule(m=2)
+        schedule.add(a, 0.0, [(0, 1)])
+        report = validate_schedule(schedule, [a, b])
+        assert not report.ok
+        assert any("missing" in v for v in report.violations)
+
+    def test_duplicate_job_detected(self):
+        a = make_job("a")
+        schedule = Schedule(m=2)
+        schedule.add(a, 0.0, [(0, 1)])
+        schedule.add(a, 20.0, [(0, 1)])
+        report = validate_schedule(schedule, [a])
+        assert not report.ok
+        assert any("scheduled 2 times" in v for v in report.violations)
+
+    def test_foreign_job_detected(self):
+        a, b = make_job("a"), make_job("b")
+        schedule = Schedule(m=2)
+        schedule.add(a, 0.0, [(0, 1)])
+        schedule.add(b, 0.0, [(1, 1)])
+        report = validate_schedule(schedule, [a])
+        assert not report.ok
+        assert any("not part of the instance" in v for v in report.violations)
+
+    def test_span_out_of_range_detected(self):
+        a = make_job("a")
+        schedule = Schedule(m=2)
+        schedule.add(a, 0.0, [(1, 2)])  # machines 1,2 but m=2 -> machine 2 invalid
+        report = validate_schedule(schedule, [a])
+        assert not report.ok
+        assert any("exceeds machine count" in v for v in report.violations)
+
+    def test_understated_duration_detected(self):
+        a = make_job("a")
+        schedule = Schedule(m=2)
+        schedule.add(a, 0.0, [(0, 1)], duration_override=1.0)  # true time is 10
+        report = validate_schedule(schedule, [a])
+        assert not report.ok
+        assert any("understates" in v for v in report.violations)
+
+    def test_overstated_duration_allowed(self):
+        a = make_job("a")
+        schedule = Schedule(m=2)
+        schedule.add(a, 0.0, [(0, 1)], duration_override=50.0)
+        assert validate_schedule(schedule, [a]).ok
+
+    def test_makespan_bound(self):
+        a = make_job("a")
+        schedule = Schedule(m=1)
+        schedule.add(a, 0.0, [(0, 1)])
+        assert validate_schedule(schedule, [a], max_makespan=10.0).ok
+        assert not validate_schedule(schedule, [a], max_makespan=9.0).ok
+
+    def test_assert_valid_raises(self):
+        a = make_job("a")
+        schedule = Schedule(m=1)
+        with pytest.raises(ValidationError):
+            assert_valid_schedule(schedule, [a])
+
+    def test_report_metrics(self):
+        a = make_job("a")
+        schedule = Schedule(m=4)
+        schedule.add(a, 0.0, [(0, 3)])
+        report = validate_schedule(schedule, [a])
+        assert report.makespan == pytest.approx(4.0)
+        assert report.peak_processors == 3
+
+    def test_conflict_on_huge_machine_counts(self):
+        """Conflict detection works span-wise, not per machine."""
+        a, b = make_job("a"), make_job("b")
+        schedule = Schedule(m=10 ** 9)
+        schedule.add(a, 0.0, [(0, 10 ** 8)])
+        schedule.add(b, 1.0, [(10 ** 7, 10 ** 8)])
+        report = validate_schedule(schedule, [a, b])
+        assert not report.ok
+
+    def test_disjoint_spans_no_conflict(self):
+        a, b = make_job("a"), make_job("b")
+        schedule = Schedule(m=10 ** 9)
+        schedule.add(a, 0.0, [(0, 10 ** 8)])
+        schedule.add(b, 0.0, [(2 * 10 ** 8, 10 ** 8)])
+        assert validate_schedule(schedule, [a, b]).ok
+
+
+class TestMonotonyChecks:
+    def test_monotone_job_passes(self):
+        job = TabulatedJob("good", [10.0, 6.0, 4.5, 4.0])
+        assert is_nonincreasing_time(job, 4)
+        assert is_monotone_work(job, 4)
+        check_monotone_job(job, 4)
+
+    def test_increasing_time_detected(self):
+        job = TabulatedJob("bad", [10.0, 11.0])
+        assert not is_nonincreasing_time(job, 2)
+        with pytest.raises(ValueError):
+            check_monotone_job(job, 2)
+
+    def test_decreasing_work_detected(self):
+        # t(2) = 4 -> work 8 < work(1) = 10: super-linear speedup, not monotone
+        job = TabulatedJob("bad", [10.0, 4.0])
+        assert is_nonincreasing_time(job, 2)
+        assert not is_monotone_work(job, 2)
+        with pytest.raises(ValueError):
+            check_monotone_job(job, 2)
+
+    def test_rigid_job_not_monotone(self):
+        job = RigidJob("r", duration=3.0, size=3)
+        assert not is_monotone_work(job, 6)

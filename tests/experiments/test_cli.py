@@ -1,0 +1,27 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_experiment_registry(self):
+        for name in ("table1", "fig1", "fig2-fig3", "fig4", "fptas", "quality", "crossover"):
+            assert name in EXPERIMENTS
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_help(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        assert "Reproduce" in capsys.readouterr().out
+
+    def test_fig4_runs_end_to_end(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "True" in out

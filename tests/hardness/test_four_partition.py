@@ -1,0 +1,106 @@
+"""Tests for 4-Partition instances, generators and the exact solver."""
+
+import pytest
+
+from repro.hardness.four_partition import (
+    FourPartitionInstance,
+    random_no_instance,
+    random_yes_instance,
+    solve_four_partition,
+    verify_four_partition_solution,
+)
+
+
+class TestInstance:
+    def test_basic_properties(self):
+        inst = FourPartitionInstance((5, 5, 5, 5, 6, 6, 4, 4), 20)
+        assert inst.groups == 2
+        assert inst.is_balanced
+
+    def test_multiple_of_four_required(self):
+        with pytest.raises(ValueError):
+            FourPartitionInstance((1, 2, 3), 6)
+
+    def test_positive_numbers_required(self):
+        with pytest.raises(ValueError):
+            FourPartitionInstance((1, 2, 3, 0), 6)
+
+    def test_strictness_check(self):
+        # all numbers strictly between B/5=4 and B/3=6.67 -> strict
+        strict = FourPartitionInstance((5, 5, 5, 5), 20)
+        assert strict.is_strict
+        loose = FourPartitionInstance((10, 4, 3, 3), 20)
+        assert not loose.is_strict
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("groups", [1, 2, 3, 5])
+    def test_yes_instances_are_balanced_and_strict(self, groups):
+        inst = random_yes_instance(groups, seed=groups)
+        assert inst.groups == groups
+        assert inst.is_balanced
+        assert inst.is_strict
+
+    def test_yes_instances_solvable(self):
+        inst = random_yes_instance(4, seed=1)
+        solution = solve_four_partition(inst)
+        assert solution is not None
+        assert verify_four_partition_solution(inst, solution)
+
+    @pytest.mark.parametrize("groups", [2, 3, 4])
+    def test_no_instances_unsolvable(self, groups):
+        inst = random_no_instance(groups, seed=groups)
+        assert solve_four_partition(inst) is None
+
+    def test_generator_determinism(self):
+        a = random_yes_instance(3, seed=7)
+        b = random_yes_instance(3, seed=7)
+        assert a.numbers == b.numbers
+
+    def test_invalid_groups(self):
+        with pytest.raises(ValueError):
+            random_yes_instance(0)
+
+
+class TestSolver:
+    def test_tiny_yes_instance(self):
+        inst = FourPartitionInstance((5, 5, 5, 5), 20)
+        solution = solve_four_partition(inst)
+        assert solution == [(0, 1, 2, 3)]
+
+    def test_tiny_no_instance(self):
+        inst = FourPartitionInstance((5, 5, 5, 6), 20)
+        assert solve_four_partition(inst) is None
+
+    def test_two_group_instance(self):
+        inst = FourPartitionInstance((6, 6, 4, 4, 5, 5, 5, 5), 20)
+        solution = solve_four_partition(inst)
+        assert solution is not None
+        assert verify_four_partition_solution(inst, solution)
+
+    def test_unbalanced_shortcut(self):
+        inst = FourPartitionInstance((1, 2, 3, 4), 100)
+        assert solve_four_partition(inst) is None
+
+    def test_size_limit(self):
+        inst = random_yes_instance(10, seed=3)
+        with pytest.raises(ValueError):
+            solve_four_partition(inst, max_items=16)
+
+
+class TestVerifier:
+    def test_valid_solution(self):
+        inst = FourPartitionInstance((6, 6, 4, 4, 5, 5, 5, 5), 20)
+        assert verify_four_partition_solution(inst, [(0, 1, 2, 3), (4, 5, 6, 7)])
+
+    def test_wrong_sum_rejected(self):
+        inst = FourPartitionInstance((6, 6, 4, 4, 5, 5, 5, 5), 20)
+        assert not verify_four_partition_solution(inst, [(0, 1, 2, 4), (3, 5, 6, 7)])
+
+    def test_wrong_group_size_rejected(self):
+        inst = FourPartitionInstance((5, 5, 5, 5), 20)
+        assert not verify_four_partition_solution(inst, [(0, 1, 2)])
+
+    def test_missing_index_rejected(self):
+        inst = FourPartitionInstance((6, 6, 4, 4, 5, 5, 5, 5), 20)
+        assert not verify_four_partition_solution(inst, [(0, 1, 2, 3)])

@@ -1,0 +1,123 @@
+"""Tests for the Theorem 1 reduction (4-Partition -> scheduling)."""
+
+import pytest
+
+from repro.core.bounds import trivial_lower_bound
+from repro.core.validation import (
+    assert_valid_schedule,
+    is_monotone_work,
+    is_nonincreasing_time,
+)
+from repro.hardness.four_partition import FourPartitionInstance, random_yes_instance, solve_four_partition
+from repro.hardness.reduction import (
+    ReductionJob,
+    partition_from_schedule,
+    reduce_to_scheduling,
+    schedule_from_partition,
+    verify_reduction,
+)
+
+
+class TestReductionJob:
+    def test_processing_time_formula(self):
+        job = ReductionJob(0, a=10, m_machines=4)
+        assert job.processing_time(1) == pytest.approx(40.0)
+        assert job.processing_time(3) == pytest.approx(38.0)
+
+    def test_strict_monotony(self):
+        """Eq. (1): the jobs are strictly monotone (for a >= 2)."""
+        job = ReductionJob(0, a=5, m_machines=6)
+        assert is_nonincreasing_time(job, 6)
+        assert is_monotone_work(job, 6)
+        works = [job.work(k) for k in range(1, 7)]
+        assert all(b > a for a, b in zip(works, works[1:]))
+
+    def test_invalid_a(self):
+        with pytest.raises(ValueError):
+            ReductionJob(0, a=0, m_machines=3)
+
+
+class TestReduceToScheduling:
+    def test_structure(self):
+        inst = random_yes_instance(3, seed=0)
+        reduced = reduce_to_scheduling(inst)
+        assert reduced.m == 3
+        assert len(reduced.jobs) == 12
+        assert reduced.target_makespan == pytest.approx(reduced.m * inst.bound * reduced.scaling)
+
+    def test_scaling_applied_when_numbers_small(self):
+        inst = FourPartitionInstance((1, 1, 1, 1), 4)
+        reduced = reduce_to_scheduling(inst)
+        assert reduced.scaling == 2
+        assert reduced.jobs[0].a == 2
+
+    def test_jobs_are_monotone(self):
+        inst = random_yes_instance(2, seed=1)
+        reduced = reduce_to_scheduling(inst)
+        for job in reduced.jobs:
+            assert is_nonincreasing_time(job, reduced.m)
+            assert is_monotone_work(job, reduced.m)
+
+    def test_target_equals_work_lower_bound(self):
+        """The reduction is tight: the area bound equals the target makespan
+        exactly for balanced instances."""
+        inst = random_yes_instance(4, seed=2)
+        reduced = reduce_to_scheduling(inst)
+        assert trivial_lower_bound(reduced.jobs, reduced.m) == pytest.approx(reduced.target_makespan)
+
+
+class TestScheduleFromPartition:
+    def test_yes_instance_round_trip(self):
+        inst = random_yes_instance(4, seed=3)
+        reduced = reduce_to_scheduling(inst)
+        solution = solve_four_partition(inst)
+        assert solution is not None
+        schedule = schedule_from_partition(reduced, solution)
+        assert_valid_schedule(schedule, reduced.jobs, max_makespan=reduced.target_makespan)
+        assert schedule.makespan == pytest.approx(reduced.target_makespan)
+        # every machine holds exactly four unit-processor jobs
+        by_machine = {}
+        for entry in schedule.entries:
+            assert entry.processors == 1
+            by_machine.setdefault(entry.spans[0][0], []).append(entry)
+        assert all(len(v) == 4 for v in by_machine.values())
+
+    def test_round_trip_back_to_partition(self):
+        inst = random_yes_instance(3, seed=4)
+        reduced = reduce_to_scheduling(inst)
+        solution = solve_four_partition(inst)
+        schedule = schedule_from_partition(reduced, solution)
+        back = partition_from_schedule(reduced, schedule)
+        from repro.hardness.four_partition import verify_four_partition_solution
+
+        assert verify_four_partition_solution(inst, back)
+
+    def test_invalid_partition_rejected(self):
+        inst = random_yes_instance(2, seed=5)
+        reduced = reduce_to_scheduling(inst)
+        bad_groups = [(0, 1, 2, 3), (4, 5, 6, 7)]
+        # the planted instance is shuffled, so this fixed grouping is almost
+        # surely wrong; if it happens to be right, skip.
+        from repro.hardness.four_partition import verify_four_partition_solution
+
+        if verify_four_partition_solution(inst, bad_groups):
+            pytest.skip("fixed grouping happened to be a valid partition")
+        with pytest.raises(ValueError):
+            schedule_from_partition(reduced, bad_groups)
+
+
+class TestVerifyReduction:
+    def test_yes_instance_report(self):
+        inst = random_yes_instance(3, seed=6)
+        report = verify_reduction(inst)
+        assert report["is_yes"] is True
+        assert report["schedulable"] is True
+        assert report["roundtrip_ok"] is True
+
+    def test_no_instance_report(self):
+        from repro.hardness.four_partition import random_no_instance
+
+        inst = random_no_instance(3, seed=7)
+        report = verify_reduction(inst)
+        assert report["is_yes"] is False
+        assert report["schedulable"] is False

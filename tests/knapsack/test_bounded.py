@@ -1,0 +1,115 @@
+"""Tests for the bounded-knapsack conversion."""
+
+import numpy as np
+import pytest
+
+from repro.knapsack.bounded import assign_members, binary_split, expand_bounded_items, selected_counts
+from repro.knapsack.dp import solve_knapsack
+from repro.knapsack.items import ItemType, KnapsackItem
+
+
+class TestBinarySplit:
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 5, 7, 8, 13, 100, 1023])
+    def test_parts_sum_to_count(self, count):
+        parts = binary_split(count)
+        assert sum(parts) == count
+
+    @pytest.mark.parametrize("count", [1, 5, 17, 100, 1000])
+    def test_every_value_expressible(self, count):
+        parts = binary_split(count)
+        reachable = {0}
+        for p in parts:
+            reachable |= {r + p for r in reachable}
+        assert set(range(count + 1)) <= reachable
+
+    def test_logarithmic_size(self):
+        assert len(binary_split(1023)) <= 11
+        assert len(binary_split(10 ** 6)) <= 21
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            binary_split(0)
+
+
+class TestExpandAndAssign:
+    def make_types(self):
+        return [
+            ItemType(key="t1", size=3, profit=5.0, count=5, members=[f"a{i}" for i in range(5)]),
+            ItemType(key="t2", size=7, profit=11.0, count=2, members=["b0", "b1"]),
+        ]
+
+    def test_expand_counts(self):
+        containers = expand_bounded_items(self.make_types())
+        # t1 -> 1+2+2 (3 containers), t2 -> 1+1 (2 containers)
+        assert len(containers) == 5
+        assert sum(c.payload[1] for c in containers if c.payload[0] == "t1") == 5
+
+    def test_container_sizes_and_profits_scale(self):
+        containers = expand_bounded_items(self.make_types())
+        for c in containers:
+            type_key, mult = c.payload
+            base = 3 if type_key == "t1" else 7
+            base_profit = 5.0 if type_key == "t1" else 11.0
+            assert c.size == base * mult
+            assert c.profit == pytest.approx(base_profit * mult)
+
+    def test_selected_counts(self):
+        containers = expand_bounded_items(self.make_types())
+        chosen = [c for c in containers if c.payload[0] == "t1"][:2]
+        counts = selected_counts(chosen)
+        assert counts == {"t1": chosen[0].payload[1] + chosen[1].payload[1]}
+
+    def test_assign_members(self):
+        types = self.make_types()
+        members = assign_members({"t1": 3, "t2": 1}, types)
+        assert members == ["a0", "a1", "a2", "b0"]
+
+    def test_assign_too_many_raises(self):
+        types = self.make_types()
+        with pytest.raises(ValueError):
+            assign_members({"t2": 3}, types)
+
+    def test_assign_without_members_raises(self):
+        types = [ItemType(key="t", size=1, profit=1.0, count=2)]
+        with pytest.raises(ValueError):
+            assign_members({"t": 1}, types)
+
+
+class TestBoundedViaContainersOptimality:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_exhaustive_bounded_optimum(self, seed):
+        """Solving the container expansion with the exact 0/1 solver matches a
+        brute-force bounded knapsack optimum."""
+        rng = np.random.default_rng(seed)
+        types = []
+        for t in range(4):
+            count = int(rng.integers(1, 4))
+            types.append(
+                ItemType(
+                    key=f"t{t}",
+                    size=int(rng.integers(1, 6)),
+                    profit=float(rng.integers(1, 20)),
+                    count=count,
+                    members=list(range(count)),
+                )
+            )
+        capacity = int(rng.integers(5, 25))
+
+        containers = expand_bounded_items(types)
+        profit, chosen = solve_knapsack(containers, capacity)
+
+        # brute force over copy counts
+        best = 0.0
+        import itertools
+
+        ranges = [range(t.count + 1) for t in types]
+        for counts in itertools.product(*ranges):
+            size = sum(c * t.size for c, t in zip(counts, types))
+            if size <= capacity:
+                best = max(best, sum(c * t.profit for c, t in zip(counts, types)))
+        assert profit == pytest.approx(best)
+
+        # and the chosen containers map back to a consistent member selection
+        counts = selected_counts(chosen)
+        members = assign_members(counts, types)
+        assert len(members) == sum(counts.values())

@@ -1,0 +1,212 @@
+"""Tests for geometric rounding, adaptive normalisation and Algorithm 2."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.knapsack.compressible import (
+    AdaptiveNormalizer,
+    CompressibleSolution,
+    geom,
+    round_down_geom,
+    round_up_geom,
+    solve_compressible_knapsack,
+    solve_compressible_multi,
+)
+from repro.knapsack.dp import solve_knapsack
+from repro.knapsack.items import KnapsackItem
+
+
+class TestGeom:
+    def test_basic(self):
+        grid = geom(1.0, 8.0, 2.0)
+        assert grid == [1.0, 2.0, 4.0, 8.0]
+
+    def test_covers_range(self):
+        grid = geom(3.0, 1000.0, 1.3)
+        assert grid[0] == 3.0
+        assert grid[-1] >= 1000.0 * (1 - 1e-12)
+
+    def test_degenerate(self):
+        assert geom(5.0, 5.0, 2.0) == [5.0]
+        assert geom(5.0, 1.0, 2.0) == [5.0]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            geom(0.0, 10.0, 2.0)
+        with pytest.raises(ValueError):
+            geom(1.0, 10.0, 1.0)
+
+    def test_lemma14_cardinality(self):
+        """|geom(L, U, x)| = O(log(U/L) / (x-1)) — checked with the constant 2."""
+        for ratio in (1.05, 1.1, 1.5, 2.0):
+            for low, high in ((1.0, 100.0), (5.0, 1e6), (2.0, 1e9)):
+                grid = geom(low, high, ratio)
+                bound = 2.0 * math.log(high / low) / (ratio - 1.0) + 2
+                assert len(grid) <= bound
+
+
+class TestGeometricRounding:
+    def test_round_down(self):
+        assert round_down_geom(5.0, 1.0, 16.0, 2.0) == pytest.approx(4.0)
+        assert round_down_geom(4.0, 1.0, 16.0, 2.0) == pytest.approx(4.0)
+
+    def test_round_down_below_grid_raises(self):
+        with pytest.raises(ValueError):
+            round_down_geom(0.5, 1.0, 16.0, 2.0)
+
+    def test_round_up(self):
+        assert round_up_geom(5.0, 1.0, 16.0, 2.0) == pytest.approx(8.0)
+        assert round_up_geom(8.0, 1.0, 16.0, 2.0) == pytest.approx(8.0)
+
+    def test_round_up_clamps_to_max(self):
+        assert round_up_geom(40.0, 1.0, 16.0, 2.0) == pytest.approx(16.0)
+
+    def test_round_down_error_bounded_by_ratio(self):
+        for value in (3.7, 12.4, 999.0):
+            rounded = round_down_geom(value, 1.0, 1e6, 1.25)
+            assert rounded <= value <= rounded * 1.25 * (1 + 1e-12)
+
+
+class TestAdaptiveNormalizer:
+    def test_normalize_never_increases(self):
+        caps = geom(10.0, 1000.0, 1.25)
+        norm = AdaptiveNormalizer(caps, alpha_min=10.0, rho=0.1, n_bar=20)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            s = float(rng.uniform(1.0, 1200.0))
+            assert norm.normalize(s) <= s + 1e-12
+
+    def test_small_sizes_unchanged(self):
+        caps = [100.0, 200.0]
+        norm = AdaptiveNormalizer(caps, alpha_min=50.0, rho=0.1, n_bar=5)
+        assert norm.normalize(10.0) == 10.0
+
+    def test_underestimate_bounded(self):
+        """The rounding error of a single value is at most the interval unit."""
+        caps = geom(10.0, 10000.0, 1.2)
+        norm = AdaptiveNormalizer(caps, alpha_min=10.0, rho=0.15, n_bar=30)
+        rng = np.random.default_rng(1)
+        for _ in range(300):
+            s = float(rng.uniform(10.0, 10000.0))
+            err = s - norm.normalize(s)
+            assert err <= norm.max_underestimate(s) / norm.n_bar + 1e-9 or err <= max(
+                info.unit for info in norm.intervals
+            ) + 1e-9
+
+    def test_eq16_cell_counts(self):
+        caps = geom(10.0, 100000.0, 1.0 / 0.9)
+        norm = AdaptiveNormalizer(caps, alpha_min=10.0, rho=0.1, n_bar=25)
+        for count in norm.subinterval_counts():
+            assert count <= (1 - 0.1) * 25 + 2
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            AdaptiveNormalizer([], 1.0, 0.1, 5)
+        with pytest.raises(ValueError):
+            AdaptiveNormalizer([10.0], 1.0, 0.0, 5)
+        with pytest.raises(ValueError):
+            AdaptiveNormalizer([10.0], 1.0, 0.1, 0)
+        with pytest.raises(ValueError):
+            AdaptiveNormalizer([10.0], 0.0, 0.1, 5)
+
+
+def random_scheduling_like_items(rng, n, wide_fraction=0.4, max_wide=200, rho=0.1):
+    """Items shaped like the scheduling application: compressible items are
+    wide (size >= 1/rho), incompressible ones narrow."""
+    items = []
+    compressible = set()
+    threshold = 1.0 / rho
+    for i in range(n):
+        if rng.uniform() < wide_fraction:
+            size = int(rng.integers(int(threshold), max_wide))
+            compressible.add(i)
+        else:
+            size = int(rng.integers(1, int(threshold)))
+        items.append(KnapsackItem(key=i, size=size, profit=float(rng.uniform(1, 100))))
+    return items, compressible
+
+
+class TestSolveCompressibleMulti:
+    def test_profit_at_least_exact_for_each_capacity(self):
+        rng = np.random.default_rng(5)
+        rho = 0.1
+        items, _ = random_scheduling_like_items(rng, 14, wide_fraction=1.0, rho=rho)
+        caps = [40.0, 80.0, 160.0, 320.0]
+        n_bar = 10
+        results = solve_compressible_multi(items, caps, rho, n_bar, alpha_min=1.0 / rho)
+        for cap in caps:
+            exact_profit, _ = solve_knapsack(items, cap)
+            profit, chosen = results[cap]
+            assert profit >= exact_profit - 1e-9
+            # the overshoot must be covered by compressing with 2 rho - rho^2
+            true_size = sum(i.size for i in chosen)
+            assert true_size * (1.0 - (2 * rho - rho ** 2)) <= cap + 1e-6
+
+
+class TestAlgorithm2:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_profit_at_least_uncompressed_optimum(self, seed):
+        rng = np.random.default_rng(seed)
+        rho = 0.1
+        items, compressible = random_scheduling_like_items(rng, 16, rho=rho)
+        capacity = float(rng.integers(100, 600))
+        solution = solve_compressible_knapsack(items, compressible, capacity, rho)
+        exact_profit, _ = solve_knapsack(items, capacity)
+        assert solution.profit >= exact_profit - 1e-9
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_compressed_size_fits_capacity(self, seed):
+        rng = np.random.default_rng(seed + 10)
+        rho = 0.12
+        items, compressible = random_scheduling_like_items(rng, 18, rho=rho)
+        capacity = float(rng.integers(100, 500))
+        solution = solve_compressible_knapsack(items, compressible, capacity, rho)
+        assert solution.compressed_size() <= capacity * (1 + 1e-9)
+
+    def test_incompressible_items_within_their_budget(self):
+        rng = np.random.default_rng(3)
+        rho = 0.1
+        items, compressible = random_scheduling_like_items(rng, 15, rho=rho)
+        capacity = 300.0
+        solution = solve_compressible_knapsack(items, compressible, capacity, rho)
+        incompressible_size = sum(i.size for i in solution.incompressible)
+        assert incompressible_size <= capacity + 1e-9
+
+    def test_no_compressible_items(self):
+        items = [KnapsackItem(key=i, size=i + 1, profit=float(i + 1)) for i in range(8)]
+        solution = solve_compressible_knapsack(items, set(), 12.0, 0.1)
+        exact_profit, _ = solve_knapsack(items, 12.0)
+        assert solution.profit == pytest.approx(exact_profit)
+        assert solution.compressible == []
+
+    def test_all_compressible_items(self):
+        rho = 0.2
+        items = [KnapsackItem(key=i, size=5 + i, profit=10.0 * (i + 1)) for i in range(6)]
+        solution = solve_compressible_knapsack(items, {i.key for i in items}, 20.0, rho)
+        exact_profit, _ = solve_knapsack(items, 20.0)
+        assert solution.profit >= exact_profit - 1e-9
+        assert solution.compressed_size() <= 20.0 + 1e-9
+
+    def test_zero_capacity(self):
+        items = [KnapsackItem(key=0, size=3, profit=5.0)]
+        solution = solve_compressible_knapsack(items, set(), 0.0, 0.1)
+        assert solution.profit == 0.0
+
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError):
+            solve_compressible_knapsack([], set(), 10.0, 0.3)
+        with pytest.raises(ValueError):
+            solve_compressible_knapsack([], set(), 10.0, 0.0)
+
+    def test_solution_items_property(self):
+        solution = CompressibleSolution(
+            profit=5.0,
+            compressible=[KnapsackItem(key=0, size=10, profit=3.0)],
+            incompressible=[KnapsackItem(key=1, size=2, profit=2.0)],
+            alpha_tilde=10.0,
+            rho_prime=0.19,
+        )
+        assert len(solution.items) == 2
+        assert solution.true_size() == 12

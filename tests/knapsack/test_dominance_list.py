@@ -1,0 +1,72 @@
+"""Direct tests of the dominance-list engine internals (Lawler's DP)."""
+
+import pytest
+
+from repro.knapsack.dp import DominanceList, Pair
+from repro.knapsack.items import KnapsackItem
+
+
+class TestPair:
+    def test_backtrack_chain(self):
+        items = [KnapsackItem(key=i, size=i + 1, profit=float(i + 1)) for i in range(3)]
+        root = Pair(0.0, 0.0, None, None)
+        first = Pair(1.0, 1.0, 0, root)
+        second = Pair(4.0, 4.0, 2, first)
+        chosen = second.backtrack(items)
+        assert [i.key for i in chosen] == [0, 2]
+
+    def test_backtrack_empty(self):
+        root = Pair(0.0, 0.0, None, None)
+        assert root.backtrack([]) == []
+
+
+class TestDominanceList:
+    def test_starts_with_empty_state(self):
+        dom = DominanceList()
+        assert len(dom) == 1
+        assert dom.pairs[0].profit == 0.0
+        assert dom.pairs[0].size == 0.0
+
+    def test_add_item_grows_states(self):
+        dom = DominanceList()
+        dom.add_item(KnapsackItem(key="a", size=2, profit=3.0), 0, capacity=10)
+        assert len(dom) == 2
+        assert dom.best_for_capacity(1).profit == 0.0
+        assert dom.best_for_capacity(2).profit == 3.0
+
+    def test_dominated_states_pruned(self):
+        dom = DominanceList()
+        # a small very profitable item dominates a larger less profitable one
+        dom.add_item(KnapsackItem(key="good", size=1, profit=10.0), 0, capacity=10)
+        dom.add_item(KnapsackItem(key="bad", size=5, profit=1.0), 1, capacity=10)
+        sizes = [p.size for p in dom.pairs]
+        profits = [p.profit for p in dom.pairs]
+        # invariant: sizes strictly increasing AND profits strictly increasing
+        assert sizes == sorted(sizes)
+        assert profits == sorted(profits)
+        # the state "bad alone" (size 5, profit 1) must have been pruned
+        assert not any(abs(p.size - 5.0) < 1e-12 and abs(p.profit - 1.0) < 1e-12 for p in dom.pairs)
+
+    def test_capacity_respected(self):
+        dom = DominanceList()
+        dom.add_item(KnapsackItem(key="a", size=8, profit=5.0), 0, capacity=10)
+        dom.add_item(KnapsackItem(key="b", size=7, profit=5.0), 1, capacity=10)
+        # the combined state (size 15) exceeds the capacity and must not exist
+        assert all(p.size <= 10 + 1e-9 for p in dom.pairs)
+
+    def test_best_for_capacity_monotone(self):
+        dom = DominanceList()
+        for i, (size, profit) in enumerate([(2, 3.0), (3, 4.0), (4, 7.0)]):
+            dom.add_item(KnapsackItem(key=i, size=size, profit=profit), i, capacity=9)
+        best = [dom.best_for_capacity(c).profit for c in range(0, 10)]
+        assert best == sorted(best)
+
+    def test_size_transform_applied(self):
+        dom = DominanceList()
+        dom.add_item(
+            KnapsackItem(key="a", size=3.7, profit=1.0),
+            0,
+            capacity=10,
+            size_transform=lambda s: float(int(s)),  # floor to integers
+        )
+        assert any(abs(p.size - 3.0) < 1e-12 for p in dom.pairs)

@@ -1,0 +1,108 @@
+"""Tests for the exact 0/1 knapsack solvers."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.knapsack.dp import solve_knapsack, solve_knapsack_dense
+from repro.knapsack.items import KnapsackItem
+
+
+def brute_force(items, capacity):
+    best = 0.0
+    for r in range(len(items) + 1):
+        for combo in itertools.combinations(items, r):
+            if sum(i.size for i in combo) <= capacity + 1e-12:
+                best = max(best, sum(i.profit for i in combo))
+    return best
+
+
+def random_items(rng, n, max_size=20, max_profit=50, integer_sizes=True):
+    items = []
+    for i in range(n):
+        size = int(rng.integers(1, max_size + 1)) if integer_sizes else float(rng.uniform(0.5, max_size))
+        profit = float(rng.uniform(1, max_profit))
+        items.append(KnapsackItem(key=i, size=size, profit=profit))
+    return items
+
+
+class TestSolveKnapsack:
+    def test_empty(self):
+        profit, chosen = solve_knapsack([], 10)
+        assert profit == 0.0 and chosen == []
+
+    def test_zero_capacity(self):
+        items = [KnapsackItem(key=0, size=1, profit=5.0)]
+        profit, chosen = solve_knapsack(items, 0)
+        assert profit == 0.0 and chosen == []
+
+    def test_single_item_fits(self):
+        items = [KnapsackItem(key=0, size=3, profit=7.0)]
+        profit, chosen = solve_knapsack(items, 5)
+        assert profit == 7.0 and [i.key for i in chosen] == [0]
+
+    def test_single_item_too_large(self):
+        items = [KnapsackItem(key=0, size=6, profit=7.0)]
+        profit, chosen = solve_knapsack(items, 5)
+        assert profit == 0.0 and chosen == []
+
+    def test_classic_example(self):
+        items = [
+            KnapsackItem(key="a", size=10, profit=60.0),
+            KnapsackItem(key="b", size=20, profit=100.0),
+            KnapsackItem(key="c", size=30, profit=120.0),
+        ]
+        profit, chosen = solve_knapsack(items, 50)
+        assert profit == pytest.approx(220.0)
+        assert {i.key for i in chosen} == {"b", "c"}
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            solve_knapsack([], -1)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        items = random_items(rng, 10)
+        capacity = int(rng.integers(10, 60))
+        profit, chosen = solve_knapsack(items, capacity)
+        assert profit == pytest.approx(brute_force(items, capacity))
+        assert sum(i.size for i in chosen) <= capacity
+        assert sum(i.profit for i in chosen) == pytest.approx(profit)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_float_sizes(self, seed):
+        rng = np.random.default_rng(seed + 100)
+        items = random_items(rng, 9, integer_sizes=False)
+        capacity = float(rng.uniform(10, 50))
+        profit, chosen = solve_knapsack(items, capacity)
+        assert profit == pytest.approx(brute_force(items, capacity))
+        assert sum(i.size for i in chosen) <= capacity + 1e-9
+
+
+class TestSolveKnapsackDense:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_pairs_engine(self, seed):
+        rng = np.random.default_rng(seed + 50)
+        items = random_items(rng, 12)
+        capacity = int(rng.integers(10, 80))
+        dense_profit, dense_chosen = solve_knapsack_dense(items, capacity)
+        pairs_profit, _ = solve_knapsack(items, capacity)
+        assert dense_profit == pytest.approx(pairs_profit)
+        assert sum(i.size for i in dense_chosen) <= capacity
+        assert sum(i.profit for i in dense_chosen) == pytest.approx(dense_profit)
+
+    def test_requires_integer_sizes(self):
+        items = [KnapsackItem(key=0, size=1.5, profit=1.0)]
+        with pytest.raises(ValueError):
+            solve_knapsack_dense(items, 10)
+
+    def test_zero_capacity(self):
+        items = [KnapsackItem(key=0, size=1, profit=5.0)]
+        profit, chosen = solve_knapsack_dense(items, 0)
+        assert profit == 0.0 and chosen == []
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            solve_knapsack_dense([], -3)

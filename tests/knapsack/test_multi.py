@@ -1,0 +1,56 @@
+"""Tests for the one-pass multi-capacity knapsack solver."""
+
+import numpy as np
+import pytest
+
+from repro.knapsack.dp import solve_knapsack
+from repro.knapsack.items import KnapsackItem
+from repro.knapsack.multi import solve_knapsack_multi
+
+
+def random_items(rng, n, max_size=15, max_profit=40):
+    return [
+        KnapsackItem(key=i, size=int(rng.integers(1, max_size + 1)), profit=float(rng.uniform(1, max_profit)))
+        for i in range(n)
+    ]
+
+
+class TestSolveKnapsackMulti:
+    def test_empty_capacities(self):
+        assert solve_knapsack_multi([], []) == {}
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            solve_knapsack_multi([], [-1.0])
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_each_capacity_matches_single_solve(self, seed):
+        rng = np.random.default_rng(seed)
+        items = random_items(rng, 12)
+        capacities = sorted({float(rng.integers(0, 60)) for _ in range(6)})
+        results = solve_knapsack_multi(items, capacities)
+        for cap in capacities:
+            single_profit, _ = solve_knapsack(items, cap)
+            multi_profit, chosen = results[cap]
+            assert multi_profit == pytest.approx(single_profit)
+            assert sum(i.size for i in chosen) <= cap + 1e-9
+            assert sum(i.profit for i in chosen) == pytest.approx(multi_profit)
+
+    def test_monotone_in_capacity(self):
+        rng = np.random.default_rng(99)
+        items = random_items(rng, 10)
+        capacities = [5.0, 10.0, 20.0, 40.0, 80.0]
+        results = solve_knapsack_multi(items, capacities)
+        profits = [results[c][0] for c in capacities]
+        assert profits == sorted(profits)
+
+    def test_zero_capacity_gives_empty_solution(self):
+        items = [KnapsackItem(key=0, size=2, profit=9.0)]
+        results = solve_knapsack_multi(items, [0.0, 2.0])
+        assert results[0.0] == (0.0, [])
+        assert results[2.0][0] == pytest.approx(9.0)
+
+    def test_duplicate_capacities(self):
+        items = [KnapsackItem(key=0, size=2, profit=9.0)]
+        results = solve_knapsack_multi(items, [2.0, 2.0])
+        assert results[2.0][0] == pytest.approx(9.0)

@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) for job models and gamma."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.allotment import gamma
+from repro.core.compression import compressed_count, is_compressible, verify_compression_lemma
+from repro.core.job import AmdahlJob, PowerLawJob, TabulatedJob
+from repro.core.validation import is_monotone_work, is_nonincreasing_time
+
+
+# strategy: a valid monotone processing-time table built multiplicatively
+@st.composite
+def monotone_tables(draw, max_len=24):
+    t1 = draw(st.floats(min_value=0.5, max_value=1000.0, allow_nan=False, allow_infinity=False))
+    length = draw(st.integers(min_value=1, max_value=max_len))
+    times = [t1]
+    for k in range(1, length):
+        # t(k+1) in [t(k) * k/(k+1), t(k)] keeps both monotony properties
+        factor = draw(st.floats(min_value=k / (k + 1), max_value=1.0))
+        times.append(times[-1] * factor)
+    return times
+
+
+@st.composite
+def amdahl_jobs(draw):
+    t1 = draw(st.floats(min_value=0.1, max_value=1e4, allow_nan=False, allow_infinity=False))
+    f = draw(st.floats(min_value=0.0, max_value=1.0))
+    return AmdahlJob("a", t1, f)
+
+
+@st.composite
+def power_jobs(draw):
+    t1 = draw(st.floats(min_value=0.1, max_value=1e4, allow_nan=False, allow_infinity=False))
+    alpha = draw(st.floats(min_value=0.0, max_value=1.0))
+    return PowerLawJob("p", t1, alpha)
+
+
+class TestMonotoneTableStrategy:
+    @given(monotone_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_generated_tables_are_monotone(self, times):
+        job = TabulatedJob("t", times)
+        assert is_nonincreasing_time(job, len(times))
+        assert is_monotone_work(job, len(times))
+
+
+class TestGammaProperties:
+    @given(monotone_tables(), st.floats(min_value=0.01, max_value=2000.0))
+    @settings(max_examples=80, deadline=None)
+    def test_gamma_minimality(self, times, threshold):
+        job = TabulatedJob("t", times)
+        m = len(times)
+        g = gamma(job, threshold, m)
+        if g is None:
+            assert job.processing_time(m) > threshold
+        else:
+            assert job.processing_time(g) <= threshold
+            if g > 1:
+                assert job.processing_time(g - 1) > threshold
+
+    @given(amdahl_jobs(), st.floats(min_value=0.5, max_value=1e4), st.integers(min_value=1, max_value=10 ** 9))
+    @settings(max_examples=60, deadline=None)
+    def test_gamma_monotone_in_threshold(self, job, threshold, m):
+        g1 = gamma(job, threshold, m)
+        g2 = gamma(job, threshold * 2, m)
+        if g1 is not None and g2 is not None:
+            assert g2 <= g1
+
+
+class TestAnalyticJobProperties:
+    @given(amdahl_jobs(), st.integers(min_value=1, max_value=512))
+    @settings(max_examples=80, deadline=None)
+    def test_amdahl_monotone_work(self, job, k):
+        assert job.work(k) <= job.work(k + 1) + 1e-9 * job.work(k + 1)
+        assert job.processing_time(k + 1) <= job.processing_time(k) * (1 + 1e-12)
+
+    @given(power_jobs(), st.integers(min_value=1, max_value=512))
+    @settings(max_examples=80, deadline=None)
+    def test_power_law_monotone_work(self, job, k):
+        assert job.work(k) <= job.work(k + 1) + 1e-9 * job.work(k + 1)
+        assert job.processing_time(k + 1) <= job.processing_time(k) * (1 + 1e-12)
+
+    @given(amdahl_jobs(), st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=50, deadline=None)
+    def test_speedup_bounded_by_k(self, job, k):
+        assert job.speedup(k) <= k * (1 + 1e-9)
+
+
+class TestCompressionProperties:
+    @given(
+        st.one_of(amdahl_jobs(), power_jobs()),
+        st.integers(min_value=4, max_value=100_000),
+        st.floats(min_value=0.01, max_value=0.25),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_lemma4_holds_for_monotone_jobs(self, job, b, rho):
+        if not is_compressible(b, rho):
+            return
+        assert verify_compression_lemma(job, b, rho)
+
+    @given(st.integers(min_value=1, max_value=10 ** 6), st.floats(min_value=0.01, max_value=0.25))
+    @settings(max_examples=100, deadline=None)
+    def test_compressed_count_frees_processors(self, b, rho):
+        new = compressed_count(b, rho)
+        assert 1 <= new <= b
+        if is_compressible(b, rho):
+            # at least ceil(b * rho) - 1 processors freed (floor effects)
+            assert b - new >= math.floor(b * rho) - 1

@@ -1,0 +1,134 @@
+"""Property-based tests for the knapsack solvers."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.knapsack.bounded import binary_split
+from repro.knapsack.compressible import geom, round_down_geom, round_up_geom, solve_compressible_knapsack
+from repro.knapsack.dp import solve_knapsack, solve_knapsack_dense
+from repro.knapsack.items import KnapsackItem
+from repro.knapsack.multi import solve_knapsack_multi
+
+
+@st.composite
+def knapsack_instances(draw, max_items=9, max_size=15, max_profit=30):
+    n = draw(st.integers(min_value=0, max_value=max_items))
+    items = []
+    for i in range(n):
+        size = draw(st.integers(min_value=1, max_value=max_size))
+        profit = draw(st.integers(min_value=0, max_value=max_profit))
+        items.append(KnapsackItem(key=i, size=size, profit=float(profit)))
+    capacity = draw(st.integers(min_value=0, max_value=max_items * max_size))
+    return items, capacity
+
+
+def brute_force(items, capacity):
+    best = 0.0
+    for r in range(len(items) + 1):
+        for combo in itertools.combinations(items, r):
+            if sum(i.size for i in combo) <= capacity:
+                best = max(best, sum(i.profit for i in combo))
+    return best
+
+
+class TestExactSolvers:
+    @given(knapsack_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_pairs_engine_is_optimal(self, instance):
+        items, capacity = instance
+        profit, chosen = solve_knapsack(items, capacity)
+        assert abs(profit - brute_force(items, capacity)) < 1e-9
+        assert sum(i.size for i in chosen) <= capacity
+        assert abs(sum(i.profit for i in chosen) - profit) < 1e-9
+
+    @given(knapsack_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_dense_matches_pairs(self, instance):
+        items, capacity = instance
+        dense, _ = solve_knapsack_dense(items, capacity)
+        pairs, _ = solve_knapsack(items, capacity)
+        assert abs(dense - pairs) < 1e-9
+
+    @given(knapsack_instances(), st.lists(st.integers(min_value=0, max_value=120), min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_multi_capacity_consistent(self, instance, capacities):
+        items, _ = instance
+        results = solve_knapsack_multi(items, [float(c) for c in capacities])
+        for cap in capacities:
+            single, _ = solve_knapsack(items, float(cap))
+            assert abs(results[float(cap)][0] - single) < 1e-9
+
+
+class TestGeometricGrids:
+    @given(
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=0.1, max_value=1e6),
+        st.floats(min_value=1.01, max_value=3.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_round_down_within_factor(self, low, high, ratio):
+        if high < low:
+            low, high = high, low
+        value = (low + high) / 2
+        rounded = round_down_geom(value, low, high, ratio)
+        assert rounded <= value * (1 + 1e-12)
+        assert value <= rounded * ratio * (1 + 1e-9)
+
+    @given(
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=0.1, max_value=1e6),
+        st.floats(min_value=1.01, max_value=3.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_round_up_within_factor(self, low, high, ratio):
+        if high < low:
+            low, high = high, low
+        value = (low + high) / 2
+        rounded = round_up_geom(value, low, high, ratio)
+        assert rounded * (1 + 1e-12) >= min(value, max(geom(low, high, ratio)))
+        assert rounded <= value * ratio * (1 + 1e-9)
+
+    @given(st.integers(min_value=1, max_value=10 ** 9))
+    @settings(max_examples=100, deadline=None)
+    def test_binary_split_expresses_all_counts(self, count):
+        parts = binary_split(count)
+        assert sum(parts) == count
+        assert len(parts) <= count.bit_length() + 1
+
+
+@st.composite
+def compressible_instances(draw):
+    rho = draw(st.sampled_from([0.05, 0.1, 0.2, 0.25]))
+    threshold = int(1.0 / rho)
+    n = draw(st.integers(min_value=1, max_value=8))
+    items = []
+    compressible = set()
+    for i in range(n):
+        wide = draw(st.booleans())
+        if wide:
+            size = draw(st.integers(min_value=threshold, max_value=threshold * 6))
+            compressible.add(i)
+        else:
+            size = draw(st.integers(min_value=1, max_value=threshold - 1))
+        profit = float(draw(st.integers(min_value=0, max_value=40)))
+        items.append(KnapsackItem(key=i, size=size, profit=profit))
+    capacity = float(draw(st.integers(min_value=0, max_value=threshold * 12)))
+    return items, compressible, capacity, rho
+
+
+class TestAlgorithm2Properties:
+    @given(compressible_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_profit_dominates_uncompressed_optimum(self, instance):
+        items, compressible, capacity, rho = instance
+        solution = solve_compressible_knapsack(items, compressible, capacity, rho)
+        exact = brute_force(items, capacity)
+        assert solution.profit >= exact - 1e-9
+
+    @given(compressible_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_compressed_size_feasible(self, instance):
+        items, compressible, capacity, rho = instance
+        solution = solve_compressible_knapsack(items, compressible, capacity, rho)
+        assert solution.compressed_size() <= capacity * (1 + 1e-9) + 1e-9

@@ -1,0 +1,116 @@
+"""Property-based tests for schedules, validation and list scheduling."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.allotment import Allotment
+from repro.core.job import TabulatedJob
+from repro.core.list_scheduling import list_schedule, list_schedule_bound
+from repro.core.schedule import Schedule
+from repro.core.validation import validate_schedule
+from repro.simulator.engine import SimulationError, simulate_schedule
+
+
+@st.composite
+def rigid_instances(draw, max_jobs=8, max_m=6):
+    """Jobs with constant processing time plus an explicit processor demand."""
+    m = draw(st.integers(min_value=1, max_value=max_m))
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    jobs = []
+    sizes = {}
+    for i in range(n):
+        duration = draw(st.floats(min_value=0.1, max_value=50.0))
+        size = draw(st.integers(min_value=1, max_value=m))
+        job = TabulatedJob(f"j{i}", [duration] * m)
+        jobs.append(job)
+        sizes[job] = size
+    return jobs, Allotment(sizes), m
+
+
+class TestListSchedulingProperties:
+    @given(rigid_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_always_feasible(self, instance):
+        jobs, allot, m = instance
+        schedule = list_schedule(jobs, allot, m)
+        report = validate_schedule(schedule, jobs)
+        assert report.ok, report.violations
+
+    @given(rigid_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_factor_two_bound(self, instance):
+        """makespan <= 2 * max(W/m, T_max) — the bound the 2-approximation needs."""
+        jobs, allot, m = instance
+        schedule = list_schedule(jobs, allot, m)
+        assert schedule.makespan <= list_schedule_bound(allot, m) * (1 + 1e-9)
+
+    @given(rigid_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_additive_bound_for_single_processor_jobs(self, instance):
+        """For 1-processor jobs the classical additive Graham bound holds:
+        makespan <= W/m + (1 - 1/m) T_max."""
+        jobs, _, m = instance
+        allot = Allotment({job: 1 for job in jobs})
+        schedule = list_schedule(jobs, allot, m)
+        bound = allot.average_load(m) + (1.0 - 1.0 / m) * allot.max_time()
+        assert schedule.makespan <= bound * (1 + 1e-9)
+
+    def test_additive_bound_fails_for_rigid_jobs(self):
+        """Regression for the counterexample hypothesis found: five unit jobs
+        with sizes (1,1,2,2,2) on three machines need makespan 4 while
+        W/m + T_max = 11/3; only the factor-2 bound holds."""
+        jobs = [TabulatedJob(f"j{i}", [1.0] * 3) for i in range(5)]
+        sizes = [1, 1, 2, 2, 2]
+        allot = Allotment({job: size for job, size in zip(jobs, sizes)})
+        schedule = list_schedule(jobs, allot, 3)
+        additive = allot.average_load(3) + allot.max_time()
+        assert schedule.makespan > additive
+        assert schedule.makespan <= list_schedule_bound(allot, 3) * (1 + 1e-9)
+
+    @given(rigid_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_peak_usage_within_m(self, instance):
+        jobs, allot, m = instance
+        schedule = list_schedule(jobs, allot, m)
+        assert schedule.peak_processor_usage() <= m
+
+    @given(rigid_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_simulator_agrees_with_validator(self, instance):
+        jobs, allot, m = instance
+        schedule = list_schedule(jobs, allot, m)
+        trace = simulate_schedule(schedule)  # must not raise
+        assert abs(trace.makespan - schedule.makespan) < 1e-9
+
+    @given(rigid_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_at_least_longest_job(self, instance):
+        jobs, allot, m = instance
+        schedule = list_schedule(jobs, allot, m)
+        assert schedule.makespan >= max(j.processing_time(allot[j]) for j in jobs) - 1e-9
+
+
+class TestValidatorVsSimulatorConsistency:
+    @given(rigid_instances(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_corrupted_schedules_caught_by_both(self, instance, data):
+        """Shifting one job's start earlier either keeps the schedule valid for
+        both checkers or invalid for both (they must agree)."""
+        jobs, allot, m = instance
+        schedule = list_schedule(jobs, allot, m)
+        if len(schedule.entries) < 2:
+            return
+        idx = data.draw(st.integers(min_value=1, max_value=len(schedule.entries) - 1))
+        entry = schedule.entries[idx]
+        if entry.start <= 0:
+            return
+        shift = data.draw(st.floats(min_value=0.0, max_value=float(entry.start)))
+        corrupted = Schedule(m=m)
+        for i, e in enumerate(schedule.entries):
+            corrupted.add(e.job, e.start - shift if i == idx else e.start, e.spans)
+        validator_ok = validate_schedule(corrupted, jobs).ok
+        try:
+            simulate_schedule(corrupted)
+            simulator_ok = True
+        except SimulationError:
+            simulator_ok = False
+        assert validator_ok == simulator_ok

@@ -1,0 +1,77 @@
+"""Tests for the discrete-event execution engine."""
+
+import pytest
+
+from repro.core.job import TabulatedJob
+from repro.core.schedule import Schedule
+from repro.core.scheduler import schedule_moldable
+from repro.simulator.engine import SimulationError, simulate_schedule
+from repro.workloads.generators import random_mixed_instance
+
+
+def make_job(name="j", times=(10.0, 6.0, 4.0)):
+    return TabulatedJob(name, list(times))
+
+
+class TestSimulateSchedule:
+    def test_empty_schedule(self):
+        trace = simulate_schedule(Schedule(m=4))
+        assert trace.makespan == 0.0
+        assert trace.peak_busy == 0
+
+    def test_simple_schedule(self):
+        a, b = make_job("a"), make_job("b")
+        schedule = Schedule(m=4)
+        schedule.add(a, 0.0, [(0, 2)])
+        schedule.add(b, 0.0, [(2, 2)])
+        trace = simulate_schedule(schedule)
+        assert trace.peak_busy == 4
+        assert trace.events == 2
+        assert trace.total_work == pytest.approx(2 * 2 * 6.0)
+
+    def test_conflict_detected(self):
+        a, b = make_job("a"), make_job("b")
+        schedule = Schedule(m=4)
+        schedule.add(a, 0.0, [(0, 2)])
+        schedule.add(b, 1.0, [(1, 2)])
+        with pytest.raises(SimulationError):
+            simulate_schedule(schedule)
+
+    def test_conflict_tolerated_when_not_strict(self):
+        a, b = make_job("a"), make_job("b")
+        schedule = Schedule(m=4)
+        schedule.add(a, 0.0, [(0, 2)])
+        schedule.add(b, 1.0, [(1, 2)])
+        trace = simulate_schedule(schedule, strict=False)
+        assert trace.peak_busy == 4
+
+    def test_out_of_range_span(self):
+        a = make_job("a")
+        schedule = Schedule(m=2)
+        schedule.add(a, 0.0, [(1, 2)])
+        with pytest.raises(SimulationError):
+            simulate_schedule(schedule)
+
+    def test_sequential_reuse_ok(self):
+        a, b = make_job("a", (5.0,)), make_job("b", (5.0,))
+        schedule = Schedule(m=1)
+        schedule.add(a, 0.0, [(0, 1)])
+        schedule.add(b, 5.0, [(0, 1)])
+        trace = simulate_schedule(schedule)
+        assert trace.makespan == pytest.approx(10.0)
+
+    def test_utilization_profile(self):
+        a = make_job("a", (10.0,))
+        schedule = Schedule(m=2)
+        schedule.add(a, 0.0, [(0, 1)])
+        trace = simulate_schedule(schedule)
+        assert trace.average_utilization(2) == pytest.approx(0.5)
+
+    def test_agrees_with_validator_on_algorithm_output(self):
+        """Schedules produced by the algorithms execute cleanly."""
+        instance = random_mixed_instance(30, 24, seed=1)
+        for algorithm in ("two_approx", "mrt", "bounded"):
+            result = schedule_moldable(instance.jobs, 24, 0.25, algorithm=algorithm)
+            trace = simulate_schedule(result.schedule)
+            assert trace.makespan == pytest.approx(result.makespan)
+            assert trace.peak_busy <= 24

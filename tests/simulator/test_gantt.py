@@ -1,0 +1,53 @@
+"""Tests for the ASCII Gantt / shelf renderings."""
+
+from repro.core.bounds import ludwig_tiwari_estimator
+from repro.core.job import TabulatedJob
+from repro.core.mrt import mrt_dual
+from repro.core.schedule import Schedule
+from repro.simulator.gantt import render_gantt, render_shelves
+from repro.workloads.generators import random_mixed_instance
+
+
+class TestRenderGantt:
+    def test_empty(self):
+        assert "empty" in render_gantt(Schedule(m=4))
+
+    def test_contains_job_names(self):
+        schedule = Schedule(m=2)
+        a = TabulatedJob("alpha", [5.0])
+        b = TabulatedJob("beta", [3.0])
+        schedule.add(a, 0.0, [(0, 1)])
+        schedule.add(b, 0.0, [(1, 1)])
+        out = render_gantt(schedule)
+        assert "alpha" in out
+        assert "beta" in out
+        assert "p=1" in out
+
+    def test_row_limit(self):
+        schedule = Schedule(m=64)
+        for i in range(50):
+            schedule.add(TabulatedJob(f"j{i}", [1.0]), 0.0, [(i, 1)])
+        out = render_gantt(schedule, max_rows=10)
+        assert "more jobs not shown" in out
+
+    def test_bars_scale_with_time(self):
+        schedule = Schedule(m=2)
+        short = TabulatedJob("short", [1.0])
+        long = TabulatedJob("long", [10.0])
+        schedule.add(short, 0.0, [(0, 1)])
+        schedule.add(long, 0.0, [(1, 1)])
+        out = render_gantt(schedule, width=40)
+        lines = {line.split()[0]: line for line in out.splitlines()[1:]}
+        assert lines["long"].count("█") > lines["short"].count("█")
+
+
+class TestRenderShelves:
+    def test_reports_shelf_statistics(self):
+        instance = random_mixed_instance(20, 12, seed=5)
+        omega = ludwig_tiwari_estimator(instance.jobs, 12).omega
+        schedule = mrt_dual(instance.jobs, 12, 1.4 * omega)
+        assert schedule is not None
+        out = render_shelves(schedule, 1.4 * omega)
+        for shelf in ("S0", "S1", "S2", "small"):
+            assert shelf in out
+        assert "makespan bound" in out

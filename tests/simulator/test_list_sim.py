@@ -1,0 +1,66 @@
+"""Tests for the online list-scheduling simulator."""
+
+import pytest
+
+from repro.core.allotment import canonical_allotment
+from repro.core.job import TabulatedJob
+from repro.core.list_scheduling import list_schedule
+from repro.core.validation import assert_valid_schedule
+from repro.simulator.list_sim import OnlineListScheduler
+from repro.workloads.generators import random_mixed_instance
+
+
+class TestOnlineListScheduler:
+    def test_empty(self):
+        scheduler = OnlineListScheduler(4)
+        schedule = scheduler.run()
+        assert schedule.makespan == 0.0
+
+    def test_single_job(self):
+        scheduler = OnlineListScheduler(4)
+        job = TabulatedJob("a", [10.0, 6.0])
+        scheduler.submit(job, 2)
+        schedule = scheduler.run()
+        assert schedule.makespan == pytest.approx(6.0)
+
+    def test_release_times_respected(self):
+        scheduler = OnlineListScheduler(2)
+        a = TabulatedJob("a", [3.0])
+        b = TabulatedJob("b", [3.0])
+        scheduler.submit(a, 1, release=0.0)
+        scheduler.submit(b, 1, release=10.0)
+        schedule = scheduler.run()
+        assert schedule.entry_for(b).start >= 10.0
+
+    def test_matches_analytic_list_schedule(self):
+        """Without release times the simulator reproduces the analytic makespan."""
+        instance = random_mixed_instance(20, 8, seed=3)
+        allot = canonical_allotment(instance.jobs, 1e9, 8)
+        analytic = list_schedule(instance.jobs, allot, 8)
+
+        scheduler = OnlineListScheduler(8)
+        scheduler.submit_allotment(instance.jobs, allot)
+        simulated = scheduler.run()
+        assert_valid_schedule(simulated, instance.jobs)
+        assert simulated.makespan == pytest.approx(analytic.makespan)
+
+    def test_invalid_submissions(self):
+        scheduler = OnlineListScheduler(2)
+        job = TabulatedJob("a", [1.0])
+        with pytest.raises(ValueError):
+            scheduler.submit(job, 0)
+        with pytest.raises(ValueError):
+            scheduler.submit(job, 3)
+        with pytest.raises(ValueError):
+            scheduler.submit(job, 1, release=-1.0)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            OnlineListScheduler(0)
+
+    def test_queue_cleared_after_run(self):
+        scheduler = OnlineListScheduler(2)
+        job = TabulatedJob("a", [1.0])
+        scheduler.submit(job, 1)
+        scheduler.run()
+        assert scheduler.run().makespan == 0.0

@@ -1,0 +1,111 @@
+"""Tests for the workload instance generators."""
+
+import pytest
+
+from repro.core.validation import is_monotone_work, is_nonincreasing_time
+from repro.workloads.generators import (
+    SCENARIOS,
+    planted_partition_instance,
+    random_amdahl_instance,
+    random_communication_instance,
+    random_mixed_instance,
+    random_monotone_tabulated_instance,
+    random_power_law_instance,
+    scenario,
+)
+
+
+ANALYTIC_GENERATORS = [
+    random_amdahl_instance,
+    random_power_law_instance,
+    random_communication_instance,
+    random_mixed_instance,
+]
+
+
+class TestAnalyticGenerators:
+    @pytest.mark.parametrize("generator", ANALYTIC_GENERATORS)
+    def test_shape(self, generator):
+        instance = generator(25, 64, seed=1)
+        assert instance.n == 25
+        assert instance.m == 64
+        assert len({j.name for j in instance.jobs}) == 25
+
+    @pytest.mark.parametrize("generator", ANALYTIC_GENERATORS)
+    def test_jobs_are_monotone(self, generator):
+        instance = generator(10, 32, seed=2)
+        for job in instance.jobs:
+            assert is_nonincreasing_time(job, 32)
+            assert is_monotone_work(job, 32)
+
+    @pytest.mark.parametrize("generator", ANALYTIC_GENERATORS)
+    def test_determinism(self, generator):
+        a = generator(8, 16, seed=5)
+        b = generator(8, 16, seed=5)
+        for ja, jb in zip(a.jobs, b.jobs):
+            assert ja.processing_time(1) == pytest.approx(jb.processing_time(1))
+            assert ja.processing_time(16) == pytest.approx(jb.processing_time(16))
+
+    @pytest.mark.parametrize("generator", ANALYTIC_GENERATORS)
+    def test_different_seeds_differ(self, generator):
+        a = generator(8, 16, seed=5)
+        b = generator(8, 16, seed=6)
+        assert any(
+            ja.processing_time(1) != pytest.approx(jb.processing_time(1))
+            for ja, jb in zip(a.jobs, b.jobs)
+        )
+
+    def test_large_m_supported(self):
+        instance = random_amdahl_instance(5, 10 ** 9, seed=0)
+        for job in instance.jobs:
+            assert job.processing_time(10 ** 9) > 0
+
+
+class TestTabulatedGenerator:
+    def test_jobs_are_monotone(self):
+        instance = random_monotone_tabulated_instance(6, 24, seed=3)
+        for job in instance.jobs:
+            assert is_nonincreasing_time(job, 24)
+            assert is_monotone_work(job, 24)
+
+    def test_m_limit(self):
+        with pytest.raises(ValueError):
+            random_monotone_tabulated_instance(3, 1 << 20, seed=0)
+
+
+class TestPlantedPartitionInstance:
+    def test_known_optimum(self):
+        instance = planted_partition_instance(10, seed=1, target=50.0)
+        assert instance.known_optimum == pytest.approx(50.0)
+        assert instance.m == 10
+        assert instance.n == 40
+
+    def test_optimum_is_achievable_and_tight(self):
+        """Total minimal work equals m * target, so the planted makespan is
+        simultaneously an upper and a lower bound — the true optimum."""
+        instance = planted_partition_instance(6, seed=2, target=80.0)
+        total = sum(j.processing_time(1) for j in instance.jobs)
+        assert total == pytest.approx(6 * 80.0)
+        # jobs never speed up => minimal work is also the work at any count
+        for job in instance.jobs:
+            assert job.processing_time(3) == pytest.approx(job.processing_time(1))
+
+    def test_jobs_per_group(self):
+        instance = planted_partition_instance(4, seed=3, jobs_per_group=5)
+        assert instance.n == 20
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            planted_partition_instance(0)
+
+
+class TestScenarios:
+    def test_all_scenarios_instantiate(self):
+        for name in SCENARIOS:
+            instance = scenario(name, seed=0)
+            assert instance.n > 0
+            assert instance.m > 0
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            scenario("does_not_exist")

@@ -1,0 +1,101 @@
+"""Tests for the speedup model generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.speedup_models import (
+    amdahl_speedup,
+    communication_speedup,
+    is_valid_monotone_speedup,
+    power_law_speedup,
+    random_monotone_speedup,
+)
+
+
+class TestAmdahlSpeedup:
+    def test_values(self):
+        s = amdahl_speedup(4, 0.5)
+        assert s[0] == pytest.approx(1.0)
+        assert s[3] == pytest.approx(1.0 / (0.5 + 0.5 / 4))
+
+    def test_valid(self):
+        assert is_valid_monotone_speedup(amdahl_speedup(64, 0.1))
+        assert is_valid_monotone_speedup(amdahl_speedup(64, 0.9))
+
+    def test_bounded_by_one_over_f(self):
+        s = amdahl_speedup(10_000, 0.01)
+        assert s[-1] <= 100.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(4, 1.5)
+
+
+class TestPowerLawSpeedup:
+    def test_values(self):
+        s = power_law_speedup(9, 0.5)
+        assert s[8] == pytest.approx(3.0)
+
+    def test_valid(self):
+        for alpha in (0.0, 0.3, 0.7, 1.0):
+            assert is_valid_monotone_speedup(power_law_speedup(32, alpha))
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            power_law_speedup(4, 1.2)
+
+
+class TestCommunicationSpeedup:
+    def test_valid(self):
+        assert is_valid_monotone_speedup(communication_speedup(64, 100.0, 0.5))
+
+    def test_saturates(self):
+        s = communication_speedup(100, 100.0, 1.0)
+        assert s[-1] == pytest.approx(s[50])
+
+    def test_zero_overhead_linear(self):
+        s = communication_speedup(16, 50.0, 0.0)
+        assert s[15] == pytest.approx(16.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            communication_speedup(4, -1.0, 0.1)
+        with pytest.raises(ValueError):
+            communication_speedup(4, 1.0, -0.1)
+
+
+class TestRandomMonotoneSpeedup:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_always_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        s = random_monotone_speedup(64, rng)
+        assert is_valid_monotone_speedup(s)
+
+    def test_efficiency_floor_biases_up(self):
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        lazy = random_monotone_speedup(64, rng_a, efficiency_floor=0.0)
+        eager = random_monotone_speedup(64, rng_b, efficiency_floor=0.9)
+        assert eager[-1] >= lazy[-1]
+
+    def test_invalid_arguments(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_monotone_speedup(0, rng)
+        with pytest.raises(ValueError):
+            random_monotone_speedup(4, rng, efficiency_floor=1.0)
+
+
+class TestValidityChecker:
+    def test_rejects_wrong_start(self):
+        assert not is_valid_monotone_speedup([2.0, 3.0])
+
+    def test_rejects_decreasing(self):
+        assert not is_valid_monotone_speedup([1.0, 1.5, 1.2])
+
+    def test_rejects_superlinear_step(self):
+        # jump from 1 to 2.5 at k=2 exceeds (k+1)/k = 2
+        assert not is_valid_monotone_speedup([1.0, 2.5])
+
+    def test_rejects_empty(self):
+        assert not is_valid_monotone_speedup([])
