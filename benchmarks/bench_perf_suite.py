@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Scalar-vs-vectorized perf regression suite (CLI entry point).
+
+Times every algorithm driver under ``backend="scalar"`` and
+``backend="vectorized"`` on the Table-1 instance families and writes
+``BENCH_perf.json``; see :mod:`repro.perf.bench` for the harness.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_suite.py            # full suite
+    PYTHONPATH=src python benchmarks/bench_perf_suite.py --smoke \\
+        --check benchmarks/BENCH_perf_baseline.json                 # CI gate
+
+The ``--check`` gate fails when a per-algorithm *speedup* (a
+hardware-portable metric, unlike raw seconds) regresses by more than the
+``--regression-factor`` (default 2x) against the checked-in baseline, or when
+the two backends disagree on any makespan.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.perf.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,7 @@ from .core import (
     compressible_schedule,
     fptas_schedule,
     gamma,
+    gamma_batch,
     ludwig_tiwari_estimator,
     makespan_lower_bound,
     mrt_schedule,
@@ -57,6 +58,7 @@ __all__ = [
     "Schedule",
     "ScheduledJob",
     "gamma",
+    "gamma_batch",
     "validate_schedule",
     "assert_valid_schedule",
     "ludwig_tiwari_estimator",

@@ -12,7 +12,7 @@ The public surface mirrors the paper's structure:
 * the :func:`repro.core.scheduler.schedule_moldable` facade.
 """
 
-from .allotment import Allotment, canonical_allotment, gamma
+from .allotment import Allotment, canonical_allotment, gamma, gamma_batch
 from .bounded_algorithm import bounded_dual, bounded_schedule
 from .certificates import Certificate, extract_certificate, replay_certificate, verify_certificate
 from .heuristics import lpt_moldable, max_parallelism_baseline, sequential_baseline
@@ -84,6 +84,7 @@ __all__ = [
     "max_sequential_time",
     # allotment / schedule
     "gamma",
+    "gamma_batch",
     "canonical_allotment",
     "Allotment",
     "MachineSpan",

@@ -10,16 +10,21 @@ i.e. the least number of processors on which job ``j`` finishes within ``t``.
 Because processing times are non-increasing, ``gamma_j(t)`` is found by binary
 search in ``O(log m)`` oracle calls (the key to running times polylogarithmic
 in ``m``).
+
+:func:`gamma_batch` computes the γ-values of *all* jobs at once by running the
+``n`` binary searches in lockstep on NumPy arrays — one vectorized oracle
+evaluation per bisection level, ``O(log m)`` array operations total instead of
+``n log m`` Python calls (see :mod:`repro.perf.oracle`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, Mapping, Optional
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence
 
 from .job import MoldableJob
 
-__all__ = ["gamma", "Allotment", "canonical_allotment"]
+__all__ = ["gamma", "gamma_batch", "Allotment", "canonical_allotment"]
 
 
 def gamma(job: MoldableJob, threshold: float, m: int) -> Optional[int]:
@@ -51,6 +56,33 @@ def gamma(job: MoldableJob, threshold: float, m: int) -> Optional[int]:
         else:
             lo = mid
     return hi
+
+
+def gamma_batch(jobs: Sequence[MoldableJob], threshold: float, m: int, *, oracle=None):
+    """``gamma_j(threshold)`` for every job, computed in lockstep on arrays.
+
+    Returns an int64 NumPy array aligned with ``jobs``; entries equal to
+    ``m + 1`` mark jobs for which even ``m`` processors are not enough (where
+    :func:`gamma` returns ``None``).  Results are bit-for-bit identical to the
+    scalar binary search.
+
+    Parameters
+    ----------
+    oracle:
+        An existing :class:`repro.perf.oracle.BatchedOracle` for ``(jobs, m)``
+        to reuse its per-threshold γ-cache; a transient one is built when
+        omitted.
+    """
+    if oracle is None:
+        from ..perf.oracle import BatchedOracle
+
+        oracle = BatchedOracle(jobs, m)
+    else:
+        if oracle.m != int(m):
+            raise ValueError(f"oracle was built for m={oracle.m}, got m={m}")
+        if len(jobs) != oracle.n or any(a is not b for a, b in zip(jobs, oracle.jobs)):
+            raise ValueError("oracle was built for a different job list")
+    return oracle.gamma_array(threshold)
 
 
 def canonical_allotment(jobs: Iterable[MoldableJob], threshold: float, m: int) -> Optional["Allotment"]:

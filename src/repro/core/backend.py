@@ -1,0 +1,48 @@
+"""Backend selection shared by the algorithm drivers.
+
+Every driver accepts ``backend="vectorized" | "scalar"`` (and ``"auto"``,
+which currently resolves to vectorized — NumPy is a hard dependency).  The
+vectorized backend evaluates γ-allotments through a shared
+:class:`repro.perf.oracle.BatchedOracle` and runs the knapsack DPs on the
+NumPy array engines; the scalar backend is the pure-Python reference.  Both
+produce bit-for-bit identical schedules.
+"""
+
+from __future__ import annotations
+
+__all__ = ["resolve_backend", "MAX_VECTORIZED_M"]
+
+#: Largest machine count the vectorized backend supports: γ-arrays use the
+#: sentinel ``m + 1`` in int64.  Astronomically larger ``m`` (the compact
+#: input encoding allows it) silently falls back to the scalar path, which
+#: handles arbitrary Python ints — results are bit-identical either way.
+MAX_VECTORIZED_M = (1 << 63) - 2
+
+
+def resolve_backend(jobs, m, backend, oracle):
+    """Normalise a driver's ``(backend, oracle)`` pair.
+
+    A supplied :class:`~repro.perf.oracle.BatchedOracle` implies the
+    vectorized backend (that is what the oracle exists for).  Otherwise
+    ``"vectorized"``/``"auto"`` get a freshly built oracle — unless ``m``
+    exceeds the int64 range of the γ-arrays, in which case the scalar path is
+    used.  The scalar backend returns ``("scalar", None)``: it must not touch
+    batched state.
+    """
+    if backend not in ("scalar", "vectorized", "auto"):
+        raise ValueError(f"unknown backend {backend!r}")
+    if oracle is not None:
+        if oracle.m != int(m):
+            raise ValueError(f"oracle was built for m={oracle.m}, got m={m}")
+        return "vectorized", oracle
+    if backend == "auto":
+        backend = "vectorized"
+    if backend == "vectorized":
+        if int(m) > MAX_VECTORIZED_M:
+            return "scalar", None
+        # Imported lazily: repro.perf pulls in repro.core.job, and the driver
+        # modules are themselves imported by repro.core's package init.
+        from ..perf.oracle import BatchedOracle
+
+        oracle = BatchedOracle(jobs, m)
+    return backend, oracle

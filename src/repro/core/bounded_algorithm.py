@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence
 from ..knapsack.bounded import assign_members, expand_bounded_items, selected_counts
 from ..knapsack.compressible import solve_compressible_knapsack
 from .allotment import gamma
+from .backend import resolve_backend
 from .dual import DualSearchResult, dual_binary_search
 from .fptas import fptas_dual
 from .job import MoldableJob
@@ -46,17 +47,27 @@ def bounded_dual(
     eps: float,
     *,
     transform: str = "heap",
+    backend: str = "scalar",
+    oracle=None,
 ) -> Optional[Schedule]:
-    """One `(3/2+eps)`-dual step of Algorithm 3 (or its linear variant)."""
+    """One `(3/2+eps)`-dual step of Algorithm 3 (or its linear variant).
+
+    ``backend="vectorized"`` computes γ-allotments with lockstep batched
+    binary searches and runs the container knapsack on the NumPy array engine
+    (bit-identical results); ``oracle`` lets repeated dual calls share one
+    :class:`repro.perf.oracle.BatchedOracle`.
+    """
     if d <= 0:
         return None
     jobs = list(jobs)
     n = len(jobs)
     if n == 0:
         return Schedule(m=m)
+    backend, oracle = resolve_backend(jobs, m, backend, oracle)
+    gamma_fn = oracle.gamma if oracle is not None else gamma
 
     if m >= LARGE_M_FACTOR * n:
-        schedule = fptas_dual(jobs, m, d, 0.5)
+        schedule = fptas_dual(jobs, m, d, 0.5, backend=backend, oracle=oracle)
         if schedule is not None:
             schedule.metadata["algorithm"] = "bounded_dual(large_m)"
         return schedule
@@ -68,10 +79,10 @@ def bounded_dual(
     knapsack_jobs: List[MoldableJob] = []
     capacity = m
     for job in big:
-        g_full = gamma(job, d, m)
+        g_full = gamma_fn(job, d, m)
         if g_full is None:
             return None
-        if gamma(job, d / 2.0, m) is None:
+        if gamma_fn(job, d / 2.0, m) is None:
             shelf1.append(job)
             capacity -= g_full
         else:
@@ -81,7 +92,7 @@ def bounded_dual(
 
     rho = None
     if knapsack_jobs:
-        scheme = round_jobs_to_types(knapsack_jobs, m, d, delta)
+        scheme = round_jobs_to_types(knapsack_jobs, m, d, delta, gamma_fn=gamma_fn)
         rho = scheme.params.rho
         containers = expand_bounded_items(scheme.types)
         compressible_keys = {c.key for c in containers if c.size >= 1.0 / rho}
@@ -94,6 +105,7 @@ def bounded_dual(
             alpha_min=1.0 / rho,
             beta_max=float(capacity),
             n_bar=n_bar,
+            backend=backend,
         )
         counts = selected_counts(solution.items)
         shelf1.extend(assign_members(counts, scheme.types))
@@ -108,6 +120,7 @@ def bounded_dual(
         shelf1,
         transform=transform,
         bucket_ratio=(1.0 + 4.0 * rho) if rho is not None else None,
+        gamma_fn=gamma_fn,
     )
     if schedule is not None:
         schedule.metadata["algorithm"] = f"bounded_dual({transform})"
@@ -125,12 +138,18 @@ def bounded_schedule(
     *,
     transform: str = "heap",
     validate: bool = True,
+    backend: str = "vectorized",
 ) -> DualSearchResult:
     """`(3/2+eps)`-approximation via Algorithm 3 (``transform="heap"``) or the
-    linear-time variant of Section 4.3.3 (``transform="bucket"``)."""
+    linear-time variant of Section 4.3.3 (``transform="bucket"``).
+
+    ``backend="vectorized"`` (default) shares one batched γ-oracle across the
+    whole dual search; ``backend="scalar"`` is the bit-identical reference.
+    """
     if not 0 < eps <= 1:
         raise ValueError("eps must lie in (0, 1]")
     jobs = list(jobs)
+    backend, oracle = resolve_backend(jobs, m, backend, None)
     # (3/2)(1+eps/10)^2 (1+eps/4) <= 3/2 + eps for eps <= 1: the dual step gets
     # eps/2 (of which delta = eps/10) and the binary search eps/4.
     dual_eps = eps / 2.0
@@ -138,12 +157,14 @@ def bounded_schedule(
     result = dual_binary_search(
         jobs,
         m,
-        lambda d: bounded_dual(jobs, m, d, dual_eps, transform=transform),
+        lambda d: bounded_dual(jobs, m, d, dual_eps, transform=transform, backend=backend, oracle=oracle),
         tolerance=tolerance,
+        oracle=oracle,
     )
     result.schedule.metadata["algorithm"] = "bounded" if transform == "heap" else "bounded_linear"
     result.schedule.metadata["eps"] = eps
     result.schedule.metadata["guarantee"] = 1.5 + eps
+    result.schedule.metadata["backend"] = backend
     if validate and jobs:
         assert_valid_schedule(result.schedule, jobs)
     return result

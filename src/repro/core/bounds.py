@@ -69,13 +69,28 @@ class EstimatorResult:
         return self.ratio * self.omega
 
 
-def _phi(jobs: Sequence[MoldableJob], m: int, tau: float) -> Optional[float]:
+def _phi(jobs: Sequence[MoldableJob], m: int, tau: float, oracle=None) -> Optional[float]:
     """Average-load value ``sum_j w_j(gamma_j(tau)) / m`` or ``None`` if some
     job cannot meet ``tau``."""
+    if oracle is not None:
+        loads = oracle.canonical_loads(tau)
+        if loads is None:
+            return None
+        # left-to-right sum matches the scalar Allotment.total_work() bit for bit
+        return oracle.sequential_sum(loads) / m
     allot = canonical_allotment(jobs, tau, m)
     if allot is None:
         return None
     return allot.average_load(m)
+
+
+def _canonical_allotment(jobs: Sequence[MoldableJob], tau: float, m: int, oracle=None) -> Optional[Allotment]:
+    if oracle is None:
+        return canonical_allotment(jobs, tau, m)
+    gammas = oracle.gamma_array(tau)
+    if len(gammas) and gammas.max() > m:
+        return None
+    return Allotment({job: int(g) for job, g in zip(jobs, gammas)})
 
 
 def ludwig_tiwari_estimator(
@@ -84,6 +99,7 @@ def ludwig_tiwari_estimator(
     *,
     tol: float = 1e-6,
     max_iter: int = 128,
+    oracle=None,
 ) -> EstimatorResult:
     """2-estimator for the optimal makespan of monotone moldable jobs.
 
@@ -97,6 +113,10 @@ def ludwig_tiwari_estimator(
     scheduling the returned allotment yields makespan at most
     ``2 * omega * (1 + tol)``; the small ``tol`` slack is absorbed by the
     callers (they widen their binary-search interval accordingly).
+
+    ``oracle`` optionally supplies a :class:`repro.perf.oracle.BatchedOracle`
+    for ``(jobs, m)``: each ``phi`` probe then runs all γ-searches in lockstep
+    on arrays instead of ``n`` scalar binary searches (bit-identical result).
     """
     if not jobs:
         empty = Allotment({})
@@ -110,10 +130,10 @@ def ludwig_tiwari_estimator(
     # g(hi) is finite (every job fits on one machine within the serial bound).
     # Invariant we move towards: phi(hi) <= hi  and  (phi(lo) > lo or lo is the
     # global max_j t_j(m) floor).
-    phi_lo = _phi(jobs, m, lo)
+    phi_lo = _phi(jobs, m, lo, oracle)
     if phi_lo is not None and phi_lo <= lo:
         # the crossover is at or below the floor; the floor itself is optimal
-        allot = canonical_allotment(jobs, lo, m)
+        allot = _canonical_allotment(jobs, lo, m, oracle)
         assert allot is not None
         omega = max(phi_lo, lo)
         return EstimatorResult(omega=omega, allotment=allot)
@@ -122,13 +142,13 @@ def ludwig_tiwari_estimator(
         if hi <= lo * (1.0 + tol):
             break
         mid = math.sqrt(lo * hi)
-        phi_mid = _phi(jobs, m, mid)
+        phi_mid = _phi(jobs, m, mid, oracle)
         if phi_mid is None or phi_mid > mid:
             lo = mid
         else:
             hi = mid
 
-    allot = canonical_allotment(jobs, hi, m)
+    allot = _canonical_allotment(jobs, hi, m, oracle)
     assert allot is not None, "upper end of the bracket must always be feasible"
     omega = max(allot.average_load(m), allot.max_time())
     # omega as computed is an achievable value of g, hence >= min g >= ... but

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence
 from ..knapsack.compressible import solve_compressible_knapsack
 from ..knapsack.items import KnapsackItem
 from .allotment import gamma
+from .backend import resolve_backend
 from .dual import DualSearchResult, dual_binary_search
 from .fptas import fptas_dual, fptas_machine_threshold
 from .job import MoldableJob
@@ -40,19 +41,30 @@ def compressible_dual(
     m: int,
     d: float,
     eps: float,
+    *,
+    backend: str = "scalar",
+    oracle=None,
 ) -> Optional[Schedule]:
     """One `(3/2+eps)`-dual step of Algorithm 1: schedule with makespan at most
-    ``(3/2)(1+4rho)d <= (3/2+eps)d`` (with ``rho = eps/6``) or reject ``d``."""
+    ``(3/2)(1+4rho)d <= (3/2+eps)d`` (with ``rho = eps/6``) or reject ``d``.
+
+    ``backend="vectorized"`` computes γ-allotments with lockstep batched
+    binary searches and runs the compressible knapsack on the NumPy array
+    engine (bit-identical results); ``oracle`` lets repeated dual calls share
+    one :class:`repro.perf.oracle.BatchedOracle`.
+    """
     if d <= 0:
         return None
     jobs = list(jobs)
     n = len(jobs)
     if n == 0:
         return Schedule(m=m)
+    backend, oracle = resolve_backend(jobs, m, backend, oracle)
+    gamma_fn = oracle.gamma if oracle is not None else gamma
 
     if m >= LARGE_M_FACTOR * n:
         # m >= 16n = 8n/(1/2): the FPTAS dual with eps=1/2 yields makespan <= 3d/2.
-        schedule = fptas_dual(jobs, m, d, 0.5)
+        schedule = fptas_dual(jobs, m, d, 0.5, backend=backend, oracle=oracle)
         if schedule is not None:
             schedule.metadata["algorithm"] = "compressible_dual(large_m)"
         return schedule
@@ -65,10 +77,10 @@ def compressible_dual(
     knapsack_jobs: List[MoldableJob] = []
     capacity = m
     for job in big:
-        g_full = gamma(job, d, m)
+        g_full = gamma_fn(job, d, m)
         if g_full is None:
             return None
-        if gamma(job, d / 2.0, m) is None:
+        if gamma_fn(job, d / 2.0, m) is None:
             shelf1.append(job)
             capacity -= g_full
         else:
@@ -77,7 +89,12 @@ def compressible_dual(
         return None
 
     items = [
-        KnapsackItem(key=idx, size=gamma(job, d, m), profit=shelf_profit(job, d, m), payload=job)
+        KnapsackItem(
+            key=idx,
+            size=gamma_fn(job, d, m),
+            profit=shelf_profit(job, d, m, gamma_fn=gamma_fn),
+            payload=job,
+        )
         for idx, job in enumerate(knapsack_jobs)
     ]
     compressible_keys = {item.key for item in items if item.size >= 1.0 / rho}
@@ -92,11 +109,12 @@ def compressible_dual(
             alpha_min=1.0 / rho,
             beta_max=float(capacity),
             n_bar=n_bar,
+            backend=backend,
         )
         shelf1.extend(item.payload for item in solution.items)
 
     # Corollary 10: schedule the selection for the inflated target d'.
-    schedule = build_three_shelf_schedule(jobs, m, d_prime, shelf1)
+    schedule = build_three_shelf_schedule(jobs, m, d_prime, shelf1, gamma_fn=gamma_fn)
     if schedule is not None:
         schedule.metadata["algorithm"] = "compressible_dual"
         schedule.metadata["d"] = d
@@ -110,6 +128,7 @@ def compressible_schedule(
     eps: float = 0.1,
     *,
     validate: bool = True,
+    backend: str = "vectorized",
 ) -> DualSearchResult:
     """`(3/2+eps)`-approximation via Algorithm 1 and dual binary search.
 
@@ -117,21 +136,27 @@ def compressible_schedule(
     binary search (``eps/4``): the final makespan is at most
     ``(3/2 + eps/2)(1 + eps/4) <= (3/2 + eps)`` times the optimum for
     ``eps <= 1``.
+
+    ``backend="vectorized"`` (default) shares one batched γ-oracle across the
+    whole dual search; ``backend="scalar"`` is the bit-identical reference.
     """
     if not 0 < eps <= 1:
         raise ValueError("eps must lie in (0, 1]")
     jobs = list(jobs)
+    backend, oracle = resolve_backend(jobs, m, backend, None)
     dual_eps = eps / 2.0
     tolerance = eps / 4.0
     result = dual_binary_search(
         jobs,
         m,
-        lambda d: compressible_dual(jobs, m, d, dual_eps),
+        lambda d: compressible_dual(jobs, m, d, dual_eps, backend=backend, oracle=oracle),
         tolerance=tolerance,
+        oracle=oracle,
     )
     result.schedule.metadata["algorithm"] = "compressible"
     result.schedule.metadata["eps"] = eps
     result.schedule.metadata["guarantee"] = 1.5 + eps
+    result.schedule.metadata["backend"] = backend
     if validate and jobs:
         assert_valid_schedule(result.schedule, jobs)
     return result

@@ -47,6 +47,7 @@ def dual_binary_search(
     lower: Optional[float] = None,
     upper: Optional[float] = None,
     max_iterations: int = 200,
+    oracle=None,
 ) -> DualSearchResult:
     """Run the dual-approximation binary search.
 
@@ -64,6 +65,10 @@ def dual_binary_search(
     lower, upper:
         Optional initial bracket.  Defaults to the Ludwig–Tiwari estimator
         interval ``[omega, 2(1+)omega]``.
+    oracle:
+        Optional :class:`repro.perf.oracle.BatchedOracle` for ``(jobs, m)``;
+        passed through to the estimator so the initial bracket is computed
+        with lockstep γ-searches.
     """
     jobs = list(jobs)
     if not jobs:
@@ -72,7 +77,7 @@ def dual_binary_search(
         raise ValueError("tolerance must be positive")
 
     if lower is None or upper is None:
-        estimate = ludwig_tiwari_estimator(jobs, m)
+        estimate = ludwig_tiwari_estimator(jobs, m, oracle=oracle)
         est_lower = max(estimate.omega, trivial_lower_bound(jobs, m))
         est_upper = estimate.upper_bound
         lower = lower if lower is not None else est_lower

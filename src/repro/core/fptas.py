@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from .allotment import gamma
+from .backend import resolve_backend
 from .dual import DualSearchResult, dual_binary_search
 from .exact_small import exact_schedule, exact_solver_applicable
 from .job import MoldableJob
@@ -32,22 +33,43 @@ def fptas_machine_threshold(n: int, eps: float) -> float:
     return 8.0 * n / eps
 
 
-def fptas_dual(jobs: Sequence[MoldableJob], m: int, d: float, eps: float) -> Optional[Schedule]:
+def fptas_dual(
+    jobs: Sequence[MoldableJob],
+    m: int,
+    d: float,
+    eps: float,
+    *,
+    backend: str = "scalar",
+    oracle=None,
+) -> Optional[Schedule]:
     """One `(1+eps)`-dual step (Section 3): all jobs start at 0 with
-    ``gamma_j((1+eps)d)`` processors, or reject."""
+    ``gamma_j((1+eps)d)`` processors, or reject.
+
+    ``backend="vectorized"`` computes all γ-values in one lockstep batched
+    binary search (bit-identical decision and schedule)."""
     if d <= 0:
         return None
     threshold = (1.0 + eps) * d
-    counts = []
-    total = 0
-    for job in jobs:
-        g = gamma(job, threshold, m)
-        if g is None:
+    jobs = list(jobs)  # before resolve_backend: the oracle build iterates jobs
+    backend, oracle = resolve_backend(jobs, m, backend, oracle)
+    if oracle is not None:
+        gammas = oracle.gamma_array(threshold)
+        if len(gammas) and int(gammas.max()) > m:
             return None
-        counts.append(g)
-        total += g
-        if total > m:
+        counts = [int(g) for g in gammas]
+        if sum(counts) > m:
             return None
+    else:
+        counts = []
+        total = 0
+        for job in jobs:
+            g = gamma(job, threshold, m)
+            if g is None:
+                return None
+            counts.append(g)
+            total += g
+            if total > m:
+                return None
     schedule = Schedule(m=m, metadata={"algorithm": "fptas_dual", "d": d, "eps": eps})
     next_machine = 0
     for job, count in zip(jobs, counts):
@@ -63,12 +85,16 @@ def fptas_schedule(
     *,
     validate: bool = True,
     enforce_threshold: bool = True,
+    backend: str = "vectorized",
 ) -> DualSearchResult:
     """`(1+eps)`-approximation for instances with ``m >= 8n/eps`` (Theorem 2).
 
     The internal dual accuracy and binary-search tolerance are set to
     ``eps/3`` each so that the overall factor ``(1+eps/3)^2 <= 1+eps`` holds
     for ``eps <= 1``.
+
+    ``backend="vectorized"`` (default) shares one batched γ-oracle across the
+    whole dual search; ``backend="scalar"`` is the bit-identical reference.
     """
     if not 0 < eps <= 1:
         raise ValueError("eps must lie in (0, 1]")
@@ -79,16 +105,19 @@ def fptas_schedule(
             f"the FPTAS requires m >= 8n/eps = {fptas_machine_threshold(n, eps):.1f}, got m={m}; "
             "use ptas_schedule() for the general case"
         )
+    backend, oracle = resolve_backend(jobs, m, backend, None)
     inner = eps / 3.0
     result = dual_binary_search(
         jobs,
         m,
-        lambda d: fptas_dual(jobs, m, d, inner),
+        lambda d: fptas_dual(jobs, m, d, inner, backend=backend, oracle=oracle),
         tolerance=inner,
+        oracle=oracle,
     )
     result.schedule.metadata["algorithm"] = "fptas"
     result.schedule.metadata["eps"] = eps
     result.schedule.metadata["guarantee"] = 1.0 + eps
+    result.schedule.metadata["backend"] = backend
     if validate and jobs:
         assert_valid_schedule(result.schedule, jobs)
     return result
@@ -101,6 +130,7 @@ def ptas_schedule(
     *,
     validate: bool = True,
     exact_limit: int = 6,
+    backend: str = "vectorized",
 ) -> DualSearchResult:
     """PTAS dispatcher for the general case (Section 3.2).
 
@@ -117,7 +147,7 @@ def ptas_schedule(
     if n == 0:
         return DualSearchResult(Schedule(m=m), 0.0, 0.0, 0, 0)
     if m >= fptas_machine_threshold(n, eps):
-        return fptas_schedule(jobs, m, eps, validate=validate)
+        return fptas_schedule(jobs, m, eps, validate=validate, backend=backend)
     if exact_solver_applicable(n, m, max_jobs=exact_limit):
         schedule = exact_schedule(jobs, m)
         schedule.metadata["algorithm"] = "ptas_exact"
@@ -128,7 +158,7 @@ def ptas_schedule(
     # documented substitution: the (3/2+eps) algorithm instead of Jansen-Thöle
     from .bounded_algorithm import bounded_schedule
 
-    result = bounded_schedule(jobs, m, eps, validate=validate)
+    result = bounded_schedule(jobs, m, eps, validate=validate, backend=backend)
     result.schedule.metadata["algorithm"] = "ptas_fallback_bounded"
     result.schedule.metadata["guarantee"] = 1.5 + eps
     return result

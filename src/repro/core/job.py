@@ -11,6 +11,17 @@ Throughout the library we follow the conventions of Jansen & Land (2018):
 All job classes in this module expose ``processing_time(k)`` as an O(1) oracle
 so that instances with an astronomically large machine count ``m`` (compact
 input encoding) can be handled in time polylogarithmic in ``m``.
+
+For batched evaluation the classes additionally expose
+:meth:`MoldableJob.times_for`, which maps a whole NumPy array of processor
+counts to processing times in one vectorized pass.  The closed-form models
+(:class:`AmdahlJob`, :class:`PowerLawJob`, :class:`CommunicationJob`,
+:class:`TabulatedJob`, :class:`RigidJob`) implement it without any per-``k``
+Python call; arbitrary :class:`OracleJob` callables fall back to a loop.  The
+vectorized kernels are written so their float64 arithmetic is bit-for-bit
+identical to the scalar ``processing_time`` path (same operations in the same
+order — e.g. ``numpy.float_power`` instead of ``numpy.power``, which may
+differ from CPython's ``**`` by one ulp).
 """
 
 from __future__ import annotations
@@ -18,6 +29,8 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from typing import Callable, Iterable, Sequence
+
+import numpy as np
 
 __all__ = [
     "MoldableJob",
@@ -46,11 +59,20 @@ class MoldableJob(ABC):
         Identifier used in schedules, reports and error messages.
     """
 
-    __slots__ = ("name", "_cache")
+    __slots__ = ("name", "_cache", "_cache_evictions")
+
+    #: Maximum number of memoised ``(k, t_j(k))`` pairs per job.  When the
+    #: memo is full it behaves as an LRU: hits refresh the entry's recency and
+    #: the least-recently-used entry is evicted, so hot anchors like
+    #: ``t_j(1)``/``t_j(m)`` survive long sweeps.  (Below capacity, hits skip
+    #: the bookkeeping — lookups stay a bare dict get.)  Evictions are counted
+    #: in :attr:`memo_stats`.
+    MEMO_CAPACITY = 4096
 
     def __init__(self, name: str) -> None:
         self.name = str(name)
         self._cache: dict[int, float] = {}
+        self._cache_evictions: int = 0
 
     # ------------------------------------------------------------------ API
     @abstractmethod
@@ -69,18 +91,70 @@ class MoldableJob(ABC):
         if k != int(k) or k < 1:
             raise ValueError(f"processor count must be a positive integer, got {k!r}")
         k = int(k)
-        cached = self._cache.get(k)
+        cache = self._cache
+        cached = cache.get(k)
         if cached is not None:
+            if len(cache) >= self.MEMO_CAPACITY:
+                # LRU refresh (dicts preserve insertion order, so delete +
+                # re-insert moves the entry to the newest position); skipped
+                # below capacity where eviction can never bite.
+                del cache[k]
+                cache[k] = cached
             return cached
         value = float(self._time(k))
         if not math.isfinite(value) or value <= 0.0:
             raise ValueError(
                 f"job {self.name!r}: oracle returned invalid processing time {value!r} for k={k}"
             )
-        # Keep the memo small for huge sweeps: cap at a generous size.
-        if len(self._cache) < 4096:
-            self._cache[k] = value
+        if len(cache) >= self.MEMO_CAPACITY:
+            # Evict the least-recently-used entry instead of silently refusing
+            # to memoise new counts forever.
+            del cache[next(iter(cache))]
+            self._cache_evictions += 1
+        cache[k] = value
         return value
+
+    def memo_stats(self) -> dict:
+        """Instrumentation for the oracle memo: current size, capacity and the
+        number of evictions performed so far."""
+        return {
+            "size": len(self._cache),
+            "capacity": self.MEMO_CAPACITY,
+            "evictions": self._cache_evictions,
+        }
+
+    # ------------------------------------------------------------ batched API
+    def _times_batch(self, ks: np.ndarray) -> np.ndarray:
+        """Vectorized oracle kernel: processing times for a float64 array of
+        (already validated) processor counts.  Subclasses with closed-form
+        models override this; the fallback loops over the scalar oracle."""
+        return np.array([self.processing_time(int(k)) for k in ks], dtype=np.float64)
+
+    def times_for(self, ks) -> np.ndarray:
+        """Processing times ``t_j(k)`` for a whole array of processor counts.
+
+        This is the batched counterpart of :meth:`processing_time`: one call
+        evaluates the oracle for every entry of ``ks`` (a sequence or ndarray
+        of positive integers) and returns a float64 array of the same length.
+        Closed-form job models answer without any per-``k`` Python call, and
+        the results are bit-for-bit identical to the scalar path.
+
+        Unlike :meth:`processing_time`, values are not memoised (callers batch
+        precisely to avoid per-``k`` bookkeeping) and closed-form kernels skip
+        the per-value finiteness check — their constructor validation already
+        guarantees positive finite times.
+        """
+        arr = np.asarray(ks)
+        if arr.ndim != 1:
+            raise ValueError(f"ks must be one-dimensional, got shape {arr.shape}")
+        if arr.size == 0:
+            return np.empty(0, dtype=np.float64)
+        if not np.issubdtype(arr.dtype, np.integer):
+            if not np.all(arr == np.floor(arr)):
+                raise ValueError("processor counts must be positive integers")
+        if np.any(arr < 1):
+            raise ValueError("processor counts must be positive integers")
+        return self._times_batch(arr.astype(np.float64))
 
     def work(self, k: int) -> float:
         """Work ``w_j(k) = k * t_j(k)``."""
@@ -132,6 +206,11 @@ class TabulatedJob(MoldableJob):
             return self.times[k - 1]
         return self.times[-1]
 
+    def _times_batch(self, ks: np.ndarray) -> np.ndarray:
+        table = np.asarray(self.times, dtype=np.float64)
+        idx = np.minimum(ks.astype(np.int64), len(table)) - 1
+        return table[idx]
+
 
 class OracleJob(MoldableJob):
     """Job whose processing time is given by an arbitrary callable.
@@ -173,6 +252,10 @@ class AmdahlJob(MoldableJob):
         f = self.serial_fraction
         return self.t1 * (f + (1.0 - f) / k)
 
+    def _times_batch(self, ks: np.ndarray) -> np.ndarray:
+        f = self.serial_fraction
+        return self.t1 * (f + (1.0 - f) / ks)
+
 
 class PowerLawJob(MoldableJob):
     """Power-law job: ``t(k) = t1 / k**alpha`` with ``0 <= alpha <= 1``.
@@ -195,6 +278,11 @@ class PowerLawJob(MoldableJob):
 
     def _time(self, k: int) -> float:
         return self.t1 / (k ** self.alpha)
+
+    def _times_batch(self, ks: np.ndarray) -> np.ndarray:
+        # float_power, not power: numpy's power may differ from CPython's **
+        # by one ulp, which would break scalar/vectorized bit-parity.
+        return self.t1 / np.float_power(ks, self.alpha)
 
 
 class CommunicationJob(MoldableJob):
@@ -238,6 +326,12 @@ class CommunicationJob(MoldableJob):
         k_eff = min(k, self.k_star)
         return self._raw(k_eff)
 
+    def _times_batch(self, ks: np.ndarray) -> np.ndarray:
+        if self.k_star is None:
+            return self.t1 / ks
+        k_eff = np.minimum(ks, float(self.k_star))
+        return self.t1 / k_eff + self.overhead * (k_eff - 1)
+
 
 class RigidJob(MoldableJob):
     """A "rigid" parallel job disguised as a moldable one.
@@ -266,6 +360,9 @@ class RigidJob(MoldableJob):
         if k >= self.size:
             return self.duration
         return self.penalty
+
+    def _times_batch(self, ks: np.ndarray) -> np.ndarray:
+        return np.where(ks >= self.size, self.duration, self.penalty)
 
 
 # --------------------------------------------------------------------------

@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence
 from ..knapsack.dp import solve_knapsack, solve_knapsack_dense
 from ..knapsack.items import KnapsackItem
 from .allotment import gamma
+from .backend import resolve_backend
 from .dual import DualSearchResult, dual_binary_search
 from .job import MoldableJob
 from .schedule import Schedule
@@ -33,6 +34,8 @@ def mrt_dual(
     d: float,
     *,
     knapsack: str = "auto",
+    backend: str = "scalar",
+    oracle=None,
 ) -> Optional[Schedule]:
     """One dual step of the MRT algorithm: schedule with makespan ``<= 3d/2``
     or reject the target ``d``.
@@ -47,10 +50,20 @@ def mrt_dual(
         the paper attributes to the original algorithm), ``"pairs"`` the
         dominance-list DP (same optimum), ``"auto"`` picks dense for moderate
         capacities and pairs otherwise.
+    backend:
+        ``"vectorized"`` evaluates γ-allotments with lockstep batched binary
+        searches and sweeps the knapsack DP rows with NumPy;``"scalar"`` is
+        the pure-Python reference path.  Results are bit-for-bit identical.
+    oracle:
+        An existing :class:`repro.perf.oracle.BatchedOracle` for
+        ``(jobs, m)``; implies (and is required by) the vectorized backend
+        across repeated dual calls.
     """
     if d <= 0:
         return None
-    jobs = list(jobs)
+    jobs = list(jobs)  # before resolve_backend: the oracle build iterates jobs
+    backend, oracle = resolve_backend(jobs, m, backend, oracle)
+    gamma_fn = oracle.gamma if oracle is not None else gamma
     _, big = partition_small_big(jobs, d)
 
     # Jobs that cannot finish within d even on all machines force rejection.
@@ -58,10 +71,10 @@ def mrt_dual(
     knapsack_jobs: List[MoldableJob] = []
     capacity = m
     for job in big:
-        g_full = gamma(job, d, m)
+        g_full = gamma_fn(job, d, m)
         if g_full is None:
             return None
-        g_half = gamma(job, d / 2.0, m)
+        g_half = gamma_fn(job, d / 2.0, m)
         if g_half is None:
             # must run in shelf S1 (cannot fit the d/2 shelf at all)
             shelf1.append(job)
@@ -72,19 +85,24 @@ def mrt_dual(
         return None
 
     items = [
-        KnapsackItem(key=idx, size=gamma(job, d, m), profit=shelf_profit(job, d, m), payload=job)
+        KnapsackItem(
+            key=idx,
+            size=gamma_fn(job, d, m),
+            profit=shelf_profit(job, d, m, gamma_fn=gamma_fn),
+            payload=job,
+        )
         for idx, job in enumerate(knapsack_jobs)
     ]
     if knapsack not in ("auto", "dense", "pairs"):
         raise ValueError(f"unknown knapsack engine {knapsack!r}")
     use_dense = knapsack == "dense" or (knapsack == "auto" and capacity <= DENSE_KNAPSACK_LIMIT)
     if use_dense:
-        _, chosen = solve_knapsack_dense(items, capacity)
+        _, chosen = solve_knapsack_dense(items, capacity, backend=backend)
     else:
-        _, chosen = solve_knapsack(items, capacity)
+        _, chosen = solve_knapsack(items, capacity, backend=backend)
     shelf1.extend(item.payload for item in chosen)
 
-    return build_three_shelf_schedule(jobs, m, d, shelf1)
+    return build_three_shelf_schedule(jobs, m, d, shelf1, gamma_fn=gamma_fn)
 
 
 def mrt_schedule(
@@ -93,20 +111,33 @@ def mrt_schedule(
     eps: float = 0.1,
     *,
     validate: bool = True,
+    backend: str = "vectorized",
 ) -> DualSearchResult:
     """`(3/2 + eps)`-approximation via the MRT dual algorithm and binary search.
 
     The binary-search tolerance is chosen so that the final makespan is at most
     ``(3/2)(1 + 2*eps/3) <= 3/2 + eps`` times the optimum.
+
+    ``backend="vectorized"`` (default) shares one batched γ-oracle across the
+    whole dual search, so successive thresholds reuse earlier γ-arrays as
+    bisection brackets; ``backend="scalar"`` is the bit-identical reference.
     """
     if eps <= 0:
         raise ValueError("eps must be positive")
     jobs = list(jobs)
+    backend, oracle = resolve_backend(jobs, m, backend, None)
     tolerance = 2.0 * eps / 3.0
-    result = dual_binary_search(jobs, m, lambda d: mrt_dual(jobs, m, d), tolerance=tolerance)
+    result = dual_binary_search(
+        jobs,
+        m,
+        lambda d: mrt_dual(jobs, m, d, backend=backend, oracle=oracle),
+        tolerance=tolerance,
+        oracle=oracle,
+    )
     result.schedule.metadata["algorithm"] = "mrt"
     result.schedule.metadata["eps"] = eps
     result.schedule.metadata["guarantee"] = 1.5 + eps
+    result.schedule.metadata["backend"] = backend
     if validate and jobs:
         assert_valid_schedule(result.schedule, jobs)
     return result

@@ -84,12 +84,18 @@ def round_jobs_to_types(
     m: int,
     d: float,
     delta: float,
+    *,
+    gamma_fn=None,
 ) -> RoundingScheme:
     """Round the big jobs of a target ``d`` into bounded-knapsack item types.
 
     Every job must satisfy ``gamma_j(d)`` and ``gamma_j(d/2)`` defined (the
-    caller removes forced shelf-1 jobs beforehand).
+    caller removes forced shelf-1 jobs beforehand).  ``gamma_fn`` optionally
+    substitutes a batched γ-oracle (signature of
+    :func:`repro.core.allotment.gamma`).
     """
+    if gamma_fn is None:
+        gamma_fn = gamma
     params = params_for_delta(delta)
     rho = params.rho
     b = params.b
@@ -97,8 +103,8 @@ def round_jobs_to_types(
 
     rounded_jobs: List[RoundedJob] = []
     for job in big_jobs:
-        g_full = gamma(job, d, m)
-        g_half = gamma(job, half, m)
+        g_full = gamma_fn(job, d, m)
+        g_half = gamma_fn(job, half, m)
         if g_full is None or g_half is None:
             raise ValueError(
                 f"job {job.name!r} cannot meet the shelf heights; forced jobs must be removed before rounding"

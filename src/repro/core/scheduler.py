@@ -69,6 +69,7 @@ def schedule_moldable(
     *,
     algorithm: str = "auto",
     validate: bool = True,
+    backend: str = "vectorized",
 ) -> SchedulingResult:
     """Schedule monotone moldable jobs on ``m`` machines.
 
@@ -99,6 +100,10 @@ def schedule_moldable(
             Section 3 algorithms.
         ``"exact"``
             Branch-and-bound optimum (tiny instances only).
+    backend:
+        ``"vectorized"`` (default) runs γ-allotments and knapsack DPs on the
+        NumPy fast path, ``"scalar"`` on the bit-identical pure-Python
+        reference (see :mod:`repro.perf`).  Ignored by ``"exact"``.
     """
     jobs = list(jobs)
     if m < 1:
@@ -114,26 +119,26 @@ def schedule_moldable(
         chosen = "fptas" if m >= fptas_machine_threshold(len(jobs), eps) else "bounded"
 
     if chosen == "two_approx":
-        res = two_approximation(jobs, m, validate=validate)
+        res = two_approximation(jobs, m, validate=validate, backend=backend)
         schedule = res.schedule
         guarantee: Optional[float] = 2.0
     elif chosen == "mrt":
-        schedule = mrt_schedule(jobs, m, eps, validate=validate).schedule
+        schedule = mrt_schedule(jobs, m, eps, validate=validate, backend=backend).schedule
         guarantee = 1.5 + eps
     elif chosen == "compressible":
-        schedule = compressible_schedule(jobs, m, eps, validate=validate).schedule
+        schedule = compressible_schedule(jobs, m, eps, validate=validate, backend=backend).schedule
         guarantee = 1.5 + eps
     elif chosen == "bounded":
-        schedule = bounded_schedule(jobs, m, eps, transform="heap", validate=validate).schedule
+        schedule = bounded_schedule(jobs, m, eps, transform="heap", validate=validate, backend=backend).schedule
         guarantee = 1.5 + eps
     elif chosen == "bounded_linear":
-        schedule = bounded_schedule(jobs, m, eps, transform="bucket", validate=validate).schedule
+        schedule = bounded_schedule(jobs, m, eps, transform="bucket", validate=validate, backend=backend).schedule
         guarantee = 1.5 + eps
     elif chosen == "fptas":
-        schedule = fptas_schedule(jobs, m, eps, validate=validate).schedule
+        schedule = fptas_schedule(jobs, m, eps, validate=validate, backend=backend).schedule
         guarantee = 1.0 + eps
     elif chosen == "ptas":
-        result = ptas_schedule(jobs, m, eps, validate=validate)
+        result = ptas_schedule(jobs, m, eps, validate=validate, backend=backend)
         schedule = result.schedule
         guarantee = schedule.metadata.get("guarantee")
     elif chosen == "exact":

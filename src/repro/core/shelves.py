@@ -69,15 +69,22 @@ def small_jobs_work(small: Iterable[MoldableJob]) -> float:
     return sum(job.processing_time(1) for job in small)
 
 
-def shelf_profit(job: MoldableJob, d: float, m: int) -> float:
+def shelf_profit(job: MoldableJob, d: float, m: int, *, gamma_fn=None) -> float:
     """Knapsack profit ``v_j(d) = w_j(gamma_j(d/2)) - w_j(gamma_j(d))``.
 
     The work saved by promoting a big job from shelf S2 to shelf S1.  Requires
     both gammas to be defined; monotony guarantees non-negativity (we clamp
     tiny negative values caused by floating point).
+
+    ``gamma_fn`` optionally substitutes a γ-oracle with the same signature as
+    :func:`repro.core.allotment.gamma` (e.g. a
+    :class:`repro.perf.oracle.BatchedOracle` answering from its per-threshold
+    γ-array cache).
     """
-    g_half = gamma(job, d / 2.0, m)
-    g_full = gamma(job, d, m)
+    if gamma_fn is None:
+        gamma_fn = gamma
+    g_half = gamma_fn(job, d / 2.0, m)
+    g_full = gamma_fn(job, d, m)
     if g_half is None or g_full is None:
         raise ValueError(f"job {job.name!r} cannot meet the threshold with m={m} machines")
     return max(0.0, job.work(g_half) - job.work(g_full))
@@ -127,6 +134,8 @@ def build_two_shelf_schedule(
     m: int,
     d: float,
     shelf1_jobs: Iterable[MoldableJob],
+    *,
+    gamma_fn=None,
 ) -> Optional[TwoShelfSchedule]:
     """Assemble the two-shelf picture for a given shelf-1 selection.
 
@@ -135,18 +144,20 @@ def build_two_shelf_schedule(
     case the target ``d`` must be rejected or the job forced into shelf 1 by
     the caller.
     """
+    if gamma_fn is None:
+        gamma_fn = gamma
     small, big = partition_small_big(jobs, d)
     shelf1_ids = {id(j) for j in shelf1_jobs}
     shelf1: Dict[MoldableJob, int] = {}
     shelf2: Dict[MoldableJob, int] = {}
     for job in big:
         if id(job) in shelf1_ids:
-            g = gamma(job, d, m)
+            g = gamma_fn(job, d, m)
             if g is None:
                 return None
             shelf1[job] = g
         else:
-            g = gamma(job, d / 2.0, m)
+            g = gamma_fn(job, d / 2.0, m)
             if g is None:
                 return None
             shelf2[job] = g
@@ -198,6 +209,7 @@ def build_three_shelf_schedule(
     transform: str = "heap",
     bucket_ratio: Optional[float] = None,
     diagnostics: Optional[ThreeShelfDiagnostics] = None,
+    gamma_fn=None,
 ) -> Optional[Schedule]:
     """Turn a shelf-1 selection into a feasible schedule of length ``<= 3d/2``.
 
@@ -222,6 +234,11 @@ def build_three_shelf_schedule(
     bucket_ratio:
         Geometric ratio of the buckets for ``transform="bucket"``; defaults to
         ``1.05``.
+    gamma_fn:
+        Optional γ-oracle with the signature of
+        :func:`repro.core.allotment.gamma`; the vectorized drivers pass a
+        :class:`repro.perf.oracle.BatchedOracle` so every γ-lookup of the
+        construction is answered from a batched per-threshold cache.
 
     Returns ``None`` when the selection violates the Lemma 6 work bound, shelf
     S1 does not fit, or (defensively) the construction cannot complete — the
@@ -229,11 +246,13 @@ def build_three_shelf_schedule(
     """
     if transform not in ("heap", "bucket"):
         raise ValueError(f"unknown transform {transform!r}")
+    if gamma_fn is None:
+        gamma_fn = gamma
     diag = diagnostics if diagnostics is not None else ThreeShelfDiagnostics(d=d, m=m)
     diag.d = d
     diag.m = m
 
-    two_shelf = build_two_shelf_schedule(jobs, m, d, shelf1_jobs)
+    two_shelf = build_two_shelf_schedule(jobs, m, d, shelf1_jobs, gamma_fn=gamma_fn)
     if two_shelf is None:
         diag.rejected_reason = "a big job cannot meet its shelf height on m machines"
         return None
@@ -301,7 +320,7 @@ def build_three_shelf_schedule(
 
     move_heap: List[Tuple[int, int, MoldableJob]] = []
     for idx, job in enumerate(s2_alloc.keys()):
-        g = gamma(job, three_half, m)
+        g = gamma_fn(job, three_half, m)
         # S2 jobs satisfy t_j(m) <= d/2 <= 3d/2, so g is always defined.
         assert g is not None
         move_heap.append((g, idx, job))

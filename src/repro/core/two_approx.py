@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from .backend import resolve_backend
 from .bounds import EstimatorResult, ludwig_tiwari_estimator
 from .job import MoldableJob
 from .list_scheduling import list_schedule
@@ -49,10 +50,16 @@ def two_approximation(
     m: int,
     *,
     validate: bool = True,
+    backend: str = "vectorized",
 ) -> TwoApproxResult:
-    """Compute a 2-approximate schedule for monotone moldable jobs."""
+    """Compute a 2-approximate schedule for monotone moldable jobs.
+
+    ``backend="vectorized"`` (default) runs the estimator's γ-searches in
+    lockstep on arrays; ``backend="scalar"`` is the bit-identical reference.
+    """
     jobs = list(jobs)
-    estimate = ludwig_tiwari_estimator(jobs, m)
+    backend, oracle = resolve_backend(jobs, m, backend, None)
+    estimate = ludwig_tiwari_estimator(jobs, m, oracle=oracle)
     if not jobs:
         return TwoApproxResult(Schedule(m=m, metadata={"algorithm": "two_approximation"}), estimate)
     # Sort longest-processing-time first: not required for the bound but a

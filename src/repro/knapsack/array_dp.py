@@ -1,0 +1,199 @@
+"""Array (NumPy) engines for the dominance-list knapsack DPs.
+
+:class:`ArrayDominanceList` is the vectorized counterpart of
+:class:`repro.knapsack.dp.DominanceList`: the undominated ``(profit, size)``
+states live in flat float64 arrays and adding an item is a constant number of
+whole-array operations (shift, merge via a stable lexicographic sort, prune
+via a running maximum) instead of a Python loop over states.  Backtracking
+information is kept in an append-only node pool (``item``, ``parent`` per
+state), so solutions are recovered exactly like the scalar engine's parent
+pointers.
+
+Pruning semantics match the scalar engine: a state is kept only if its profit
+exceeds the running maximum of all earlier states (in ``(size, -profit)``
+order, earlier-engine-order first) by more than ``1e-15``, and among states
+with (near-)identical sizes the most profitable survives.  On exact profit /
+size ties — the only ties that occur with real work values — the two engines
+keep identical states, so the solvers below are drop-in replacements for
+:func:`repro.knapsack.dp.solve_knapsack`,
+:func:`repro.knapsack.multi.solve_knapsack_multi` and the compressible
+multi-capacity solver.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .items import KnapsackItem
+
+__all__ = [
+    "ArrayDominanceList",
+    "solve_knapsack_array",
+    "solve_knapsack_multi_array",
+]
+
+_SIZE_EPS = 1e-12
+_PROFIT_EPS = 1e-15
+_TIE_EPS = 1e-15
+
+
+class ArrayDominanceList:
+    """Undominated ``(profit, size)`` states in flat arrays.
+
+    Invariant (as in the scalar engine): ``sizes`` strictly increasing and
+    ``profits`` strictly increasing; state 0 is the empty root ``(0, 0)``.
+    """
+
+    def __init__(self) -> None:
+        self.sizes = np.zeros(1, dtype=np.float64)
+        self.profits = np.zeros(1, dtype=np.float64)
+        self.nodes = np.zeros(1, dtype=np.int64)
+        # node pool: node 0 is the root (no item, no parent)
+        self._pool_items: List[np.ndarray] = [np.array([-1], dtype=np.int64)]
+        self._pool_parents: List[np.ndarray] = [np.array([-1], dtype=np.int64)]
+        self._pool_offsets: List[int] = [0, 1]
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+    # ------------------------------------------------------------------ pool
+    def _register_nodes(self, item_index: int, parents: np.ndarray) -> np.ndarray:
+        base = self._pool_offsets[-1]
+        count = len(parents)
+        self._pool_items.append(np.full(count, item_index, dtype=np.int64))
+        self._pool_parents.append(parents.astype(np.int64, copy=True))
+        self._pool_offsets.append(base + count)
+        return np.arange(base, base + count, dtype=np.int64)
+
+    def _node(self, node_id: int) -> Tuple[int, int]:
+        chunk = bisect_right(self._pool_offsets, node_id) - 1
+        offset = node_id - self._pool_offsets[chunk]
+        return int(self._pool_items[chunk][offset]), int(self._pool_parents[chunk][offset])
+
+    def backtrack(self, state_index: int, items: Sequence[KnapsackItem]) -> List[KnapsackItem]:
+        """Chosen items of the state at ``state_index`` (engine order)."""
+        chosen: List[KnapsackItem] = []
+        node = int(self.nodes[state_index])
+        while node >= 0:
+            item_index, parent = self._node(node)
+            if item_index < 0:
+                break
+            chosen.append(items[item_index])
+            node = parent
+        chosen.reverse()
+        return chosen
+
+    # ------------------------------------------------------------------- add
+    def add_item(
+        self,
+        item: KnapsackItem,
+        item_index: int,
+        capacity: float,
+        *,
+        size_transform: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> None:
+        """Merge in the states obtained by adding ``item`` to every state.
+
+        ``size_transform``, when given, must be the *vectorized* counterpart
+        of the scalar engine's transform (it receives the raw new sizes array
+        and returns the recorded sizes).
+        """
+        new_sizes = self.sizes + item.size
+        if size_transform is not None:
+            new_sizes = size_transform(new_sizes)
+        keep = new_sizes <= capacity + _SIZE_EPS
+        if not keep.any():
+            return
+        new_sizes = new_sizes[keep]
+        new_profits = self.profits[keep] + item.profit
+        new_nodes = self._register_nodes(item_index, self.nodes[keep])
+
+        sizes = np.concatenate((self.sizes, new_sizes))
+        profits = np.concatenate((self.profits, new_profits))
+        nodes = np.concatenate((self.nodes, new_nodes))
+        # stable merge order: by size asc, then profit desc, then engine order
+        # (old states before new, original order within each) — exactly the
+        # scalar merge's comparison (size, -profit) with old-first ties.
+        order = np.lexsort((-profits, sizes))
+        sizes = sizes[order]
+        profits = profits[order]
+        nodes = nodes[order]
+
+        # prune 1: keep only states strictly improving on the running profit
+        # maximum of everything before them.
+        if len(profits) > 1:
+            prev_max = np.maximum.accumulate(profits)
+            keep1 = np.empty(len(profits), dtype=bool)
+            keep1[0] = True
+            keep1[1:] = profits[1:] > prev_max[:-1] + _PROFIT_EPS
+            sizes = sizes[keep1]
+            profits = profits[keep1]
+            nodes = nodes[keep1]
+
+        # prune 2: among runs of (near-)equal sizes keep the last survivor —
+        # the scalar engine's same-size "replace" rule.  Profits strictly
+        # increase after prune 1, so the last of a run is the best.
+        if len(sizes) > 1:
+            keep2 = np.empty(len(sizes), dtype=bool)
+            keep2[-1] = True
+            keep2[:-1] = np.diff(sizes) >= _TIE_EPS
+            sizes = sizes[keep2]
+            profits = profits[keep2]
+            nodes = nodes[keep2]
+
+        self.sizes = sizes
+        self.profits = profits
+        self.nodes = nodes
+
+    # ---------------------------------------------------------------- queries
+    def best_index_for_capacity(self, capacity: float, tol: float = _SIZE_EPS) -> int:
+        """Index of the most profitable state with size ``<= capacity + tol``
+        (profits strictly increase, so it is the last admissible state)."""
+        idx = int(np.searchsorted(self.sizes, capacity + tol, side="right")) - 1
+        return max(idx, 0)
+
+
+def solve_knapsack_array(
+    items: Sequence[KnapsackItem],
+    capacity: float,
+) -> Tuple[float, List[KnapsackItem]]:
+    """Array-engine counterpart of :func:`repro.knapsack.dp.solve_knapsack`."""
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    dom = ArrayDominanceList()
+    for index, item in enumerate(items):
+        if item.size > capacity + _SIZE_EPS:
+            continue
+        dom.add_item(item, index, capacity)
+    best = int(np.argmax(dom.profits)) if len(dom) else 0
+    return float(dom.profits[best]), dom.backtrack(best, items)
+
+
+def solve_knapsack_multi_array(
+    items: Sequence[KnapsackItem],
+    capacities: Sequence[float],
+) -> Dict[float, Tuple[float, List[KnapsackItem]]]:
+    """Array-engine counterpart of
+    :func:`repro.knapsack.multi.solve_knapsack_multi`."""
+    if any(c < 0 for c in capacities):
+        raise ValueError("capacities must be non-negative")
+    if not capacities:
+        return {}
+    max_cap = max(capacities)
+    dom = ArrayDominanceList()
+    for index, item in enumerate(items):
+        if item.size > max_cap + _SIZE_EPS:
+            continue
+        dom.add_item(item, index, max_cap)
+
+    results: Dict[float, Tuple[float, List[KnapsackItem]]] = {}
+    backtracked: Dict[int, Tuple[float, List[KnapsackItem]]] = {}
+    for cap in capacities:
+        idx = dom.best_index_for_capacity(cap)
+        if idx not in backtracked:
+            backtracked[idx] = (float(dom.profits[idx]), dom.backtrack(idx, items))
+        results[cap] = backtracked[idx]
+    return results

@@ -29,8 +29,12 @@ from __future__ import annotations
 import math
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
+from .array_dp import ArrayDominanceList
 from .dp import DominanceList
 from .items import KnapsackItem
 from .multi import solve_knapsack_multi
@@ -50,44 +54,88 @@ __all__ = [
 # Geometric value sets (Definition 13 / Lemma 14)
 # --------------------------------------------------------------------------
 
-def geom(low: float, high: float, ratio: float) -> List[float]:
-    """The geometric set ``{low * ratio**i : i = 0, ..., ceil(log_ratio(high/low))}``.
+@lru_cache(maxsize=8)
+def _geom_cached(low: float, high: float, ratio: float) -> Tuple[float, ...]:
+    """Materialised geometric grid, memoised per ``(low, high, ratio)``.
 
-    For ``high <= low`` the set degenerates to ``[low]``.
+    Only list-returning :func:`geom` callers materialise grids now (the
+    rounding helpers below locate their grid point in O(1) via logarithms);
+    the memo covers the repeated within-instance calls while keeping at most
+    a handful of the — possibly 10^5-point — grids alive.
     """
     if low <= 0:
         raise ValueError("low must be positive")
     if ratio <= 1.0:
         raise ValueError("ratio must be > 1")
     if high <= low:
-        return [low]
+        return (low,)
     steps = math.ceil(math.log(high / low) / math.log(ratio))
-    return [low * ratio ** i for i in range(steps + 1)]
+    return tuple(low * ratio ** i for i in range(steps + 1))
+
+
+def geom(low: float, high: float, ratio: float) -> List[float]:
+    """The geometric set ``{low * ratio**i : i = 0, ..., ceil(log_ratio(high/low))}``.
+
+    For ``high <= low`` the set degenerates to ``[low]``.
+    """
+    return list(_geom_cached(low, high, ratio))
+
+
+def _geom_params(low: float, high: float, ratio: float) -> int:
+    """Validate grid parameters and return the largest grid index (the grid is
+    ``low * ratio**i`` for ``i = 0..steps``) without materialising the grid."""
+    if low <= 0:
+        raise ValueError("low must be positive")
+    if ratio <= 1.0:
+        raise ValueError("ratio must be > 1")
+    if high <= low:
+        return 0
+    return math.ceil(math.log(high / low) / math.log(ratio))
 
 
 def round_down_geom(value: float, low: float, high: float, ratio: float) -> float:
     """``max { a in geom(low, high, ratio) : a <= value }`` (the paper's ǧr).
 
     Raises ``ValueError`` when ``value`` is below every grid point.
+
+    The grid index is located in O(1) via logarithms (plus a float-safety
+    nudge) instead of materialising the — possibly 10^5-point — grid; the
+    returned value ``low * ratio**i`` is bit-identical to the grid entry.
     """
-    grid = geom(low, high, ratio)
-    idx = bisect_right(grid, value * (1 + 1e-12)) - 1
-    if idx < 0:
-        raise ValueError(f"value {value} is below the smallest grid point {grid[0]}")
-    return grid[idx]
+    steps = _geom_params(low, high, ratio)
+    v = value * (1 + 1e-12)
+    if v < low:
+        raise ValueError(f"value {value} is below the smallest grid point {low}")
+    idx = int(math.floor(math.log(v / low) / math.log(ratio))) if steps else 0
+    idx = min(max(idx, 0), steps)
+    # the log estimate can be off by one ulp-step; restore the bisect predicate
+    while idx > 0 and low * ratio ** idx > v:
+        idx -= 1
+    while idx < steps and low * ratio ** (idx + 1) <= v:
+        idx += 1
+    if low * ratio ** idx > v:
+        raise ValueError(f"value {value} is below the smallest grid point {low}")
+    return low * ratio ** idx
 
 
 def round_up_geom(value: float, low: float, high: float, ratio: float) -> float:
     """``min { a in geom(low, high, ratio) : a >= value }`` (the paper's ĝr).
 
     Values above the largest grid point are clamped to it (they can only occur
-    through floating-point noise in the intended uses).
+    through floating-point noise in the intended uses).  O(1) via logarithms,
+    bit-identical to bisecting the materialised grid.
     """
-    grid = geom(low, high, ratio)
-    idx = bisect_left(grid, value * (1 - 1e-12))
-    if idx >= len(grid):
-        return grid[-1]
-    return grid[idx]
+    steps = _geom_params(low, high, ratio)
+    v = value * (1 - 1e-12)
+    if v <= low:
+        return low
+    idx = int(math.ceil(math.log(v / low) / math.log(ratio))) if steps else 0
+    idx = min(max(idx, 0), steps)
+    while idx < steps and low * ratio ** idx < v:
+        idx += 1
+    while idx > 0 and low * ratio ** (idx - 1) >= v:
+        idx -= 1
+    return low * ratio ** idx
 
 
 # --------------------------------------------------------------------------
@@ -162,6 +210,23 @@ class AdaptiveNormalizer:
         normalized = math.floor(size / unit) * unit
         return max(normalized, lower)
 
+    def normalize_array(self, sizes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`normalize`: round a whole array of sizes onto the
+        adaptive grid in a handful of array operations (bit-for-bit identical
+        to the scalar path)."""
+        sizes = np.asarray(sizes, dtype=np.float64)
+        caps = getattr(self, "_caps_arr", None)
+        if caps is None:
+            caps = self._caps_arr = np.asarray(self.capacities, dtype=np.float64)
+            self._units_arr = np.array([info.unit for info in self.intervals], dtype=np.float64)
+            self._lowers_arr = np.array([info.lower for info in self.intervals], dtype=np.float64)
+        idx = np.searchsorted(caps, sizes, side="right")
+        np.clip(idx, 0, len(caps) - 1, out=idx)
+        unit = self._units_arr[idx]
+        lower = self._lowers_arr[idx]
+        normalized = np.maximum(np.floor(sizes / unit) * unit, lower)
+        return np.where(sizes < self.alpha_min, sizes, normalized)
+
     def max_underestimate(self, capacity: float) -> float:
         """Upper bound on the total size under-estimation of a solution for
         ``capacity`` (``n_bar * U_i`` for the interval of ``capacity``)."""
@@ -185,6 +250,8 @@ def solve_compressible_multi(
     rho: float,
     n_bar: int,
     alpha_min: float,
+    *,
+    backend: str = "scalar",
 ) -> Dict[float, Tuple[float, List[KnapsackItem]]]:
     """Solve the compressible-items sub-instance for every capacity.
 
@@ -193,9 +260,14 @@ def solve_compressible_multi(
     item with factor ``2*rho - rho**2`` (this is exactly the slack Lemma 12 /
     Eq. (14) accounts for).  Profits are at least the exact optimum of the
     corresponding uncompressed problems.
+
+    ``backend="vectorized"`` runs the normalised dominance DP on the array
+    engine (:mod:`repro.knapsack.array_dp`) with the vectorized normaliser.
     """
     if not capacities:
         return {}
+    if backend == "vectorized":
+        return _solve_compressible_multi_array(items, capacities, rho, n_bar, alpha_min)
     normalizer = AdaptiveNormalizer(capacities, alpha_min, rho, n_bar)
     max_cap = max(capacities)
     dom = DominanceList()
@@ -221,6 +293,32 @@ def solve_compressible_multi(
             continue
         pair = pairs[best_prefix[idx]]
         results[cap] = (pair.profit, pair.backtrack(items))
+    return results
+
+
+def _solve_compressible_multi_array(
+    items: Sequence[KnapsackItem],
+    capacities: Sequence[float],
+    rho: float,
+    n_bar: int,
+    alpha_min: float,
+) -> Dict[float, Tuple[float, List[KnapsackItem]]]:
+    """Array-engine variant of :func:`solve_compressible_multi`."""
+    normalizer = AdaptiveNormalizer(capacities, alpha_min, rho, n_bar)
+    max_cap = max(capacities)
+    dom = ArrayDominanceList()
+    for index, item in enumerate(items):
+        if item.size > max_cap / (1.0 - rho) + 1e-9:
+            continue
+        dom.add_item(item, index, max_cap, size_transform=normalizer.normalize_array)
+
+    results: Dict[float, Tuple[float, List[KnapsackItem]]] = {}
+    cached: Dict[int, Tuple[float, List[KnapsackItem]]] = {}
+    for cap in capacities:
+        idx = dom.best_index_for_capacity(cap, tol=1e-9)
+        if idx not in cached:
+            cached[idx] = (float(dom.profits[idx]), dom.backtrack(idx, items))
+        results[cap] = cached[idx]
     return results
 
 
@@ -261,6 +359,7 @@ def solve_compressible_knapsack(
     alpha_min: Optional[float] = None,
     beta_max: Optional[float] = None,
     n_bar: Optional[int] = None,
+    backend: str = "scalar",
 ) -> CompressibleSolution:
     """Algorithm 2: knapsack with compressible items.
 
@@ -285,6 +384,10 @@ def solve_compressible_knapsack(
         Upper bound on the number of compressible items in any solution;
         defaults to ``floor(capacity * rho / (1 - rho)) + 1`` (each
         compressible item has size at least ``1/rho``).
+    backend:
+        ``"scalar"`` runs both sub-solvers on the Python dominance-list
+        engine, ``"vectorized"`` on the NumPy array engine
+        (:mod:`repro.knapsack.array_dp`).
 
     Returns
     -------
@@ -296,6 +399,8 @@ def solve_compressible_knapsack(
         raise ValueError("capacity must be non-negative")
     if not 0 < rho <= 0.25:
         raise ValueError("rho must lie in (0, 1/4]")
+    if backend not in ("scalar", "vectorized"):
+        raise ValueError(f"unknown backend {backend!r}")
     comp_keys: Set = set(compressible_keys)
     comp_items = [i for i in items if i.key in comp_keys]
     incomp_items = [i for i in items if i.key not in comp_keys]
@@ -326,9 +431,11 @@ def solve_compressible_knapsack(
     beta_of[0.0] = min(beta_max, capacity)
     betas = sorted(set(beta_of.values()))
 
-    incomp_solutions = solve_knapsack_multi(incomp_items, betas)
+    incomp_solutions = solve_knapsack_multi(incomp_items, betas, backend=backend)
     comp_solutions = (
-        solve_compressible_multi(comp_items, cap_grid, rho, n_bar, alpha_min) if cap_grid else {}
+        solve_compressible_multi(comp_items, cap_grid, rho, n_bar, alpha_min, backend=backend)
+        if cap_grid
+        else {}
     )
 
     best: Optional[CompressibleSolution] = None

@@ -123,13 +123,21 @@ def _merge_and_prune(old: List[Pair], new: List[Pair]) -> List[Pair]:
 def solve_knapsack(
     items: Sequence[KnapsackItem],
     capacity: float,
+    *,
+    backend: str = "scalar",
 ) -> Tuple[float, List[KnapsackItem]]:
     """Exact 0/1 knapsack via the dominance-list dynamic program.
 
-    Returns ``(optimal_profit, chosen_items)``.
+    Returns ``(optimal_profit, chosen_items)``.  ``backend="vectorized"``
+    runs the same DP on the NumPy array engine
+    (:func:`repro.knapsack.array_dp.solve_knapsack_array`).
     """
     if capacity < 0:
         raise ValueError("capacity must be non-negative")
+    if backend == "vectorized":
+        from .array_dp import solve_knapsack_array
+
+        return solve_knapsack_array(items, capacity)
     dom = DominanceList()
     for index, item in enumerate(items):
         if item.size > capacity + 1e-12:
@@ -142,19 +150,44 @@ def solve_knapsack(
 def solve_knapsack_dense(
     items: Sequence[KnapsackItem],
     capacity: int,
+    *,
+    backend: str = "auto",
 ) -> Tuple[float, List[KnapsackItem]]:
     """Exact 0/1 knapsack via the classic ``O(n*C)`` table DP.
 
-    Requires integer item sizes and an integer capacity.  Intended for small
-    capacities (tests, the MRT baseline on small ``m``).
+    Requires integer item sizes and an integer capacity.  Intended for
+    moderate capacities (tests, the MRT baseline).
+
+    Parameters
+    ----------
+    backend:
+        ``"vectorized"`` sweeps each item's DP row with one NumPy array
+        operation (the fast path), ``"scalar"`` runs the pure-Python reference
+        loop, ``"auto"`` picks vectorized when NumPy is available.  Both
+        backends produce bit-for-bit identical tables and selections.
     """
     if capacity < 0:
         raise ValueError("capacity must be non-negative")
+    if backend not in ("auto", "vectorized", "scalar"):
+        raise ValueError(f"unknown backend {backend!r}")
     capacity = int(capacity)
     for item in items:
         if item.size != int(item.size):
             raise ValueError(f"dense DP requires integer sizes, item {item.key!r} has size {item.size}")
+    if backend != "scalar":
+        try:
+            return _solve_knapsack_dense_vectorized(items, capacity)
+        except ImportError:  # pragma: no cover - numpy is a hard dependency
+            if backend == "vectorized":
+                raise
+    return _solve_knapsack_dense_scalar(items, capacity)
 
+
+def _solve_knapsack_dense_scalar(
+    items: Sequence[KnapsackItem],
+    capacity: int,
+) -> Tuple[float, List[KnapsackItem]]:
+    """Pure-Python reference row sweep (kept as the parity baseline)."""
     profits = [0.0] * (capacity + 1)
     # choice[i] is a bytearray marking for item i whether it is taken at each capacity
     choices: List[bytearray] = []
@@ -168,8 +201,39 @@ def solve_knapsack_dense(
                     profits[c] = candidate
                     taken[c] = 1
         choices.append(taken)
+    return _dense_backtrack(items, choices, profits, capacity)
 
-    # backtrack
+
+def _solve_knapsack_dense_vectorized(
+    items: Sequence[KnapsackItem],
+    capacity: int,
+) -> Tuple[float, List[KnapsackItem]]:
+    """NumPy row-sweep DP: one shifted-add-compare per item.
+
+    Semantically identical to the scalar loop: the descending capacity order
+    of the textbook DP reads only *pre-update* values ``profits[c - size]``,
+    which is exactly what computing the candidate row from a snapshot does.
+    """
+    import numpy as np
+
+    profits = np.zeros(capacity + 1, dtype=np.float64)
+    choices: List = []
+    for item in items:
+        size = int(item.size)
+        if size <= capacity and item.profit >= 0:
+            candidate = profits[: capacity + 1 - size] + item.profit
+            better = candidate > profits[size:] + 1e-15
+            taken = np.zeros(capacity + 1, dtype=bool)
+            if better.any():
+                np.copyto(profits[size:], candidate, where=better)
+                taken[size:] = better
+        else:
+            taken = np.zeros(capacity + 1, dtype=bool)
+        choices.append(taken)
+    return _dense_backtrack(items, choices, profits, capacity)
+
+
+def _dense_backtrack(items, choices, profits, capacity):
     c = capacity
     chosen: List[KnapsackItem] = []
     for i in range(len(items) - 1, -1, -1):
@@ -177,4 +241,4 @@ def solve_knapsack_dense(
             chosen.append(items[i])
             c -= int(items[i].size)
     chosen.reverse()
-    return profits[capacity], chosen
+    return float(profits[capacity]), chosen

@@ -19,16 +19,23 @@ __all__ = ["solve_knapsack_multi"]
 def solve_knapsack_multi(
     items: Sequence[KnapsackItem],
     capacities: Sequence[float],
+    *,
+    backend: str = "scalar",
 ) -> Dict[float, Tuple[float, List[KnapsackItem]]]:
     """Solve the 0/1 knapsack for each capacity in ``capacities``.
 
     Returns a dict mapping each capacity to ``(profit, chosen_items)``.
     The work is a single dominance-list pass up to ``max(capacities)``.
+    ``backend="vectorized"`` runs the pass on the NumPy array engine.
     """
     if any(c < 0 for c in capacities):
         raise ValueError("capacities must be non-negative")
     if not capacities:
         return {}
+    if backend == "vectorized":
+        from .array_dp import solve_knapsack_multi_array
+
+        return solve_knapsack_multi_array(items, capacities)
     max_cap = max(capacities)
     dom = DominanceList()
     for index, item in enumerate(items):

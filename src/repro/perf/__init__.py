@@ -1,0 +1,26 @@
+"""Vectorized oracle layer (the perf subsystem).
+
+This package makes *batched* evaluation the fast path of the library:
+
+* :mod:`repro.perf.arrays` — :class:`JobArrayBundle` keeps per-job model
+  parameters in flat NumPy arrays grouped by job class (the SimSo idiom of
+  per-entity state in arrays rather than object graphs), so the processing
+  time ``t_j(k_j)`` of *many* jobs at *per-job* processor counts is one
+  vectorized pass per job class.
+* :mod:`repro.perf.oracle` — :class:`BatchedOracle` runs all ``n``
+  γ-binary-searches in lockstep (``O(log m)`` array operations instead of
+  ``n·log m`` Python calls) and caches the γ-arrays per threshold; successive
+  thresholds of a dual search reuse earlier results as bisection brackets
+  (the γ-breakpoint cache).
+* :mod:`repro.perf.bench` — the scalar-vs-vectorized regression harness
+  behind ``benchmarks/bench_perf_suite.py`` and ``BENCH_perf.json``.
+
+All vectorized paths are bit-for-bit compatible with the scalar reference
+implementations; the algorithm drivers select between them via their
+``backend="vectorized" | "scalar"`` flag.
+"""
+
+from .arrays import JobArrayBundle
+from .oracle import BatchedOracle
+
+__all__ = ["JobArrayBundle", "BatchedOracle"]

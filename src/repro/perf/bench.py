@@ -1,0 +1,285 @@
+"""Scalar-vs-vectorized performance regression harness.
+
+Times every algorithm driver on the Table-1 instance families (the
+``random_mixed_instance`` sweeps of the paper's running-time study) under both
+backends and writes the results to ``BENCH_perf.json``:
+
+* per row: wall-clock seconds for ``backend="scalar"`` and
+  ``backend="vectorized"``, the speedup, and whether the two backends produced
+  *identical* makespans (they must — the vectorized layer is bit-compatible);
+* aggregates: per-algorithm speedups and the geometric-mean speedup over the
+  `(3/2+eps)` Table-1 algorithms on the ``n >= 1000`` instances (the headline
+  number the acceptance gate checks).
+
+``--smoke`` runs a small fixed configuration suitable for CI and can compare
+against a checked-in baseline: the gate fails when an algorithm's *speedup*
+drops below ``baseline / regression_factor`` (speedups, unlike absolute
+seconds, transfer across machines).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.bounded_algorithm import bounded_schedule
+from ..core.compressible_algorithm import compressible_schedule
+from ..core.fptas import fptas_schedule
+from ..core.mrt import mrt_schedule
+from ..core.two_approx import two_approximation
+from ..knapsack.compressible import _geom_cached
+from ..workloads.generators import random_mixed_instance
+
+__all__ = ["BenchRow", "BenchReport", "run_suite", "main"]
+
+#: Algorithms whose n>=1000 speedups form the headline geometric mean (the
+#: paper's Table 1 covers the (3/2+eps) dual algorithms; MRT is its baseline).
+TABLE1_ALGORITHMS = ("mrt", "compressible", "bounded_heap", "bounded_bucket")
+
+SCHEDULE_EPS = 0.1
+FPTAS_EPS = 0.5
+
+
+@dataclass
+class BenchRow:
+    algorithm: str
+    family: str
+    n: int
+    m: int
+    eps: float
+    scalar_seconds: float
+    vectorized_seconds: float
+    speedup: float
+    scalar_makespan: float
+    vectorized_makespan: float
+    makespans_identical: bool
+
+
+@dataclass
+class BenchReport:
+    mode: str
+    seed: int
+    python: str = field(default_factory=platform.python_version)
+    platform: str = field(default_factory=platform.platform)
+    rows: List[BenchRow] = field(default_factory=list)
+    aggregates: Dict[str, float] = field(default_factory=dict)
+    identical_makespans: bool = True
+
+    def to_json(self) -> str:
+        payload = asdict(self)
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _runner_for(algorithm: str) -> Callable:
+    if algorithm == "mrt":
+        return lambda jobs, m, backend: mrt_schedule(jobs, m, SCHEDULE_EPS, backend=backend)
+    if algorithm == "compressible":
+        return lambda jobs, m, backend: compressible_schedule(jobs, m, SCHEDULE_EPS, backend=backend)
+    if algorithm == "bounded_heap":
+        return lambda jobs, m, backend: bounded_schedule(
+            jobs, m, SCHEDULE_EPS, transform="heap", backend=backend
+        )
+    if algorithm == "bounded_bucket":
+        return lambda jobs, m, backend: bounded_schedule(
+            jobs, m, SCHEDULE_EPS, transform="bucket", backend=backend
+        )
+    if algorithm == "fptas":
+        return lambda jobs, m, backend: fptas_schedule(jobs, m, FPTAS_EPS, backend=backend)
+    if algorithm == "two_approx":
+        return lambda jobs, m, backend: two_approximation(jobs, m, backend=backend)
+    raise KeyError(algorithm)
+
+
+def _eps_for(algorithm: str) -> float:
+    return FPTAS_EPS if algorithm == "fptas" else SCHEDULE_EPS
+
+
+def _timed(fn: Callable[[], object], repeat: int, jobs) -> tuple[float, object]:
+    best = math.inf
+    result = None
+    for _ in range(max(1, repeat)):
+        # Clear every cross-run memo so neither backend benefits from a
+        # previous (possibly other-backend) run of the same instance: the
+        # geometric-grid cache and the per-job processing-time memos.
+        _geom_cached.cache_clear()
+        for job in jobs:
+            job._cache.clear()
+            job._cache_evictions = 0
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def _configs(mode: str) -> List[dict]:
+    """Instance configurations per mode.
+
+    The full suite keeps ``m = 8n < 16n`` for the knapsack-based algorithms so
+    their shelf-selection machinery is actually exercised, and ``m >= 8n/eps``
+    for the FPTAS rows (its applicability regime).
+    """
+    if mode == "smoke":
+        return [
+            dict(algorithm=alg, family="mixed", n=120, m=960)
+            for alg in TABLE1_ALGORITHMS
+        ] + [dict(algorithm="fptas", family="mixed", n=60, m=1024)]
+    configs = [
+        dict(algorithm=alg, family="mixed", n=n, m=8 * n)
+        for alg in TABLE1_ALGORITHMS
+        for n in (1000, 2000)
+    ]
+    configs += [
+        dict(algorithm="fptas", family="mixed", n=n, m=max(1 << 21, int(8 * n / FPTAS_EPS) + 1))
+        for n in (1000, 2000)
+    ]
+    configs += [dict(algorithm="two_approx", family="mixed", n=2000, m=16000)]
+    return configs
+
+
+def run_suite(mode: str = "full", *, seed: int = 7, repeat: int = 1, verbose: bool = True) -> BenchReport:
+    """Run the scalar-vs-vectorized suite and return the report."""
+    if mode not in ("full", "smoke"):
+        raise ValueError(f"unknown mode {mode!r}")
+    report = BenchReport(mode=mode, seed=seed)
+    for config in _configs(mode):
+        algorithm = config["algorithm"]
+        n, m = config["n"], config["m"]
+        instance = random_mixed_instance(n, m, seed=seed)
+        runner = _runner_for(algorithm)
+        scalar_seconds, scalar_result = _timed(
+            lambda: runner(instance.jobs, m, "scalar"), repeat, instance.jobs
+        )
+        vec_seconds, vec_result = _timed(
+            lambda: runner(instance.jobs, m, "vectorized"), repeat, instance.jobs
+        )
+        row = BenchRow(
+            algorithm=algorithm,
+            family=config["family"],
+            n=n,
+            m=m,
+            eps=_eps_for(algorithm),
+            scalar_seconds=scalar_seconds,
+            vectorized_seconds=vec_seconds,
+            speedup=scalar_seconds / vec_seconds if vec_seconds > 0 else math.inf,
+            scalar_makespan=scalar_result.makespan,
+            vectorized_makespan=vec_result.makespan,
+            makespans_identical=scalar_result.makespan == vec_result.makespan,
+        )
+        report.rows.append(row)
+        report.identical_makespans &= row.makespans_identical
+        if verbose:
+            print(
+                f"  {algorithm:15s} n={n:<5d} m={m:<8d} scalar {scalar_seconds:7.3f}s  "
+                f"vectorized {vec_seconds:7.3f}s  speedup {row.speedup:5.1f}x  "
+                f"makespans {'identical' if row.makespans_identical else 'DIFFER'}"
+            )
+    report.aggregates = _aggregate(report.rows)
+    return report
+
+
+def _aggregate(rows: Sequence[BenchRow]) -> Dict[str, float]:
+    aggregates: Dict[str, float] = {}
+    by_algorithm: Dict[str, List[float]] = {}
+    for row in rows:
+        by_algorithm.setdefault(row.algorithm, []).append(row.speedup)
+    for algorithm, speedups in by_algorithm.items():
+        aggregates[f"speedup_{algorithm}"] = _geomean(speedups)
+    headline = [
+        row.speedup
+        for row in rows
+        if row.algorithm in TABLE1_ALGORITHMS and row.n >= 1000
+    ]
+    if headline:
+        aggregates["table1_speedup_geomean_n1000"] = _geomean(headline)
+        aggregates["table1_speedup_min_n1000"] = min(headline)
+    aggregates["speedup_geomean_all"] = _geomean([row.speedup for row in rows])
+    return aggregates
+
+
+def _geomean(values: Sequence[float]) -> float:
+    finite = [v for v in values if v > 0 and math.isfinite(v)]
+    if not finite:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in finite) / len(finite))
+
+
+def check_regression(
+    report: BenchReport,
+    baseline_path: str,
+    *,
+    regression_factor: float = 2.0,
+) -> List[str]:
+    """Compare per-algorithm speedups against a baseline report.
+
+    Returns a list of human-readable failures (empty = gate passes).  Speedup
+    ratios are used rather than absolute seconds so the gate is meaningful on
+    hardware other than the machine that recorded the baseline.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures: List[str] = []
+    baseline_aggregates = baseline.get("aggregates", {})
+    for key, current in report.aggregates.items():
+        if not key.startswith("speedup_"):
+            continue
+        reference = baseline_aggregates.get(key)
+        if reference is None or not math.isfinite(reference):
+            continue
+        floor = reference / regression_factor
+        if current < floor:
+            failures.append(
+                f"{key}: speedup {current:.2f}x fell below {floor:.2f}x "
+                f"(baseline {reference:.2f}x / factor {regression_factor})"
+            )
+    if not report.identical_makespans:
+        failures.append("scalar and vectorized backends produced different makespans")
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="scalar-vs-vectorized perf regression suite")
+    parser.add_argument("--smoke", action="store_true", help="small CI configuration")
+    parser.add_argument("--output", default="BENCH_perf.json", help="where to write the report")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeat", type=int, default=1, help="timing repeats (best-of)")
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare against a baseline BENCH_perf.json and exit non-zero on >2x speedup regression",
+    )
+    parser.add_argument("--regression-factor", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    print(f"perf suite ({mode} mode, seed {args.seed})")
+    report = run_suite(mode, seed=args.seed, repeat=args.repeat)
+    with open(args.output, "w") as fh:
+        fh.write(report.to_json() + "\n")
+    print(f"wrote {args.output}")
+    for key in sorted(report.aggregates):
+        print(f"  {key}: {report.aggregates[key]:.2f}x")
+    print(f"  identical makespans: {report.identical_makespans}")
+
+    if args.check:
+        try:
+            failures = check_regression(report, args.check, regression_factor=args.regression_factor)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read baseline {args.check!r}: {exc}", file=sys.stderr)
+            return 2
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("regression gate passed")
+    return 0 if report.identical_makespans else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

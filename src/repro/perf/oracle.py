@@ -1,0 +1,187 @@
+"""Batched γ-allotments: all n binary searches in lockstep on arrays.
+
+The algorithms of Jansen & Land evaluate the canonical processor count
+
+    gamma_j(t) = min { k in [m] : t_j(k) <= t }
+
+for every job at many thresholds ``t`` (the dual binary search probes
+``O(log 1/eps)`` targets ``d``, and each dual step needs ``gamma_j(d)``,
+``gamma_j(d/2)`` and ``gamma_j(3d/2)``).  The scalar path runs ``n`` separate
+binary searches of ``log m`` Python-level oracle calls each.
+
+:class:`BatchedOracle` instead advances *all* jobs' bisections together: one
+vectorized oracle evaluation (via :class:`~repro.perf.arrays.JobArrayBundle`)
+per bisection level, ``O(log m)`` array operations total.  Results are cached
+per threshold, and — the γ-breakpoint cache — every new threshold initialises
+its bisection brackets from the nearest previously evaluated thresholds:
+``t' > t`` implies ``gamma_j(t') <= gamma_j(t)``, so the cached γ-array of a
+neighbouring threshold is a valid per-job lower/upper bracket.  Across the
+dual search's shrinking threshold interval this cuts the number of bisection
+levels far below ``log m``.
+
+γ-arrays use the sentinel ``m + 1`` for "infeasible even on all m machines"
+(where the scalar :func:`repro.core.allotment.gamma` returns ``None``); the
+sentinel keeps the arrays monotone in the threshold, which the bracket
+narrowing relies on.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.job import MoldableJob
+from .arrays import JobArrayBundle
+
+__all__ = ["BatchedOracle"]
+
+
+class BatchedOracle:
+    """Vectorized γ/processing-time oracle over a fixed instance ``(jobs, m)``.
+
+    The instance must not change while the oracle is alive: γ-arrays are
+    cached per threshold and job indices are positional.
+    """
+
+    def __init__(self, jobs: Sequence[MoldableJob], m: int) -> None:
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        if m > (1 << 63) - 2:
+            # γ-arrays store the sentinel m + 1 in int64; the compact input
+            # encoding allows larger m, but those instances must use the
+            # scalar path (resolve_backend falls back automatically).
+            raise ValueError(
+                f"m={m} exceeds the int64 range of the batched oracle; use the scalar backend"
+            )
+        self.jobs: List[MoldableJob] = list(jobs)
+        self.m = int(m)
+        self.n = len(self.jobs)
+        self.bundle = JobArrayBundle(self.jobs)
+        self._index: Dict[int, int] = {id(job): i for i, job in enumerate(self.jobs)}
+        self._t1: Optional[np.ndarray] = None
+        self._tm: Optional[np.ndarray] = None
+        self._gamma_cache: Dict[float, np.ndarray] = {}
+        self._sorted_thresholds: List[float] = []
+        #: instrumentation: lockstep searches run, bisection levels spent,
+        #: vectorized oracle values computed, threshold-cache hits.
+        self.stats = {
+            "gamma_batches": 0,
+            "bisection_levels": 0,
+            "oracle_evals": 0,
+            "threshold_cache_hits": 0,
+        }
+
+    # ------------------------------------------------------------- raw times
+    @property
+    def t1(self) -> np.ndarray:
+        """``t_j(1)`` for all jobs (evaluated once)."""
+        if self._t1 is None:
+            self._t1 = self.bundle.eval_all(1.0)
+            self._t1.setflags(write=False)
+        return self._t1
+
+    @property
+    def tm(self) -> np.ndarray:
+        """``t_j(m)`` for all jobs (evaluated once)."""
+        if self._tm is None:
+            self._tm = self.bundle.eval_all(float(self.m))
+            self._tm.setflags(write=False)
+        return self._tm
+
+    def times_at(self, ks) -> np.ndarray:
+        """``t_j(ks_j)`` for all jobs at per-job processor counts."""
+        return self.bundle.eval_all(ks)
+
+    def works_at(self, ks) -> np.ndarray:
+        """``w_j(ks_j) = ks_j * t_j(ks_j)`` for all jobs."""
+        ks = np.broadcast_to(np.asarray(ks, dtype=np.float64), (self.n,))
+        return ks * self.bundle.eval_all(ks)
+
+    def index_of(self, job: MoldableJob) -> int:
+        """Positional index of ``job`` in this oracle's job list."""
+        return self._index[id(job)]
+
+    # ------------------------------------------------------------ gamma batch
+    def gamma_array(self, threshold: float) -> np.ndarray:
+        """``gamma_j(threshold)`` for all jobs as a read-only int64 array.
+
+        Entries equal to ``m + 1`` mean the job cannot meet the threshold even
+        on all ``m`` machines (scalar ``gamma`` returns ``None`` there).
+        """
+        threshold = float(threshold)
+        cached = self._gamma_cache.get(threshold)
+        if cached is not None:
+            self.stats["threshold_cache_hits"] += 1
+            return cached
+
+        m = self.m
+        n = self.n
+        out = np.full(n, m + 1, dtype=np.int64)
+        if threshold > 0.0 and n > 0:
+            self.stats["gamma_batches"] += 1
+            feasible = self.tm <= threshold
+            one_enough = self.t1 <= threshold
+            out[feasible & one_enough] = 1
+            active = feasible & ~one_enough
+            if active.any():
+                idx = np.nonzero(active)[0]
+                # bisection invariant: t(lo) > threshold, t(hi) <= threshold
+                lo = np.ones(len(idx), dtype=np.int64)
+                hi = np.full(len(idx), m, dtype=np.int64)
+                # γ-breakpoint cache: brackets from neighbouring thresholds.
+                pos = bisect_right(self._sorted_thresholds, threshold)
+                if pos < len(self._sorted_thresholds):
+                    above = self._gamma_cache[self._sorted_thresholds[pos]][idx]
+                    # t' > t  =>  gamma(t') <= gamma(t); t(gamma(t') - 1) > t' > t
+                    lo = np.maximum(lo, np.minimum(above, np.int64(m + 1)) - 1)
+                if pos > 0:
+                    below = self._gamma_cache[self._sorted_thresholds[pos - 1]][idx]
+                    # t' < t  =>  gamma(t') >= gamma(t); t(gamma(t')) <= t' < t
+                    hi = np.minimum(hi, below)
+                while True:
+                    open_mask = hi - lo > 1
+                    if not open_mask.any():
+                        break
+                    self.stats["bisection_levels"] += 1
+                    sub = np.nonzero(open_mask)[0]
+                    mid = (lo[sub] + hi[sub]) // 2
+                    self.stats["oracle_evals"] += len(sub)
+                    t_mid = self.bundle.eval_at(idx[sub], mid.astype(np.float64))
+                    le = t_mid <= threshold
+                    hi[sub[le]] = mid[le]
+                    ge = ~le
+                    lo[sub[ge]] = mid[ge]
+                out[idx] = hi
+        out.setflags(write=False)
+        self._gamma_cache[threshold] = out
+        insort(self._sorted_thresholds, threshold)
+        return out
+
+    def gamma(self, job: MoldableJob, threshold: float, m: Optional[int] = None) -> Optional[int]:
+        """Scalar drop-in for :func:`repro.core.allotment.gamma`.
+
+        Answered from the per-threshold γ-array cache: the first call for a
+        new threshold computes the whole array in one lockstep search, every
+        further call is an O(1) lookup.
+        """
+        if m is not None and int(m) != self.m:
+            raise ValueError(f"oracle was built for m={self.m}, got query with m={m}")
+        g = int(self.gamma_array(threshold)[self._index[id(job)]])
+        return None if g > self.m else g
+
+    # ------------------------------------------------------------ aggregates
+    def canonical_loads(self, threshold: float) -> Optional[np.ndarray]:
+        """Per-job works ``w_j(gamma_j(threshold))`` or ``None`` if any job
+        cannot meet the threshold (mirrors ``canonical_allotment``)."""
+        gammas = self.gamma_array(threshold)
+        if len(gammas) and gammas.max() > self.m:
+            return None
+        return self.works_at(gammas)
+
+    @staticmethod
+    def sequential_sum(values: np.ndarray) -> float:
+        """Left-to-right float sum, matching the scalar ``sum()`` over jobs
+        bit for bit (``np.sum`` pairwise summation would not)."""
+        return sum(values.tolist())

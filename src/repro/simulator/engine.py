@@ -23,6 +23,21 @@ __all__ = ["SimulationError", "ExecutionTrace", "simulate_schedule"]
 _EPS = 1e-9
 
 
+def _time_tol(*values: float) -> float:
+    """Floating-point tolerance for comparing event times.
+
+    Mirrors the validator's ``ABS_TOL + REL_TOL * max(|a|, |b|, 1)`` rule
+    (:mod:`repro.core.validation`): the two checkers are independent
+    implementations but must agree on which overlaps are mere float noise.
+    """
+    scale = 1.0
+    for v in values:
+        a = abs(v)
+        if a > scale:
+            scale = a
+    return _EPS + _EPS * scale
+
+
 class SimulationError(RuntimeError):
     """Raised when the schedule cannot be executed on the machines."""
 
@@ -101,12 +116,21 @@ def simulate_schedule(schedule: Schedule, *, strict: bool = True) -> ExecutionTr
                 busy -= entry.processors
         else:  # start
             starts += 1
+            # Release jobs that finish within float tolerance of this start:
+            # their finish events are still pending only because of rounding
+            # noise, and the validator treats such intervals as touching.
+            almost_done = [
+                ridx for ridx, other in running.items() if other.end - time <= _time_tol(other.end, time)
+            ]
+            for ridx in almost_done:
+                busy -= running.pop(ridx).processors
             # conflict check against currently running jobs
             for other in running.values():
                 for span_a in entry.spans:
                     for span_b in other.spans:
                         shared = _spans_overlap(span_a, span_b)
-                        if shared > 0 and other.end - time > _EPS and entry.duration > _EPS:
+                        overlap_end = min(entry.end, other.end)
+                        if shared > 0 and overlap_end - time > _time_tol(overlap_end, time):
                             message = (
                                 f"machine conflict at t={time:.6g}: job {entry.job.name!r} and "
                                 f"job {other.job.name!r} share {shared} machine(s)"
