@@ -166,3 +166,12 @@ class Allotment:
     @classmethod
     def from_mapping(cls, mapping: Mapping[MoldableJob, int]) -> "Allotment":
         return cls(dict(mapping))
+
+    @classmethod
+    def from_trusted_counts(cls, counts: Dict[MoldableJob, int]) -> "Allotment":
+        """Wrap an already-validated ``{job: processors}`` dict without the
+        per-entry re-validation loop (perf hook for the vectorized paths,
+        whose γ-arrays are positive integers by construction)."""
+        allot = cls.__new__(cls)
+        allot.counts = counts
+        return allot

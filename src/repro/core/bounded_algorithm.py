@@ -121,6 +121,7 @@ def bounded_dual(
         transform=transform,
         bucket_ratio=(1.0 + 4.0 * rho) if rho is not None else None,
         gamma_fn=gamma_fn,
+        columnar=backend == "vectorized",
     )
     if schedule is not None:
         schedule.metadata["algorithm"] = f"bounded_dual({transform})"
@@ -166,5 +167,5 @@ def bounded_schedule(
     result.schedule.metadata["guarantee"] = 1.5 + eps
     result.schedule.metadata["backend"] = backend
     if validate and jobs:
-        assert_valid_schedule(result.schedule, jobs)
+        assert_valid_schedule(result.schedule, jobs, oracle=oracle)
     return result

@@ -34,15 +34,20 @@ __all__ = [
 ]
 
 
-def trivial_lower_bound(jobs: Sequence[MoldableJob], m: int) -> float:
+def trivial_lower_bound(jobs: Sequence[MoldableJob], m: int, *, oracle=None) -> float:
     """``max( max_j t_j(m), sum_j t_j(1) / m )``.
 
     Valid for monotone jobs: every job needs at least ``t_j(m)`` time, and the
     total work of any schedule is at least ``sum_j w_j(1)`` because the work is
     minimised on one processor.
+
+    ``oracle`` optionally answers both aggregates from the batched ``t_j(1)``
+    / ``t_j(m)`` arrays (bit-identical result, no per-job Python calls).
     """
     if not jobs:
         return 0.0
+    if oracle is not None:
+        return max(float(oracle.tm.max()), oracle.sequential_sum(oracle.t1) / m)
     return max(max_sequential_time(jobs, m), total_minimal_work(jobs) / m)
 
 
@@ -90,7 +95,9 @@ def _canonical_allotment(jobs: Sequence[MoldableJob], tau: float, m: int, oracle
     gammas = oracle.gamma_array(tau)
     if len(gammas) and gammas.max() > m:
         return None
-    return Allotment({job: int(g) for job, g in zip(jobs, gammas)})
+    # tolist() hands back Python ints in one pass; the γ-array is already
+    # validated (>= 1), so the Allotment re-check loop is skipped.
+    return Allotment.from_trusted_counts(dict(zip(jobs, gammas.tolist())))
 
 
 def ludwig_tiwari_estimator(
@@ -124,8 +131,12 @@ def ludwig_tiwari_estimator(
     if m < 1:
         raise ValueError("m must be >= 1")
 
-    lo = max(max_sequential_time(jobs, m), 1e-300)
-    hi = max(serial_upper_bound(jobs), lo)
+    if oracle is not None:
+        lo = max(float(oracle.tm.max()), 1e-300)
+        hi = max(oracle.sequential_sum(oracle.t1), lo)
+    else:
+        lo = max(max_sequential_time(jobs, m), 1e-300)
+        hi = max(serial_upper_bound(jobs), lo)
 
     # g(hi) is finite (every job fits on one machine within the serial bound).
     # Invariant we move towards: phi(hi) <= hi  and  (phi(lo) > lo or lo is the
@@ -150,10 +161,19 @@ def ludwig_tiwari_estimator(
 
     allot = _canonical_allotment(jobs, hi, m, oracle)
     assert allot is not None, "upper end of the bracket must always be feasible"
-    omega = max(allot.average_load(m), allot.max_time())
+    if oracle is not None:
+        # batched twins of average_load / max_time (left-to-right work sum and
+        # an order-independent max — bit-identical to the scalar loops)
+        gammas = oracle.gamma_array(hi)
+        omega = max(
+            oracle.sequential_sum(oracle.works_at(gammas)) / m,
+            float(oracle.times_at(gammas).max()),
+        )
+    else:
+        omega = max(allot.average_load(m), allot.max_time())
     # omega as computed is an achievable value of g, hence >= min g >= ... but
     # we also need a certified lower bound; combine with the trivial bound.
-    lower = max(trivial_lower_bound(jobs, m), lo)
+    lower = max(trivial_lower_bound(jobs, m, oracle=oracle), lo)
     omega = max(omega / (1.0 + tol), lower)
     # The bisection slack means the witnessing allotment only guarantees a
     # schedule of length 2 * omega * (1 + 2 tol); record that honestly.

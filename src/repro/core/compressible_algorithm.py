@@ -114,7 +114,9 @@ def compressible_dual(
         shelf1.extend(item.payload for item in solution.items)
 
     # Corollary 10: schedule the selection for the inflated target d'.
-    schedule = build_three_shelf_schedule(jobs, m, d_prime, shelf1, gamma_fn=gamma_fn)
+    schedule = build_three_shelf_schedule(
+        jobs, m, d_prime, shelf1, gamma_fn=gamma_fn, columnar=backend == "vectorized"
+    )
     if schedule is not None:
         schedule.metadata["algorithm"] = "compressible_dual"
         schedule.metadata["d"] = d
@@ -158,5 +160,5 @@ def compressible_schedule(
     result.schedule.metadata["guarantee"] = 1.5 + eps
     result.schedule.metadata["backend"] = backend
     if validate and jobs:
-        assert_valid_schedule(result.schedule, jobs)
+        assert_valid_schedule(result.schedule, jobs, oracle=oracle)
     return result

@@ -6,6 +6,12 @@ promise that it never rejects a ``d`` for which a schedule of length ``d``
 exists.  Combined with a constant-factor estimator bracketing the optimum, a
 geometric binary search over ``d`` turns the dual algorithm into a
 ``c*(1+tolerance)``-approximation using ``O(log(1/tolerance))`` dual calls.
+
+A dual function may also return a zero-argument *thunk* instead of a built
+``Schedule``: acceptance is then decided by the non-``None`` return alone and
+the search materializes only the final accepted schedule — dual steps whose
+feasibility check is separate from schedule construction (the FPTAS) skip
+building the intermediate schedules the search would discard anyway.
 """
 
 from __future__ import annotations
@@ -78,7 +84,7 @@ def dual_binary_search(
 
     if lower is None or upper is None:
         estimate = ludwig_tiwari_estimator(jobs, m, oracle=oracle)
-        est_lower = max(estimate.omega, trivial_lower_bound(jobs, m))
+        est_lower = max(estimate.omega, trivial_lower_bound(jobs, m, oracle=oracle))
         est_upper = estimate.upper_bound
         lower = lower if lower is not None else est_lower
         upper = upper if upper is not None else max(est_upper, lower * (1 + tolerance))
@@ -118,6 +124,8 @@ def dual_binary_search(
             lower = mid
 
     assert best is not None
+    if callable(best):
+        best = best()
     return DualSearchResult(
         schedule=best,
         accepted_d=best_d,

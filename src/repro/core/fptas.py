@@ -10,7 +10,7 @@ fits, so the step is a `(1+eps)`-dual algorithm.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 from .allotment import gamma
 from .backend import resolve_backend
@@ -41,36 +41,63 @@ def fptas_dual(
     *,
     backend: str = "scalar",
     oracle=None,
-) -> Optional[Schedule]:
+    defer_build: bool = False,
+) -> Optional[Union[Schedule, Callable[[], Schedule]]]:
     """One `(1+eps)`-dual step (Section 3): all jobs start at 0 with
     ``gamma_j((1+eps)d)`` processors, or reject.
 
     ``backend="vectorized"`` computes all γ-values in one lockstep batched
-    binary search (bit-identical decision and schedule)."""
+    binary search (bit-identical decision and schedule).  With
+    ``defer_build=True`` (vectorized path only) an accepted step returns a
+    zero-argument thunk instead of a built ``Schedule`` — the acceptance
+    decision needs only the γ-sum, so :func:`~repro.core.dual.dual_binary_search`
+    can skip materializing the intermediate schedules it would discard."""
     if d <= 0:
         return None
     threshold = (1.0 + eps) * d
     jobs = list(jobs)  # before resolve_backend: the oracle build iterates jobs
     backend, oracle = resolve_backend(jobs, m, backend, oracle)
+    metadata = {"algorithm": "fptas_dual", "d": d, "eps": eps}
     if oracle is not None:
+        # columnar fast path: γ-counts, prefix-sum machine offsets and the
+        # final Schedule all stay in arrays (identical schedule to the loop).
+        import numpy as np
+
+        from ..perf.schedule_builder import schedule_from_arrays
+
         gammas = oracle.gamma_array(threshold)
         if len(gammas) and int(gammas.max()) > m:
             return None
-        counts = [int(g) for g in gammas]
-        if sum(counts) > m:
+        if sum(gammas.tolist()) > m:  # exact (Python int) total
             return None
-    else:
-        counts = []
-        total = 0
-        for job in jobs:
-            g = gamma(job, threshold, m)
-            if g is None:
-                return None
-            counts.append(g)
-            total += g
-            if total > m:
-                return None
-    schedule = Schedule(m=m, metadata={"algorithm": "fptas_dual", "d": d, "eps": eps})
+
+        def build() -> Schedule:
+            n = len(gammas)
+            offsets = np.zeros(n, dtype=np.int64)
+            if n > 1:
+                np.cumsum(gammas[:-1], out=offsets[1:])
+            return schedule_from_arrays(
+                jobs,
+                m,
+                np.arange(n, dtype=np.int64),
+                np.zeros(n, dtype=np.float64),
+                offsets,
+                gammas,
+                metadata=metadata,
+            )
+
+        return build if defer_build else build()
+    counts = []
+    total = 0
+    for job in jobs:
+        g = gamma(job, threshold, m)
+        if g is None:
+            return None
+        counts.append(g)
+        total += g
+        if total > m:
+            return None
+    schedule = Schedule(m=m, metadata=metadata)
     next_machine = 0
     for job, count in zip(jobs, counts):
         schedule.add(job, 0.0, [(next_machine, count)])
@@ -110,7 +137,9 @@ def fptas_schedule(
     result = dual_binary_search(
         jobs,
         m,
-        lambda d: fptas_dual(jobs, m, d, inner, backend=backend, oracle=oracle),
+        lambda d: fptas_dual(
+            jobs, m, d, inner, backend=backend, oracle=oracle, defer_build=True
+        ),
         tolerance=inner,
         oracle=oracle,
     )
@@ -119,7 +148,7 @@ def fptas_schedule(
     result.schedule.metadata["guarantee"] = 1.0 + eps
     result.schedule.metadata["backend"] = backend
     if validate and jobs:
-        assert_valid_schedule(result.schedule, jobs)
+        assert_valid_schedule(result.schedule, jobs, oracle=oracle)
     return result
 
 

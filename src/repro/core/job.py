@@ -217,16 +217,43 @@ class OracleJob(MoldableJob):
 
     This is the compact-encoding model of the paper: ``t_j(k)`` is computed on
     demand in O(1), so ``m`` only enters running times through ``log m``.
+
+    Parameters
+    ----------
+    name:
+        Job identifier.
+    func:
+        The scalar oracle ``k -> t_j(k)``.
+    times_vectorized:
+        Optional batched oracle: receives a float64 NumPy array of processor
+        counts and returns the corresponding processing times as an array of
+        the same length.  When supplied, the vectorized layer
+        (:meth:`MoldableJob.times_for`, :class:`repro.perf.arrays.JobArrayBundle`
+        and therefore every ``backend="vectorized"`` driver) calls it instead
+        of looping over ``func`` — the user promises it is *bit-for-bit*
+        consistent with ``func`` (same float operations in the same order),
+        exactly like the built-in closed-form kernels.
     """
 
-    __slots__ = ("func",)
+    __slots__ = ("func", "times_vectorized")
 
-    def __init__(self, name: str, func: Callable[[int], float]) -> None:
+    def __init__(
+        self,
+        name: str,
+        func: Callable[[int], float],
+        times_vectorized: Callable[[np.ndarray], np.ndarray] | None = None,
+    ) -> None:
         super().__init__(name)
         self.func = func
+        self.times_vectorized = times_vectorized
 
     def _time(self, k: int) -> float:
         return self.func(k)
+
+    def _times_batch(self, ks: np.ndarray) -> np.ndarray:
+        if self.times_vectorized is not None:
+            return np.asarray(self.times_vectorized(ks), dtype=np.float64)
+        return super()._times_batch(ks)
 
 
 class AmdahlJob(MoldableJob):

@@ -26,7 +26,9 @@ per-machine state and works for astronomically large ``m``.
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .allotment import Allotment
 from .job import MoldableJob
@@ -46,6 +48,8 @@ def list_schedule(
     m: int,
     *,
     order: Optional[Sequence[MoldableJob]] = None,
+    columnar: bool = False,
+    allotted_times: Optional[Dict[MoldableJob, float]] = None,
 ) -> Schedule:
     """Greedy (first-fit) list scheduling of ``jobs`` with counts ``allotment``.
 
@@ -56,6 +60,18 @@ def list_schedule(
         ``allotment[job] <= m``.
     order:
         Optional list priority; defaults to the order of ``jobs``.
+    columnar:
+        Assemble the result through the columnar
+        :class:`repro.perf.schedule_builder.ArraySchedule` builder instead of
+        per-job ``Schedule.add`` calls (the vectorized drivers' fast path;
+        bit-identical schedule).
+    allotted_times:
+        Optional precomputed ``{job: t_j(allotment[job])}`` durations (only
+        used by the columnar path).  Callers that already evaluated the
+        allotted processing times in a batched kernel pass (e.g. the
+        two-approximation's LPT sort) hand them over instead of forcing one
+        scalar oracle call per job; values must equal ``processing_time``
+        bit for bit, which the batched kernels guarantee.
 
     Returns
     -------
@@ -73,6 +89,9 @@ def list_schedule(
             raise ValueError(f"job {job.name!r} has no allotment")
         if k > m:
             raise ValueError(f"job {job.name!r} is allotted {k} > m={m} processors")
+
+    if columnar:
+        return _list_schedule_columnar(sequence, allotment, m, allotted_times)
 
     schedule = Schedule(m=m, metadata={"algorithm": "list_scheduling"})
     if not sequence:
@@ -131,3 +150,124 @@ def list_schedule(
             idle_count += count
 
     return schedule
+
+
+def _list_schedule_columnar(
+    sequence: List[MoldableJob],
+    allotment: Allotment,
+    m: int,
+    allotted_times: Optional[Dict[MoldableJob, float]] = None,
+) -> Schedule:
+    """Columnar twin of the scalar first-fit loop.
+
+    Produces the bit-identical schedule: the same first-fit decisions over the
+    same idle-span state, the same start times (completion times are computed
+    from the same ``processing_time`` floats), the same entry order — but
+    processor needs and durations are resolved once up front, placements are
+    collected as flat rows and materialized in one
+    :meth:`~repro.perf.schedule_builder.ArraySchedule.build` pass, and each
+    wake-up's list scan is one vectorized candidate query instead of a Python
+    pass over every pending job.
+
+    The scan equivalence: within one wake-up the idle count only *decreases*,
+    so a job the scalar scan rejected keeps being rejected until the next
+    completion — restarting the scan from the list head after every start
+    (the scalar loop) therefore starts exactly the jobs a single forward pass
+    over ``need <= idle_at_wakeup`` candidates starts, in the same order.
+    """
+    from ..perf.schedule_builder import ArraySchedule
+
+    builder = ArraySchedule(m, metadata={"algorithm": "list_scheduling"})
+    if not sequence:
+        return builder.build()
+
+    counts = allotment.counts
+    needs = [counts[job] for job in sequence]
+    needs_arr = np.array(needs, dtype=np.int64)
+    if allotted_times is not None:
+        durations = [allotted_times[job] for job in sequence]
+    else:
+        durations = [job.processing_time(k) for job, k in zip(sequence, needs)]
+
+    # row columns, written through bound methods in the hot loop
+    row_job_append = builder._jobs.append
+    row_start_append = builder._starts.append
+    row_override_append = builder._overrides.append
+    span_owner_append = builder._span_owner.append
+    span_first_append = builder._span_first.append
+    span_count_append = builder._span_count.append
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    waiting = np.ones(len(sequence), dtype=bool)
+    n_waiting = len(sequence)
+    #: lower bound on the smallest processor need among waiting jobs — lets a
+    #: wake-up that cannot start anything bail out with one comparison
+    min_waiting_need = int(needs_arr.min())
+    idle_spans: List[MachineSpan] = [(0, m)]
+    idle_count = m
+    running: List[Tuple[float, int, Tuple[MachineSpan, ...]]] = []
+    seq = 0
+    now = 0.0
+    row = 0
+
+    while n_waiting or running:
+        if n_waiting and idle_count >= min_waiting_need:
+            # all pending jobs that could fit at this wake-up, in list order;
+            # iterated lazily (map) because the loop usually breaks as soon as
+            # the idle machines run out
+            candidates = np.flatnonzero(waiting & (needs_arr <= idle_count))
+            started_any = False
+            for ji in map(int, candidates):
+                need = needs[ji]
+                if need > idle_count:
+                    continue
+                taken: List[MachineSpan] = []
+                idle_count -= need
+                while need > 0:
+                    first, count = idle_spans.pop()
+                    if count <= need:
+                        taken.append((first, count))
+                        span_owner_append(row)
+                        span_first_append(first)
+                        span_count_append(count)
+                        need -= count
+                    else:
+                        taken.append((first, need))
+                        span_owner_append(row)
+                        span_first_append(first)
+                        span_count_append(need)
+                        idle_spans.append((first + need, count - need))
+                        need = 0
+                row_job_append(sequence[ji])
+                row_start_append(now)
+                row_override_append(None)
+                heappush(running, (now + durations[ji], seq, tuple(taken)))
+                row += 1
+                seq += 1
+                waiting[ji] = False
+                n_waiting -= 1
+                started_any = True
+                if idle_count == 0:
+                    break
+            if n_waiting and not started_any:
+                # The lower bound was stale (true minimum is larger): refresh
+                # it so the next idle wake-ups can skip in O(1).  After a
+                # start the stale bound stays *valid* (needs only leave the
+                # waiting set, the minimum can only grow), so no refresh.
+                min_waiting_need = int(needs_arr[waiting].min())
+        if not running:
+            if n_waiting:  # pragma: no cover - cannot happen: every job fits on m >= a_j machines
+                raise RuntimeError("deadlock in list scheduling")
+            break
+        end, _, spans = heappop(running)
+        now = end
+        released = list(spans)
+        while running and running[0][0] <= now + 1e-15:
+            _, _, more = heappop(running)
+            released.extend(more)
+        for first, count in released:
+            idle_spans.append((first, count))
+            idle_count += count
+
+    return builder.build()

@@ -102,7 +102,9 @@ def mrt_dual(
         _, chosen = solve_knapsack(items, capacity, backend=backend)
     shelf1.extend(item.payload for item in chosen)
 
-    return build_three_shelf_schedule(jobs, m, d, shelf1, gamma_fn=gamma_fn)
+    return build_three_shelf_schedule(
+        jobs, m, d, shelf1, gamma_fn=gamma_fn, columnar=backend == "vectorized"
+    )
 
 
 def mrt_schedule(
@@ -139,5 +141,5 @@ def mrt_schedule(
     result.schedule.metadata["guarantee"] = 1.5 + eps
     result.schedule.metadata["backend"] = backend
     if validate and jobs:
-        assert_valid_schedule(result.schedule, jobs)
+        assert_valid_schedule(result.schedule, jobs, oracle=oracle)
     return result

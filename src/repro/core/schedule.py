@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
+import numpy as np
+
 from .job import MoldableJob
 
 __all__ = ["MachineSpan", "ScheduledJob", "Schedule"]
@@ -34,15 +36,23 @@ def _normalize_spans(spans: Sequence[MachineSpan]) -> Tuple[MachineSpan, ...]:
             raise ValueError(f"span start must be non-negative, got {first}")
         cleaned.append((first, count))
     cleaned.sort()
-    # merge adjacent/overlapping spans belonging to the same job
+    # Merge exactly-adjacent spans; *overlapping* spans would allocate the same
+    # machine twice to one placement and are rejected (a silent merge used to
+    # hide double-booked machines in hand-built span lists).
     merged: List[MachineSpan] = []
     for first, count in cleaned:
-        if merged and first <= merged[-1][0] + merged[-1][1]:
+        if merged:
             prev_first, prev_count = merged[-1]
-            end = max(prev_first + prev_count, first + count)
-            merged[-1] = (prev_first, end - prev_first)
-        else:
-            merged.append((first, count))
+            prev_end = prev_first + prev_count
+            if first < prev_end:
+                raise ValueError(
+                    f"overlapping machine spans ({prev_first}, {prev_count}) and "
+                    f"({first}, {count}) double-book a machine"
+                )
+            if first == prev_end:
+                merged[-1] = (prev_first, prev_count + count)
+                continue
+        merged.append((first, count))
     return tuple(merged)
 
 
@@ -164,18 +174,39 @@ class Schedule:
         return self.total_work / (self.m * ms)
 
     def peak_processor_usage(self) -> int:
-        """Maximum number of simultaneously busy machines (event sweep)."""
-        events: List[Tuple[float, int]] = []
-        for e in self.entries:
-            events.append((e.start, e.processors))
-            events.append((e.end, -e.processors))
-        events.sort(key=lambda ev: (ev[0], ev[1]))
-        busy = 0
-        peak = 0
-        for _, delta in events:
-            busy += delta
-            peak = max(peak, busy)
-        return peak
+        """Maximum number of simultaneously busy machines (event sweep).
+
+        The sweep is a NumPy sort + prefix sum over the ``2n`` start/finish
+        events (releases sort before acquisitions at equal times, so
+        back-to-back placements do not double-count).
+        """
+        n = len(self.entries)
+        if n == 0:
+            return 0
+        times = np.empty(2 * n, dtype=np.float64)
+        deltas_list: List[int] = [0] * (2 * n)
+        total = 0
+        for i, e in enumerate(self.entries):
+            p = e.processors
+            total += p
+            times[i] = e.start
+            deltas_list[i] = p
+            times[n + i] = e.end
+            deltas_list[n + i] = -p
+        if total > (1 << 62):
+            # int64 prefix sums could overflow on astronomically wide spans
+            # (compact encoding): exact arbitrary-precision sweep instead.
+            events = sorted(zip(times.tolist(), deltas_list))
+            busy = 0
+            peak = 0
+            for _, delta in events:
+                busy += delta
+                peak = max(peak, busy)
+            return peak
+        deltas = np.array(deltas_list, dtype=np.int64)
+        order = np.lexsort((deltas, times))
+        peak = np.cumsum(deltas[order]).max()
+        return max(0, int(peak))
 
     def sorted_by_start(self) -> List[ScheduledJob]:
         return sorted(self.entries, key=lambda e: (e.start, -e.processors))

@@ -200,6 +200,56 @@ class ThreeShelfDiagnostics:
     rejected_reason: Optional[str] = None
 
 
+class _ScheduleAssembler:
+    """Placement collector shared by the object and columnar assembly modes.
+
+    In object mode every :meth:`add` goes straight to ``Schedule.add`` (the
+    scalar reference).  In columnar mode the placements accumulate as flat
+    rows in an :class:`repro.perf.schedule_builder.ArraySchedule` and the
+    ``Schedule`` is materialized once in :meth:`finish` — bit-identical
+    entries, one batched span-normalization pass instead of n.
+
+    Either way the assembler records the busy *pieces* ``(machine_first,
+    machine_end, start, end)`` that the small-job gap recovery sweeps, so the
+    gap index never needs the (possibly not yet materialized) entry objects.
+    """
+
+    __slots__ = ("m", "pieces", "_schedule", "_builder")
+
+    def __init__(self, m: int, metadata: dict, columnar: bool) -> None:
+        self.m = m
+        self.pieces: List[Tuple[int, int, float, float]] = []
+        if columnar:
+            from ..perf.schedule_builder import ArraySchedule
+
+            self._builder = ArraySchedule(m, metadata=metadata)
+            self._schedule = None
+        else:
+            self._builder = None
+            self._schedule = Schedule(m=m, metadata=metadata)
+
+    def add(
+        self,
+        job: MoldableJob,
+        start: float,
+        spans: Sequence[MachineSpan],
+        duration: float,
+    ) -> None:
+        end = start + duration
+        pieces = self.pieces
+        for first, count in spans:
+            pieces.append((first, first + count, start, end))
+        if self._builder is not None:
+            self._builder.append(job, start, spans)
+        else:
+            self._schedule.add(job, start, spans)
+
+    def finish(self) -> Schedule:
+        if self._builder is not None:
+            return self._builder.build()
+        return self._schedule
+
+
 def build_three_shelf_schedule(
     jobs: Sequence[MoldableJob],
     m: int,
@@ -210,6 +260,7 @@ def build_three_shelf_schedule(
     bucket_ratio: Optional[float] = None,
     diagnostics: Optional[ThreeShelfDiagnostics] = None,
     gamma_fn=None,
+    columnar: bool = False,
 ) -> Optional[Schedule]:
     """Turn a shelf-1 selection into a feasible schedule of length ``<= 3d/2``.
 
@@ -239,6 +290,10 @@ def build_three_shelf_schedule(
         :func:`repro.core.allotment.gamma`; the vectorized drivers pass a
         :class:`repro.perf.oracle.BatchedOracle` so every γ-lookup of the
         construction is answered from a batched per-threshold cache.
+    columnar:
+        Collect placements as flat columns and materialize the ``Schedule``
+        in one batched pass (the vectorized drivers' fast path; bit-identical
+        schedule) instead of per-placement ``Schedule.add`` calls.
 
     Returns ``None`` when the selection violates the Lemma 6 work bound, shelf
     S1 does not fit, or (defensively) the construction cannot complete — the
@@ -389,7 +444,7 @@ def build_three_shelf_schedule(
         diag.rejected_reason = "shelves S0+S1 exceed m processors after transformation"
         return None
 
-    schedule = Schedule(m=m, metadata={"construction": "three_shelf", "d": d})
+    assembler = _ScheduleAssembler(m, {"construction": "three_shelf", "d": d}, columnar)
     next_machine = 0
 
     def take(count: int) -> MachineSpan:
@@ -399,10 +454,6 @@ def build_three_shelf_schedule(
         span = (next_machine, count)
         next_machine += count
         return span
-
-    #: per-machine-group free gaps for the small-job insertion:
-    #: (machine_count, gap_start, gap_end)
-    gap_groups: List[List[float | int]] = []
 
     class _LayoutOverflow(Exception):
         pass
@@ -414,21 +465,19 @@ def build_three_shelf_schedule(
         for entry in s0_entries:
             span = take(entry.procs)
             for job, procs, start in entry.placements:
-                schedule.add(job, start, [(span[0], procs)])
-            gap_groups.append([entry.procs, entry.end(), three_half])
+                assembler.add(job, start, [(span[0], procs)], job.processing_time(procs))
 
         # Shelf S1 jobs (including piggyback hosts)
         s1_spans: List[Tuple[MoldableJob, MachineSpan, float]] = []  # (job, span of *reusable* machines, busy_until)
         for job, procs in s1_alloc.items():
             span = take(procs)
             t = job.processing_time(procs)
-            schedule.add(job, 0.0, [span])
+            assembler.add(job, 0.0, [span], t)
             rider = riders_by_host.get(job)
             if rider is not None:
                 # one machine of the host also runs the rider afterwards
                 rider_time = rider.processing_time(1)
-                schedule.add(rider, t, [(span[0], 1)])
-                gap_groups.append([1, t + rider_time, three_half])
+                assembler.add(rider, t, [(span[0], 1)], rider_time)
                 if procs > 1:
                     s1_spans.append((job, (span[0] + 1, procs - 1), t))
             else:
@@ -444,14 +493,12 @@ def build_three_shelf_schedule(
         for job, procs in s2_alloc.items():
             needed = procs
             spans: List[MachineSpan] = []
-            pieces: List[Tuple[int, float]] = []  # (count, earlier busy_until) for gap bookkeeping
             while needed > 0:
                 if pool_idx >= len(free_pool):
                     raise _LayoutOverflow()
                 (first, count), busy = free_pool[pool_idx]
                 taken = min(count, needed)
                 spans.append((first, taken))
-                pieces.append((taken, busy))
                 if taken < count:
                     free_pool[pool_idx] = ((first + taken, count - taken), busy)
                 else:
@@ -459,14 +506,7 @@ def build_three_shelf_schedule(
                 needed -= taken
             t = job.processing_time(procs)
             start = three_half - t
-            schedule.add(job, start, spans)
-            for count, busy in pieces:
-                gap_groups.append([count, busy, start])
-        # remaining machines in the pool are free from `busy` to 3d/2
-        while pool_idx < len(free_pool):
-            (first, count), busy = free_pool[pool_idx]
-            gap_groups.append([count, busy, three_half])
-            pool_idx += 1
+            assembler.add(job, start, spans, t)
     except _LayoutOverflow:
         diag.rejected_reason = "machine layout overflow (construction could not fit all shelves)"
         return None
@@ -474,11 +514,12 @@ def build_three_shelf_schedule(
     # ------------------------------------------------- small-job insertion
     # Next-fit over machine groups (Lemma 9): within a group all machines have
     # the same gap; a machine that cannot take the current job is discarded.
-    small_ok = _insert_small_jobs(schedule, small, three_half)
+    small_ok = _insert_small_jobs(assembler, small, three_half)
     if not small_ok:
         diag.rejected_reason = "small jobs did not fit (work bound violated)"
         return None
 
+    schedule = assembler.finish()
     schedule.metadata["shelves"] = {
         "s0_processors": diag.shelf0_processors,
         "s1_processors": diag.shelf1_processors,
@@ -488,13 +529,13 @@ def build_three_shelf_schedule(
 
 
 def _insert_small_jobs(
-    schedule: Schedule,
+    assembler: _ScheduleAssembler,
     small: Sequence[MoldableJob],
     horizon: float,
 ) -> bool:
     """Next-fit insertion of the small jobs into per-machine gaps (Lemma 9).
 
-    The gaps are recovered from the partially built schedule with
+    The gaps are recovered from the assembler's busy pieces with
     :func:`_machine_gap_index`: each maximal range of machines with identical
     occupancy forms a *group* whose machines share the same contiguous free
     gap.  The next-fit rule of the paper is followed literally: the current
@@ -504,10 +545,10 @@ def _insert_small_jobs(
     """
     if not small:
         return True
-    # Recover, for every machine that appears in the schedule, its busy
+    # Recover, for every machine that appears in the assembly, its busy
     # intervals; machines not appearing are entirely free.  We avoid iterating
     # over all m machines by working span-wise.
-    gaps = _machine_gap_index(schedule, horizon)
+    gaps = _machine_gap_index(assembler.pieces, assembler.m, horizon)
     # next-fit over the recovered gap groups
     idx = 0
     fill: Optional[float] = None
@@ -526,7 +567,7 @@ def _insert_small_jobs(
                 continue
             machine = first + span_offset
             if _leq(fill + t, gap_end):
-                schedule.add(job, fill, [(machine, 1)])
+                assembler.add(job, fill, [(machine, 1)], t)
                 fill = fill + t
                 placed = True
                 break
@@ -538,26 +579,27 @@ def _insert_small_jobs(
     return True
 
 
-def _machine_gap_index(schedule: Schedule, horizon: float) -> List[Tuple[MachineSpan, float, float]]:
+def _machine_gap_index(
+    busy_pieces: Sequence[Tuple[int, int, float, float]],
+    m: int,
+    horizon: float,
+) -> List[Tuple[MachineSpan, float, float]]:
     """Compute contiguous free gaps ``(span, gap_start, gap_end)`` per group of
     identical machines.
 
-    The shelf constructions guarantee each machine's busy time is a prefix
-    ``[0, x)`` plus possibly a suffix ``[horizon - y, horizon)``; the gap is
-    the middle.  We build the index by sweeping span boundaries.
+    ``busy_pieces`` are ``(machine_first, machine_end, start, finish)``
+    rectangles (one per placed span).  The shelf constructions guarantee each
+    machine's busy time is a prefix ``[0, x)`` plus possibly a suffix
+    ``[horizon - y, horizon)``; the gap is the middle.  We build the index by
+    sweeping span boundaries.
     """
-    boundaries: set[int] = {0, schedule.m}
-    for entry in schedule.entries:
-        for first, count in entry.spans:
-            boundaries.add(first)
-            boundaries.add(first + count)
+    boundaries: set[int] = {0, m}
+    for first, end, _, _ in busy_pieces:
+        boundaries.add(first)
+        boundaries.add(end)
     cuts = sorted(boundaries)
     # For each elementary machine range, compute the union of busy intervals.
-    pieces: List[Tuple[int, int, float, float]] = []  # (first, end, start, finish)
-    for entry in schedule.entries:
-        for first, count in entry.spans:
-            pieces.append((first, first + count, entry.start, entry.end))
-    pieces.sort(key=lambda p: p[0])
+    pieces: List[Tuple[int, int, float, float]] = sorted(busy_pieces, key=lambda p: p[0])
 
     result: List[Tuple[MachineSpan, float, float]] = []
     active: List[Tuple[int, float, float]] = []  # (machine_end, start, finish)

@@ -64,10 +64,29 @@ def two_approximation(
         return TwoApproxResult(Schedule(m=m, metadata={"algorithm": "two_approximation"}), estimate)
     # Sort longest-processing-time first: not required for the bound but a
     # standard practical improvement.
-    order = sorted(jobs, key=lambda j: estimate.allotment[j] * 0 - j.processing_time(estimate.allotment[j]))
-    schedule = list_schedule(jobs, estimate.allotment, m, order=order)
+    if oracle is not None:
+        # columnar: evaluate all allotted processing times in one batched
+        # kernel pass; argsort(stable) reproduces the scalar sorted() order.
+        # The same times double as the list scheduler's durations.
+        import numpy as np
+
+        counts = estimate.allotment.counts
+        times = oracle.times_at(np.array([counts[j] for j in jobs], dtype=np.float64))
+        order = [jobs[i] for i in np.argsort(-times, kind="stable").tolist()]
+        allotted_times = dict(zip(jobs, times.tolist()))
+    else:
+        order = sorted(jobs, key=lambda j: estimate.allotment[j] * 0 - j.processing_time(estimate.allotment[j]))
+        allotted_times = None
+    schedule = list_schedule(
+        jobs,
+        estimate.allotment,
+        m,
+        order=order,
+        columnar=oracle is not None,
+        allotted_times=allotted_times,
+    )
     schedule.metadata["algorithm"] = "two_approximation"
     schedule.metadata["omega"] = estimate.omega
     if validate:
-        assert_valid_schedule(schedule, jobs)
+        assert_valid_schedule(schedule, jobs, oracle=oracle)
     return TwoApproxResult(schedule, estimate)

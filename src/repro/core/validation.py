@@ -8,6 +8,16 @@ helpers implement the checks:
 * **No conflicts** — no machine executes two jobs at the same time.  The check
   is performed with a sweep over machine-span boundaries so it never iterates
   over the (possibly astronomically many) machines.
+
+The default (``backend="auto"``) validation path is *columnar*: the schedule
+is flattened once into NumPy arrays (:class:`repro.perf.schedule_builder.ScheduleColumns`)
+and every check runs as an O(n log n) sort/prefix-sum pass — validating a
+10^5-job schedule costs about as much as building it.  The vectorized conflict
+sweep is an exact over-approximation: whenever it sees a *potential* overlap
+(or the span nesting is too pathological to expand) it re-runs the tolerant
+scalar sweep, which remains the single source of truth for violation messages.
+``backend="scalar"`` forces the pure-Python reference path; both backends
+produce identical reports.
 * **Duration consistency** — the recorded duration of each placement is at
   least the oracle processing time for the allotted processor count
   (durations may be *over*-stated by shelf constructions but never
@@ -126,71 +136,76 @@ def _machine_conflicts(entries: Sequence[ScheduledJob]) -> List[str]:
     return violations
 
 
-def validate_schedule(
-    schedule: Schedule,
-    jobs: Optional[Iterable[MoldableJob]] = None,
-    *,
-    max_makespan: Optional[float] = None,
-    require_all_jobs: bool = True,
-) -> ValidationReport:
-    """Check a schedule for feasibility.
+def _bounds_violations(entries: Sequence[ScheduledJob], m: int) -> List[str]:
+    violations: List[str] = []
+    for entry in entries:
+        for first, count in entry.spans:
+            if first + count > m:
+                violations.append(
+                    f"job {entry.job.name!r}: span ({first}, {count}) exceeds machine count m={m}"
+                )
+        if entry.processors > m:
+            violations.append(
+                f"job {entry.job.name!r}: uses {entry.processors} > m={m} processors"
+            )
+    return violations
 
-    Parameters
-    ----------
-    schedule:
-        The schedule to validate.
-    jobs:
-        If given and ``require_all_jobs`` is true, every job must appear in the
-        schedule exactly once (and no foreign job may appear).
-    max_makespan:
-        Optional upper bound the makespan must respect.
-    """
+
+def _duration_violation(entry: ScheduledJob, oracle: float) -> Optional[str]:
+    if entry.duration_override is not None and entry.duration_override + ABS_TOL < oracle * (1 - REL_TOL):
+        return (
+            f"job {entry.job.name!r}: recorded duration {entry.duration_override:.6g} understates "
+            f"oracle time {oracle:.6g} on {entry.processors} processors"
+        )
+    return None
+
+
+def _completeness_violations(
+    entries: Sequence[ScheduledJob], jobs: Iterable[MoldableJob]
+) -> List[str]:
+    violations: List[str] = []
+    wanted = list(jobs)
+    scheduled = [e.job for e in entries]
+    scheduled_ids: dict = {}
+    for job in scheduled:
+        scheduled_ids[id(job)] = scheduled_ids.get(id(job), 0) + 1
+    for job in wanted:
+        cnt = scheduled_ids.get(id(job), 0)
+        if cnt == 0:
+            violations.append(f"job {job.name!r} is missing from the schedule")
+        elif cnt > 1:
+            violations.append(f"job {job.name!r} is scheduled {cnt} times")
+    wanted_ids = {id(job) for job in wanted}
+    for job in scheduled:
+        if id(job) not in wanted_ids:
+            violations.append(f"job {job.name!r} was scheduled but is not part of the instance")
+    return violations
+
+
+def _validate_scalar(
+    schedule: Schedule,
+    jobs: Optional[Iterable[MoldableJob]],
+    max_makespan: Optional[float],
+    require_all_jobs: bool,
+) -> ValidationReport:
+    """The pure-Python reference validation path."""
     violations: List[str] = []
     entries = schedule.entries
 
-    # machine index bounds
-    for entry in entries:
-        for first, count in entry.spans:
-            if first + count > schedule.m:
-                violations.append(
-                    f"job {entry.job.name!r}: span ({first}, {count}) exceeds machine count m={schedule.m}"
-                )
-        if entry.processors > schedule.m:
-            violations.append(
-                f"job {entry.job.name!r}: uses {entry.processors} > m={schedule.m} processors"
-            )
+    violations.extend(_bounds_violations(entries, schedule.m))
 
     # duration consistency
     for entry in entries:
         oracle = entry.job.processing_time(entry.processors)
-        if entry.duration_override is not None and entry.duration_override + ABS_TOL < oracle * (1 - REL_TOL):
-            violations.append(
-                f"job {entry.job.name!r}: recorded duration {entry.duration_override:.6g} understates "
-                f"oracle time {oracle:.6g} on {entry.processors} processors"
-            )
+        message = _duration_violation(entry, oracle)
+        if message is not None:
+            violations.append(message)
 
-    # completeness
     if jobs is not None and require_all_jobs:
-        wanted = list(jobs)
-        scheduled = [e.job for e in entries]
-        scheduled_ids = {}
-        for job in scheduled:
-            scheduled_ids[id(job)] = scheduled_ids.get(id(job), 0) + 1
-        for job in wanted:
-            cnt = scheduled_ids.get(id(job), 0)
-            if cnt == 0:
-                violations.append(f"job {job.name!r} is missing from the schedule")
-            elif cnt > 1:
-                violations.append(f"job {job.name!r} is scheduled {cnt} times")
-        wanted_ids = {id(job) for job in wanted}
-        for job in scheduled:
-            if id(job) not in wanted_ids:
-                violations.append(f"job {job.name!r} was scheduled but is not part of the instance")
+        violations.extend(_completeness_violations(entries, jobs))
 
-    # machine conflicts
     violations.extend(_machine_conflicts(entries))
 
-    # makespan bound
     ms = schedule.makespan
     if max_makespan is not None and not _approx_le(ms, max_makespan):
         violations.append(f"makespan {ms:.6g} exceeds bound {max_makespan:.6g}")
@@ -203,14 +218,142 @@ def validate_schedule(
     )
 
 
+#: Expansion budget of the vectorized conflict sweep: schedules whose spans
+#: nest so pathologically that cutting them at all boundaries exceeds this
+#: many pieces re-run the scalar sweep instead.
+_CONFLICT_INCIDENCE_CAP = 1_000_000
+
+
+def _validate_columnar(
+    schedule: Schedule,
+    jobs: Optional[Iterable[MoldableJob]],
+    max_makespan: Optional[float],
+    require_all_jobs: bool,
+    oracle=None,
+) -> Optional[ValidationReport]:
+    """Columnar validation: one pass to arrays, then sort/prefix-sum checks.
+
+    Returns ``None`` when the schedule cannot be safely put into int64
+    columns (astronomical machine counts); the caller falls back to the
+    scalar path.  Violation *messages* always come from the scalar helpers,
+    so reports are identical to :func:`_validate_scalar`.
+    """
+    import numpy as np
+
+    from ..perf.schedule_builder import ScheduleColumns, spans_time_overlap
+
+    entries = schedule.entries
+    m = schedule.m
+    try:
+        cols = ScheduleColumns(schedule, oracle=oracle)
+    except OverflowError:
+        return None
+
+    violations: List[str] = []
+
+    # machine index bounds
+    if (cols.span_end > m).any() or (cols.processors > m).any():
+        violations.extend(_bounds_violations(entries, m))
+
+    # duration consistency (only overridden entries can violate; the others'
+    # oracle times were already evaluated while building the columns)
+    if cols.has_override.any():
+        for i in np.flatnonzero(cols.has_override).tolist():
+            entry = entries[i]
+            oracle_time = entry.job.processing_time(entry.processors)
+            message = _duration_violation(entry, oracle_time)
+            if message is not None:
+                violations.append(message)
+
+    if jobs is not None and require_all_jobs:
+        violations.extend(_completeness_violations(entries, jobs))
+
+    # machine conflicts: exact vectorized sweep; any *potential* overlap (or
+    # an over-budget expansion) re-runs the tolerant scalar sweep for the
+    # authoritative verdict and messages.
+    suspicious = spans_time_overlap(
+        cols.span_first,
+        cols.span_end,
+        cols.start[cols.span_owner],
+        cols.end[cols.span_owner],
+        max_incidences=max(_CONFLICT_INCIDENCE_CAP, 8 * len(cols.span_first)),
+    )
+    if suspicious is None or suspicious:
+        violations.extend(_machine_conflicts(entries))
+
+    ms = float(cols.end.max()) if cols.n else 0.0
+    if max_makespan is not None and not _approx_le(ms, max_makespan):
+        violations.append(f"makespan {ms:.6g} exceeds bound {max_makespan:.6g}")
+
+    # peak busy machines: event sort + prefix sum
+    if float(np.sum(cols.processors.astype(np.float64))) > float(1 << 62):
+        peak = schedule.peak_processor_usage()
+    else:
+        times = np.concatenate((cols.start, cols.end))
+        deltas = np.concatenate((cols.processors, -cols.processors))
+        order = np.lexsort((deltas, times))
+        peak = max(0, int(np.cumsum(deltas[order]).max()))
+
+    return ValidationReport(
+        ok=not violations,
+        violations=violations,
+        makespan=ms,
+        peak_processors=peak,
+    )
+
+
+def validate_schedule(
+    schedule: Schedule,
+    jobs: Optional[Iterable[MoldableJob]] = None,
+    *,
+    max_makespan: Optional[float] = None,
+    require_all_jobs: bool = True,
+    backend: str = "auto",
+    oracle=None,
+) -> ValidationReport:
+    """Check a schedule for feasibility.
+
+    Parameters
+    ----------
+    schedule:
+        The schedule to validate.
+    jobs:
+        If given and ``require_all_jobs`` is true, every job must appear in the
+        schedule exactly once (and no foreign job may appear).
+    max_makespan:
+        Optional upper bound the makespan must respect.
+    backend:
+        ``"auto"`` (default) runs the columnar NumPy checks, falling back to
+        the scalar sweep for violation messages and for schedules whose span
+        values do not fit int64; ``"scalar"`` forces the pure-Python reference
+        path.  Both produce identical reports.
+    oracle:
+        Optional :class:`repro.perf.oracle.BatchedOracle` covering the
+        schedule's jobs; the columnar path then evaluates entry durations in
+        one batched kernel pass instead of per-entry oracle calls
+        (bit-identical values).
+    """
+    if backend not in ("auto", "vectorized", "scalar"):
+        raise ValueError(f"unknown validation backend {backend!r}")
+    if backend != "scalar" and schedule.entries:
+        from ..perf.schedule_builder import MAX_COLUMNAR_M
+
+        if schedule.m <= MAX_COLUMNAR_M:
+            report = _validate_columnar(schedule, jobs, max_makespan, require_all_jobs, oracle)
+            if report is not None:
+                return report
+    return _validate_scalar(schedule, jobs, max_makespan, require_all_jobs)
+
+
 def assert_valid_schedule(
     schedule: Schedule,
     jobs: Optional[Iterable[MoldableJob]] = None,
     *,
     max_makespan: Optional[float] = None,
+    oracle=None,
 ) -> ValidationReport:
     """Like :func:`validate_schedule` but raises :class:`ValidationError`."""
-    report = validate_schedule(schedule, jobs, max_makespan=max_makespan)
+    report = validate_schedule(schedule, jobs, max_makespan=max_makespan, oracle=oracle)
     if not report.ok:
         raise ValidationError("; ".join(report.violations))
     return report

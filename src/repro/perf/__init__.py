@@ -12,6 +12,12 @@ This package makes *batched* evaluation the fast path of the library:
   ``n·log m`` Python calls) and caches the γ-arrays per threshold; successive
   thresholds of a dual search reuse earlier results as bisection brackets
   (the γ-breakpoint cache).
+* :mod:`repro.perf.schedule_builder` — :class:`ArraySchedule` /
+  :func:`schedule_from_arrays` assemble a :class:`~repro.core.schedule.Schedule`
+  from flat columns (job index, start, span first/count) in one batched pass
+  with vectorized span normalization, so the vectorized drivers never leave
+  array-land until the final object; :class:`ScheduleColumns` is the read-side
+  view consumed by the vectorized validator and simulator sweeps.
 * :mod:`repro.perf.bench` — the scalar-vs-vectorized regression harness
   behind ``benchmarks/bench_perf_suite.py`` and ``BENCH_perf.json``.
 
@@ -22,5 +28,12 @@ implementations; the algorithm drivers select between them via their
 
 from .arrays import JobArrayBundle
 from .oracle import BatchedOracle
+from .schedule_builder import ArraySchedule, ScheduleColumns, schedule_from_arrays
 
-__all__ = ["JobArrayBundle", "BatchedOracle"]
+__all__ = [
+    "JobArrayBundle",
+    "BatchedOracle",
+    "ArraySchedule",
+    "ScheduleColumns",
+    "schedule_from_arrays",
+]

@@ -25,6 +25,7 @@ from ..core.job import (
     AmdahlJob,
     CommunicationJob,
     MoldableJob,
+    OracleJob,
     PowerLawJob,
     RigidJob,
     TabulatedJob,
@@ -136,6 +137,33 @@ class _FallbackGroup(_Group):
         )
 
 
+class _OracleHookGroup(_Group):
+    """:class:`OracleJob` instances carrying a user-supplied
+    ``times_vectorized`` callable: one batched call per *job* present in the
+    query (each job has its own callable, but all its processor counts go
+    through in a single array) instead of one Python call per ``(job, k)``
+    pair."""
+
+    __slots__ = ()
+
+    def eval(self, pos: np.ndarray, ks: np.ndarray) -> np.ndarray:
+        out = np.empty(len(pos), dtype=np.float64)
+        order = np.argsort(pos, kind="stable")
+        sorted_pos = pos[order]
+        # the hook contract hands the callable a float64 array
+        sorted_ks = np.asarray(ks[order], dtype=np.float64)
+        breaks = np.flatnonzero(sorted_pos[1:] != sorted_pos[:-1]) + 1
+        starts = np.concatenate(([0], breaks))
+        stops = np.concatenate((breaks, [len(sorted_pos)]))
+        jobs = self.jobs
+        for a, b in zip(starts.tolist(), stops.tolist()):
+            job = jobs[sorted_pos[a]]
+            out[order[a:b]] = np.asarray(
+                job.times_vectorized(sorted_ks[a:b]), dtype=np.float64
+            )
+        return out
+
+
 #: Exact-type kernel registry.  ``type(job) is cls`` (not isinstance) so that
 #: user subclasses with overridden ``_time`` safely fall back to the loop.
 _GROUP_FOR_TYPE = {
@@ -145,6 +173,15 @@ _GROUP_FOR_TYPE = {
     TabulatedJob: _TabulatedGroup,
     RigidJob: _RigidGroup,
 }
+
+
+def _group_class_for(job: MoldableJob) -> type:
+    cls = _GROUP_FOR_TYPE.get(type(job))
+    if cls is not None:
+        return cls
+    if type(job) is OracleJob and job.times_vectorized is not None:
+        return _OracleHookGroup
+    return _FallbackGroup
 
 
 class JobArrayBundle:
@@ -165,7 +202,7 @@ class JobArrayBundle:
         groups: List[_Group] = []
         slot_of_type: dict = {}
         for i, job in enumerate(self.jobs):
-            cls = _GROUP_FOR_TYPE.get(type(job), _FallbackGroup)
+            cls = _group_class_for(job)
             slot = slot_of_type.get(cls)
             if slot is None:
                 slot = len(groups)
@@ -177,6 +214,12 @@ class JobArrayBundle:
         for g in groups:
             g.finalize()
         self.groups = groups
+        # static partition of all job indices by group, so whole-instance
+        # evaluations skip the per-call mask computations of eval_at
+        self._group_index = [
+            np.flatnonzero(self.group_of == gid) for gid in range(len(groups))
+        ]
+        self._group_pos = [self.pos_in_group[idx] for idx in self._group_index]
 
     def __len__(self) -> int:
         return len(self.jobs)
@@ -208,7 +251,14 @@ class JobArrayBundle:
 
     def eval_all(self, ks) -> np.ndarray:
         """Processing times of *all* jobs at per-job counts ``ks`` (scalar or
-        length-``n`` array)."""
+        length-``n`` array).
+
+        Uses the static group partition computed at construction, so a
+        whole-instance evaluation is exactly one kernel call per job class
+        with no per-call masking."""
         n = len(self.jobs)
         ks = np.broadcast_to(np.asarray(ks, dtype=np.float64), (n,))
-        return self.eval_at(np.arange(n, dtype=np.int64), ks)
+        out = np.empty(n, dtype=np.float64)
+        for group, idx, pos in zip(self.groups, self._group_index, self._group_pos):
+            out[idx] = group.eval(pos, ks[idx])
+        return out

@@ -1,20 +1,30 @@
 """Scalar-vs-vectorized performance regression harness.
 
-Times every algorithm driver on the Table-1 instance families (the
-``random_mixed_instance`` sweeps of the paper's running-time study) under both
-backends and writes the results to ``BENCH_perf.json``:
+Times every algorithm driver on a *multi-family* instance sweep (the mixed
+Table-1 workload of the paper's running-time study plus power-law-work,
+communication-bound, bimodal and tiny-n/huge-m families) under both backends
+and writes the results to ``BENCH_perf.json``:
 
 * per row: wall-clock seconds for ``backend="scalar"`` and
   ``backend="vectorized"``, the speedup, and whether the two backends produced
   *identical* makespans (they must — the vectorized layer is bit-compatible);
-* aggregates: per-algorithm speedups and the geometric-mean speedup over the
-  `(3/2+eps)` Table-1 algorithms on the ``n >= 1000`` instances (the headline
-  number the acceptance gate checks).
+* aggregates: per-algorithm speedups, the geometric-mean speedup over the
+  `(3/2+eps)` Table-1 algorithms on the ``n >= 1000`` instances, and the
+  fptas/two_approx ``n >= 1000`` geomean that the columnar-assembly gate
+  checks (``--min-fptas-two-approx``, default 8x).
 
-``--smoke`` runs a small fixed configuration suitable for CI and can compare
-against a checked-in baseline: the gate fails when an algorithm's *speedup*
-drops below ``baseline / regression_factor`` (speedups, unlike absolute
-seconds, transfer across machines).
+Each (algorithm, family, n, m) configuration is one *shard*: ``--processes``
+fans the shards across a ``multiprocessing`` pool (both backends of a shard
+stay in the same worker so their ratio is unaffected by pool contention) and
+the per-shard rows are merged back in configuration order.
+
+``--smoke`` runs a small fixed configuration suitable for CI — combined with
+``--families`` it assigns one family per algorithm round-robin, so a short
+run still touches every requested family.  ``--check`` compares against a
+checked-in baseline: the gate fails when an algorithm's *speedup* drops below
+``baseline / regression_factor`` (speedups, unlike absolute seconds, transfer
+across machines), when the backends disagree on any makespan, or when the
+fptas/two_approx geomean falls under the floor.
 """
 
 from __future__ import annotations
@@ -22,6 +32,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import multiprocessing
 import platform
 import sys
 import time
@@ -34,16 +45,40 @@ from ..core.fptas import fptas_schedule
 from ..core.mrt import mrt_schedule
 from ..core.two_approx import two_approximation
 from ..knapsack.compressible import _geom_cached
-from ..workloads.generators import random_mixed_instance
+from ..workloads.generators import (
+    random_bimodal_instance,
+    random_communication_instance,
+    random_mixed_instance,
+    random_power_work_instance,
+)
 
-__all__ = ["BenchRow", "BenchReport", "run_suite", "main"]
+__all__ = ["BenchRow", "BenchReport", "run_suite", "main", "FAMILIES"]
 
 #: Algorithms whose n>=1000 speedups form the headline geometric mean (the
 #: paper's Table 1 covers the (3/2+eps) dual algorithms; MRT is its baseline).
 TABLE1_ALGORITHMS = ("mrt", "compressible", "bounded_heap", "bounded_bucket")
 
+#: All timed algorithms (Table-1 set plus the columnar-assembly headliners).
+ALL_ALGORITHMS = TABLE1_ALGORITHMS + ("fptas", "two_approx")
+
 SCHEDULE_EPS = 0.1
 FPTAS_EPS = 0.5
+
+#: Instance families of the sweep.  ``tiny_n_huge_m`` reuses the mixed
+#: generator but with a config shape (n=64, m=2^22) that drives every
+#: algorithm through its large-m dispatch (FPTAS regime).
+FAMILIES: Dict[str, Callable] = {
+    "mixed": random_mixed_instance,
+    "powerwork": random_power_work_instance,
+    "comm": random_communication_instance,
+    "bimodal": random_bimodal_instance,
+    "tiny_n_huge_m": random_mixed_instance,
+}
+
+DEFAULT_FAMILIES = tuple(FAMILIES)
+
+_TINY_N = 64
+_TINY_M = 1 << 22
 
 
 @dataclass
@@ -67,6 +102,8 @@ class BenchReport:
     seed: int
     python: str = field(default_factory=platform.python_version)
     platform: str = field(default_factory=platform.platform)
+    families: List[str] = field(default_factory=lambda: list(DEFAULT_FAMILIES))
+    processes: int = 1
     rows: List[BenchRow] = field(default_factory=list)
     aggregates: Dict[str, float] = field(default_factory=dict)
     identical_makespans: bool = True
@@ -118,79 +155,193 @@ def _timed(fn: Callable[[], object], repeat: int, jobs) -> tuple[float, object]:
     return best, result
 
 
-def _configs(mode: str) -> List[dict]:
-    """Instance configurations per mode.
+def _normalize_families(families: Optional[Sequence[str]]) -> List[str]:
+    names = list(families) if families else list(DEFAULT_FAMILIES)
+    unknown = [f for f in names if f not in FAMILIES]
+    if unknown:
+        raise ValueError(f"unknown families {unknown}; available: {sorted(FAMILIES)}")
+    return names
+
+
+def _fptas_m(n: int) -> int:
+    return max(1 << 21, int(8 * n / FPTAS_EPS) + 1)
+
+
+def _configs(mode: str, families: Sequence[str]) -> List[dict]:
+    """Instance configurations (shards) per mode.
 
     The full suite keeps ``m = 8n < 16n`` for the knapsack-based algorithms so
     their shelf-selection machinery is actually exercised, and ``m >= 8n/eps``
-    for the FPTAS rows (its applicability regime).
+    for the FPTAS rows (its applicability regime); the ``tiny_n_huge_m``
+    family instead pins ``n = 64, m = 2^22`` to cover every algorithm's
+    large-m dispatch.  Smoke mode assigns one family per algorithm
+    (round-robin over the requested families) so CI stays fast but still
+    touches every family.
     """
     if mode == "smoke":
-        return [
-            dict(algorithm=alg, family="mixed", n=120, m=960)
+        configs = []
+        for i, alg in enumerate(TABLE1_ALGORITHMS):
+            family = families[i % len(families)]
+            if family == "tiny_n_huge_m":
+                configs.append(dict(algorithm=alg, family=family, n=_TINY_N, m=_TINY_M))
+            else:
+                configs.append(dict(algorithm=alg, family=family, n=120, m=960))
+        # fptas / two_approx run at n >= 1000 so the columnar-assembly floor
+        # (--min-fptas-two-approx) is measured on meaningful instances.  Only
+        # requested families are ever swept: a tiny_n_huge_m-only run gets
+        # tiny-shaped coverage rows instead (and therefore no n>=1000 floor
+        # measurement — there is nothing honest to measure there).
+        gate_families = [f for f in families if f != "tiny_n_huge_m"]
+        if gate_families:
+            configs.append(
+                dict(algorithm="fptas", family=gate_families[0], n=2000, m=_fptas_m(2000))
+            )
+            configs.append(
+                dict(algorithm="two_approx", family=gate_families[0], n=2000, m=16000)
+            )
+        else:
+            configs.append(
+                dict(algorithm="fptas", family="tiny_n_huge_m", n=_TINY_N, m=_TINY_M)
+            )
+            configs.append(
+                dict(algorithm="two_approx", family="tiny_n_huge_m", n=_TINY_N, m=_TINY_M)
+            )
+        # families the round-robin did not reach still get one cheap shard
+        covered = {c["family"] for c in configs}
+        for family in families:
+            if family not in covered:
+                n, m = (_TINY_N, _TINY_M) if family == "tiny_n_huge_m" else (120, _fptas_m(120))
+                configs.append(dict(algorithm="fptas", family=family, n=n, m=m))
+        return configs
+
+    configs: List[dict] = []
+    for family in families:
+        if family == "tiny_n_huge_m":
+            configs += [
+                dict(algorithm=alg, family=family, n=_TINY_N, m=_TINY_M)
+                for alg in ALL_ALGORITHMS
+            ]
+            continue
+        table1_sizes = (1000, 2000) if family == "mixed" else (1000,)
+        configs += [
+            dict(algorithm=alg, family=family, n=n, m=8 * n)
             for alg in TABLE1_ALGORITHMS
-        ] + [dict(algorithm="fptas", family="mixed", n=60, m=1024)]
-    configs = [
-        dict(algorithm=alg, family="mixed", n=n, m=8 * n)
-        for alg in TABLE1_ALGORITHMS
-        for n in (1000, 2000)
-    ]
-    configs += [
-        dict(algorithm="fptas", family="mixed", n=n, m=max(1 << 21, int(8 * n / FPTAS_EPS) + 1))
-        for n in (1000, 2000)
-    ]
-    configs += [dict(algorithm="two_approx", family="mixed", n=2000, m=16000)]
+            for n in table1_sizes
+        ]
+        gate_sizes = (1000, 2000) if family == "mixed" else (2000,)
+        configs += [
+            dict(algorithm="fptas", family=family, n=n, m=_fptas_m(n))
+            for n in gate_sizes
+        ]
+        configs += [
+            dict(algorithm="two_approx", family=family, n=n, m=8 * n)
+            for n in gate_sizes
+        ]
     return configs
 
 
-def run_suite(mode: str = "full", *, seed: int = 7, repeat: int = 1, verbose: bool = True) -> BenchReport:
-    """Run the scalar-vs-vectorized suite and return the report."""
+def _bench_shard(task: tuple) -> BenchRow:
+    """Time one (algorithm, family, n, m) shard under both backends.
+
+    Module-level so a ``multiprocessing`` pool can pickle it; the instance is
+    regenerated inside the worker from (family, n, m, seed), and both backends
+    run in the *same* worker so pool contention cancels out of the ratio.
+    """
+    config, seed, repeat = task
+    algorithm = config["algorithm"]
+    n, m, family = config["n"], config["m"], config["family"]
+    instance = FAMILIES[family](n, m, seed=seed)
+    runner = _runner_for(algorithm)
+    scalar_seconds, scalar_result = _timed(
+        lambda: runner(instance.jobs, m, "scalar"), repeat, instance.jobs
+    )
+    vec_seconds, vec_result = _timed(
+        lambda: runner(instance.jobs, m, "vectorized"), repeat, instance.jobs
+    )
+    return BenchRow(
+        algorithm=algorithm,
+        family=family,
+        n=n,
+        m=m,
+        eps=_eps_for(algorithm),
+        scalar_seconds=scalar_seconds,
+        vectorized_seconds=vec_seconds,
+        speedup=scalar_seconds / vec_seconds if vec_seconds > 0 else math.inf,
+        scalar_makespan=scalar_result.makespan,
+        vectorized_makespan=vec_result.makespan,
+        makespans_identical=scalar_result.makespan == vec_result.makespan,
+    )
+
+
+def run_suite(
+    mode: str = "full",
+    *,
+    seed: int = 7,
+    repeat: int = 1,
+    verbose: bool = True,
+    families: Optional[Sequence[str]] = None,
+    processes: int = 1,
+) -> BenchReport:
+    """Run the scalar-vs-vectorized suite and return the report.
+
+    ``families`` selects the instance families (default: all).  ``processes``
+    > 1 fans the shards across a ``multiprocessing`` pool; per-shard rows are
+    merged back in configuration order either way.
+    """
     if mode not in ("full", "smoke"):
         raise ValueError(f"unknown mode {mode!r}")
-    report = BenchReport(mode=mode, seed=seed)
-    for config in _configs(mode):
-        algorithm = config["algorithm"]
-        n, m = config["n"], config["m"]
-        instance = random_mixed_instance(n, m, seed=seed)
-        runner = _runner_for(algorithm)
-        scalar_seconds, scalar_result = _timed(
-            lambda: runner(instance.jobs, m, "scalar"), repeat, instance.jobs
-        )
-        vec_seconds, vec_result = _timed(
-            lambda: runner(instance.jobs, m, "vectorized"), repeat, instance.jobs
-        )
-        row = BenchRow(
-            algorithm=algorithm,
-            family=config["family"],
-            n=n,
-            m=m,
-            eps=_eps_for(algorithm),
-            scalar_seconds=scalar_seconds,
-            vectorized_seconds=vec_seconds,
-            speedup=scalar_seconds / vec_seconds if vec_seconds > 0 else math.inf,
-            scalar_makespan=scalar_result.makespan,
-            vectorized_makespan=vec_result.makespan,
-            makespans_identical=scalar_result.makespan == vec_result.makespan,
-        )
+    family_names = _normalize_families(families)
+    processes = max(1, int(processes))
+    report = BenchReport(mode=mode, seed=seed, families=family_names, processes=processes)
+    configs = _configs(mode, family_names)
+    tasks = [(config, seed, repeat) for config in configs]
+    if processes > 1:
+        try:
+            # fork inherits sys.path (the CLI entry point extends it at
+            # runtime); spawn is the fallback for platforms without fork.
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes) as pool:
+            rows = pool.map(_bench_shard, tasks)
+    else:
+        rows = []
+        for task in tasks:
+            row = _bench_shard(task)
+            rows.append(row)
+            if verbose:
+                _print_row(row)
+    if processes > 1 and verbose:
+        for row in rows:
+            _print_row(row)
+    for row in rows:
         report.rows.append(row)
         report.identical_makespans &= row.makespans_identical
-        if verbose:
-            print(
-                f"  {algorithm:15s} n={n:<5d} m={m:<8d} scalar {scalar_seconds:7.3f}s  "
-                f"vectorized {vec_seconds:7.3f}s  speedup {row.speedup:5.1f}x  "
-                f"makespans {'identical' if row.makespans_identical else 'DIFFER'}"
-            )
     report.aggregates = _aggregate(report.rows)
     return report
+
+
+def _print_row(row: BenchRow) -> None:
+    print(
+        f"  {row.algorithm:15s} {row.family:13s} n={row.n:<5d} m={row.m:<8d} "
+        f"scalar {row.scalar_seconds:7.3f}s  vectorized {row.vectorized_seconds:7.3f}s  "
+        f"speedup {row.speedup:5.1f}x  "
+        f"makespans {'identical' if row.makespans_identical else 'DIFFER'}"
+    )
 
 
 def _aggregate(rows: Sequence[BenchRow]) -> Dict[str, float]:
     aggregates: Dict[str, float] = {}
     by_algorithm: Dict[str, List[float]] = {}
+    by_algorithm_n1000: Dict[str, List[float]] = {}
     for row in rows:
         by_algorithm.setdefault(row.algorithm, []).append(row.speedup)
+        if row.n >= 1000:
+            by_algorithm_n1000.setdefault(row.algorithm, []).append(row.speedup)
     for algorithm, speedups in by_algorithm.items():
         aggregates[f"speedup_{algorithm}"] = _geomean(speedups)
+    for algorithm, speedups in by_algorithm_n1000.items():
+        aggregates[f"speedup_{algorithm}_n1000"] = _geomean(speedups)
     headline = [
         row.speedup
         for row in rows
@@ -199,6 +350,23 @@ def _aggregate(rows: Sequence[BenchRow]) -> Dict[str, float]:
     if headline:
         aggregates["table1_speedup_geomean_n1000"] = _geomean(headline)
         aggregates["table1_speedup_min_n1000"] = min(headline)
+    assembly_all = [
+        row.speedup
+        for row in rows
+        if row.algorithm in ("fptas", "two_approx") and row.n >= 1000
+    ]
+    if assembly_all:
+        aggregates["fptas_two_approx_geomean_n1000"] = _geomean(assembly_all)
+    # The gated number: Table-1 (mixed-family) instances only — the easy
+    # families (heavy-tailed powerwork in particular) finish so fast under
+    # the scalar backend that their ratios say little about assembly cost.
+    assembly_table1 = [
+        row.speedup
+        for row in rows
+        if row.algorithm in ("fptas", "two_approx") and row.n >= 1000 and row.family == "mixed"
+    ]
+    if assembly_table1:
+        aggregates["fptas_two_approx_table1_geomean_n1000"] = _geomean(assembly_table1)
     aggregates["speedup_geomean_all"] = _geomean([row.speedup for row in rows])
     return aggregates
 
@@ -215,12 +383,16 @@ def check_regression(
     baseline_path: str,
     *,
     regression_factor: float = 2.0,
+    min_fptas_two_approx: Optional[float] = 8.0,
 ) -> List[str]:
     """Compare per-algorithm speedups against a baseline report.
 
     Returns a list of human-readable failures (empty = gate passes).  Speedup
     ratios are used rather than absolute seconds so the gate is meaningful on
-    hardware other than the machine that recorded the baseline.
+    hardware other than the machine that recorded the baseline.  In addition
+    to the relative baseline check, the fptas/two_approx ``n >= 1000``
+    geomean must stay above the absolute ``min_fptas_two_approx`` floor (the
+    columnar schedule-assembly guarantee; pass ``None`` to skip).
     """
     with open(baseline_path) as fh:
         baseline = json.load(fh)
@@ -238,6 +410,20 @@ def check_regression(
                 f"{key}: speedup {current:.2f}x fell below {floor:.2f}x "
                 f"(baseline {reference:.2f}x / factor {regression_factor})"
             )
+    if min_fptas_two_approx is not None:
+        # Gate on the Table-1 (mixed-family) geomean; when the run swept no
+        # mixed n>=1000 rows, fall back to the all-family geomean rather than
+        # silently passing a requested floor without measuring anything.
+        key = "fptas_two_approx_table1_geomean_n1000"
+        assembly = report.aggregates.get(key)
+        if assembly is None:
+            key = "fptas_two_approx_geomean_n1000"
+            assembly = report.aggregates.get(key)
+        if assembly is not None and assembly < min_fptas_two_approx:
+            failures.append(
+                f"{key}: {assembly:.2f}x fell below the "
+                f"columnar-assembly floor {min_fptas_two_approx:.2f}x"
+            )
     if not report.identical_makespans:
         failures.append("scalar and vectorized backends produced different makespans")
     return failures
@@ -250,16 +436,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--repeat", type=int, default=1, help="timing repeats (best-of)")
     parser.add_argument(
+        "--families",
+        default=None,
+        help="comma-separated instance families to sweep "
+        f"(default: all of {','.join(DEFAULT_FAMILIES)}); smoke mode assigns "
+        "one family per algorithm round-robin",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="fan the per-configuration shards across a multiprocessing pool "
+        "(default 1: sequential, best for clean timings)",
+    )
+    parser.add_argument(
         "--check",
         metavar="BASELINE",
         help="compare against a baseline BENCH_perf.json and exit non-zero on >2x speedup regression",
     )
     parser.add_argument("--regression-factor", type=float, default=2.0)
+    parser.add_argument(
+        "--min-fptas-two-approx",
+        type=float,
+        default=8.0,
+        help="absolute floor for the fptas/two_approx n>=1000 speedup geomean "
+        "on Table-1 (mixed-family) rows, enforced by --check; falls back to "
+        "the all-family geomean when the run swept no mixed rows (0 disables)",
+    )
     args = parser.parse_args(argv)
 
+    families = [f.strip() for f in args.families.split(",") if f.strip()] if args.families else None
     mode = "smoke" if args.smoke else "full"
     print(f"perf suite ({mode} mode, seed {args.seed})")
-    report = run_suite(mode, seed=args.seed, repeat=args.repeat)
+    report = run_suite(
+        mode,
+        seed=args.seed,
+        repeat=args.repeat,
+        families=families,
+        processes=args.processes,
+    )
     with open(args.output, "w") as fh:
         fh.write(report.to_json() + "\n")
     print(f"wrote {args.output}")
@@ -269,7 +484,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.check:
         try:
-            failures = check_regression(report, args.check, regression_factor=args.regression_factor)
+            failures = check_regression(
+                report,
+                args.check,
+                regression_factor=args.regression_factor,
+                min_fptas_two_approx=args.min_fptas_two_approx or None,
+            )
         except (OSError, json.JSONDecodeError) as exc:
             print(f"cannot read baseline {args.check!r}: {exc}", file=sys.stderr)
             return 2

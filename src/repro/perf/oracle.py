@@ -64,8 +64,10 @@ class BatchedOracle:
         self._tm: Optional[np.ndarray] = None
         self._gamma_cache: Dict[float, np.ndarray] = {}
         self._sorted_thresholds: List[float] = []
-        #: instrumentation: lockstep searches run, bisection levels spent,
-        #: vectorized oracle values computed, threshold-cache hits.
+        #: instrumentation: lockstep searches run, bisection levels spent
+        #: (summed over the per-job-class group loops, so a mixed instance
+        #: counts each class's levels separately), vectorized oracle values
+        #: computed, threshold-cache hits.
         self.stats = {
             "gamma_batches": 0,
             "bisection_levels": 0,
@@ -140,20 +142,37 @@ class BatchedOracle:
                     below = self._gamma_cache[self._sorted_thresholds[pos - 1]][idx]
                     # t' < t  =>  gamma(t') >= gamma(t); t(gamma(t')) <= t' < t
                     hi = np.minimum(hi, below)
-                while True:
-                    open_mask = hi - lo > 1
-                    if not open_mask.any():
-                        break
-                    self.stats["bisection_levels"] += 1
-                    sub = np.nonzero(open_mask)[0]
-                    mid = (lo[sub] + hi[sub]) // 2
-                    self.stats["oracle_evals"] += len(sub)
-                    t_mid = self.bundle.eval_at(idx[sub], mid.astype(np.float64))
-                    le = t_mid <= threshold
-                    hi[sub[le]] = mid[le]
-                    ge = ~le
-                    lo[sub[ge]] = mid[ge]
-                out[idx] = hi
+                # Dispatch the job-class groups once, then run each group's
+                # bisection in a tight loop over its own kernel — every job's
+                # (lo, hi, mid) trajectory is independent, so the per-job
+                # results (and the total oracle_evals count) are identical to
+                # a combined lockstep search, without re-partitioning the
+                # active set on every level.
+                gof = self.bundle.group_of[idx]
+                groups = self.bundle.groups
+                for gid in np.unique(gof):
+                    gsel = np.nonzero(gof == gid)[0]
+                    gidx = idx[gsel]
+                    glo = lo[gsel]
+                    ghi = hi[gsel]
+                    eval_kernel = groups[gid].eval
+                    gpos = self.bundle.pos_in_group[gidx]
+                    while True:
+                        open_mask = ghi - glo > 1
+                        if not open_mask.any():
+                            break
+                        self.stats["bisection_levels"] += 1
+                        sub = np.nonzero(open_mask)[0]
+                        mid = (glo[sub] + ghi[sub]) // 2
+                        self.stats["oracle_evals"] += len(sub)
+                        # int64 counts upcast to float64 inside the kernels
+                        # exactly like an explicit astype would
+                        t_mid = eval_kernel(gpos[sub], mid)
+                        le = t_mid <= threshold
+                        ghi[sub[le]] = mid[le]
+                        ge = ~le
+                        glo[sub[ge]] = mid[ge]
+                    out[gidx] = ghi
         out.setflags(write=False)
         self._gamma_cache[threshold] = out
         insort(self._sorted_thresholds, threshold)

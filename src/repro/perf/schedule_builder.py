@@ -1,0 +1,417 @@
+"""Columnar schedule assembly: build a :class:`~repro.core.schedule.Schedule`
+from flat NumPy columns in one pass.
+
+The object path assembles schedules one :class:`ScheduledJob` at a time:
+every ``Schedule.add`` runs the frozen-dataclass machinery, re-validates its
+arguments and normalizes its machine spans in Python.  For the vectorized
+algorithm drivers — which already hold their whole answer in arrays (γ-counts,
+prefix-sum machine offsets, start times) — that per-entry tour through Python
+is the dominant cost of producing the result object.
+
+:class:`ArraySchedule` keeps the placements as flat *columns* instead:
+
+* per entry: the job, its start time and an optional duration override;
+* per span: ``(owner_row, first_machine, machine_count)`` — an entry may own
+  any number of spans, so multi-span placements (e.g. shelf constructions
+  reusing scattered leftover machines) stay flat too.
+
+:meth:`ArraySchedule.build` validates and normalizes **all** spans with a
+handful of array operations (one ``lexsort`` + vectorized adjacency merge,
+mirroring ``repro.core.schedule._normalize_spans`` including its rejection of
+double-booked machines) and then materializes the ``ScheduledJob`` entries in
+a single tight loop that bypasses the per-entry re-validation — the resulting
+:class:`Schedule` is *identical* (same entry order, same floats, same span
+tuples) to one assembled through sequential ``Schedule.add`` calls.
+
+:class:`ScheduleColumns` is the read-side counterpart: one pass over an
+existing schedule's entries yields the flat arrays that the vectorized
+validator (:mod:`repro.core.validation`) and the event-sweep simulator
+(:mod:`repro.simulator.engine`) consume.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.job import MoldableJob
+from ..core.schedule import MachineSpan, Schedule, ScheduledJob
+
+__all__ = [
+    "ArraySchedule",
+    "ScheduleColumns",
+    "schedule_from_arrays",
+    "MAX_COLUMNAR_M",
+]
+
+
+#: Above this machine count int64 span arithmetic could overflow; columnar
+#: consumers fall back to the scalar (arbitrary-precision) paths.
+MAX_COLUMNAR_M = 1 << 62
+
+
+class ArraySchedule:
+    """Columnar builder for a :class:`Schedule` on ``m`` machines.
+
+    Rows can be appended one placement at a time (:meth:`append`, for
+    loop-driven producers like the shelf constructions) or as whole column
+    blocks (:meth:`extend_columns`, for producers that are already
+    array-native like the FPTAS dual step).  :meth:`build` materializes the
+    schedule once, with batched span normalization and validation.
+    """
+
+    __slots__ = (
+        "m",
+        "metadata",
+        "_jobs",
+        "_starts",
+        "_overrides",
+        "_span_owner",
+        "_span_first",
+        "_span_count",
+    )
+
+    def __init__(self, m: int, *, metadata: Optional[dict] = None) -> None:
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        self.m = int(m)
+        self.metadata = dict(metadata) if metadata else {}
+        self._jobs: List[MoldableJob] = []
+        self._starts: List[float] = []
+        self._overrides: List[Optional[float]] = []
+        self._span_owner: List[int] = []
+        self._span_first: List[int] = []
+        self._span_count: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    # ------------------------------------------------------------------ edit
+    def append(
+        self,
+        job: MoldableJob,
+        start: float,
+        spans: Sequence[MachineSpan],
+        duration_override: Optional[float] = None,
+    ) -> None:
+        """Record one placement (row mode)."""
+        row = len(self._jobs)
+        self._jobs.append(job)
+        self._starts.append(start)
+        self._overrides.append(duration_override)
+        owner = self._span_owner
+        firsts = self._span_first
+        counts = self._span_count
+        for first, count in spans:
+            owner.append(row)
+            firsts.append(first)
+            counts.append(count)
+
+    def extend_columns(
+        self,
+        jobs: Sequence[MoldableJob],
+        starts,
+        span_first,
+        span_count,
+        *,
+        span_owner=None,
+        duration_overrides: Optional[Sequence[Optional[float]]] = None,
+    ) -> None:
+        """Record a block of placements from flat columns.
+
+        ``jobs`` and ``starts`` are aligned per entry; ``span_first`` /
+        ``span_count`` are aligned per span.  ``span_owner`` maps each span to
+        an entry index *within this block* and defaults to one span per entry
+        (``span_owner[i] = i``, requiring the span columns to have the same
+        length as ``jobs``).
+        """
+        base = len(self._jobs)
+        starts = np.asarray(starts, dtype=np.float64)
+        span_first = np.asarray(span_first)
+        span_count = np.asarray(span_count)
+        if len(starts) != len(jobs):
+            raise ValueError("jobs and starts must have the same length")
+        if span_owner is None:
+            if len(span_first) != len(jobs) or len(span_count) != len(jobs):
+                raise ValueError(
+                    "span columns must be entry-aligned when span_owner is omitted"
+                )
+            owner_list = range(base, base + len(jobs))
+        else:
+            span_owner = np.asarray(span_owner)
+            if len(span_owner) != len(span_first):
+                raise ValueError("span_owner must be span-aligned")
+            if len(span_owner) and (
+                span_owner.min() < 0 or span_owner.max() >= len(jobs)
+            ):
+                raise ValueError("span_owner indices out of range for this block")
+            owner_list = (span_owner + base).tolist()
+        if len(span_first) != len(span_count):
+            raise ValueError("span_first and span_count must have the same length")
+        self._jobs.extend(jobs)
+        self._starts.extend(starts.tolist())
+        if duration_overrides is None:
+            self._overrides.extend([None] * len(jobs))
+        else:
+            if len(duration_overrides) != len(jobs):
+                raise ValueError("duration_overrides must be entry-aligned")
+            self._overrides.extend(duration_overrides)
+        self._span_owner.extend(owner_list)
+        self._span_first.extend(span_first.tolist())
+        self._span_count.extend(span_count.tolist())
+
+    # ----------------------------------------------------------------- build
+    def build(self) -> Schedule:
+        """Materialize the :class:`Schedule` (one batched pass).
+
+        Raises :class:`ValueError` for exactly the inputs sequential
+        ``Schedule.add`` would reject: non-positive span counts, negative
+        machine indices, negative start times, entries without spans, and
+        overlapping (double-booking) spans within one entry.
+        """
+        n = len(self._jobs)
+        schedule = Schedule(m=self.m, metadata=self.metadata)
+        if n == 0:
+            return schedule
+
+        starts = np.asarray(self._starts, dtype=np.float64)
+        owner = np.asarray(self._span_owner, dtype=np.int64)
+        first = np.asarray(self._span_first, dtype=np.int64)
+        count = np.asarray(self._span_count, dtype=np.int64)
+
+        invalid = (count <= 0) | (first < 0)
+        if invalid.any():
+            # report the first offending span in input order, like the scalar
+            # per-span validation loop
+            i = int(np.flatnonzero(invalid)[0])
+            if count[i] <= 0:
+                raise ValueError(f"span count must be positive, got {int(count[i])}")
+            raise ValueError(f"span start must be non-negative, got {int(first[i])}")
+        # Normalize: sort spans by (owner, first), reject overlaps, merge
+        # exact adjacency — the batched twin of ``_normalize_spans``.
+        order = np.lexsort((first, owner))
+        of = first[order]
+        oc = count[order]
+        oo = owner[order]
+        ends = of + oc
+        same_owner = oo[1:] == oo[:-1]
+        overlap = same_owner & (of[1:] < ends[:-1])
+        if overlap.any():
+            i = int(np.flatnonzero(overlap)[0])
+            raise ValueError(
+                f"overlapping machine spans ({int(of[i])}, {int(oc[i])}) and "
+                f"({int(of[i + 1])}, {int(oc[i + 1])}) double-book a machine"
+            )
+        if starts.size and starts.min() < 0:
+            bad = float(starts[starts < 0][0])
+            raise ValueError(f"start time must be non-negative, got {bad}")
+        spans_per_entry = np.bincount(owner, minlength=n)
+        if spans_per_entry.min() == 0:
+            raise ValueError("a scheduled job needs at least one machine span")
+
+        adjacent = same_owner & (of[1:] == ends[:-1])
+        new_run = np.concatenate(([True], ~adjacent))
+        run_start_idx = np.flatnonzero(new_run)
+        run_first = of[run_start_idx]
+        run_last_idx = np.concatenate((run_start_idx[1:], [len(of)])) - 1
+        run_count = ends[run_last_idx] - run_first
+        run_owner = oo[run_start_idx]
+
+        runs_per_entry = np.bincount(run_owner, minlength=n)
+        offsets = np.concatenate(([0], np.cumsum(runs_per_entry))).tolist()
+        span_pairs = list(zip(run_first.tolist(), run_count.tolist()))
+
+        jobs = self._jobs
+        starts_list = starts.tolist()
+        overrides = self._overrides
+        entries: List[ScheduledJob] = []
+        append = entries.append
+        new = ScheduledJob.__new__
+        set_attr = object.__setattr__
+        for i in range(n):
+            entry = new(ScheduledJob)
+            set_attr(entry, "job", jobs[i])
+            set_attr(entry, "start", starts_list[i])
+            set_attr(entry, "spans", tuple(span_pairs[offsets[i] : offsets[i + 1]]))
+            set_attr(entry, "duration_override", overrides[i])
+            append(entry)
+        schedule.entries = entries
+        return schedule
+
+
+def schedule_from_arrays(
+    jobs: Sequence[MoldableJob],
+    m: int,
+    job_idx,
+    starts,
+    span_first,
+    span_count,
+    *,
+    span_owner=None,
+    duration_overrides: Optional[Sequence[Optional[float]]] = None,
+    metadata: Optional[dict] = None,
+) -> Schedule:
+    """One-shot columnar assembly: ``Schedule`` from flat NumPy columns.
+
+    ``job_idx[i]`` indexes ``jobs`` for entry row ``i``; the remaining columns
+    are as in :meth:`ArraySchedule.extend_columns`.  Equivalent to (but much
+    faster than) the sequential loop ::
+
+        schedule = Schedule(m=m, metadata=metadata)
+        for i, j in enumerate(job_idx):
+            schedule.add(jobs[j], starts[i], [(span_first[i], span_count[i])])
+    """
+    builder = ArraySchedule(m, metadata=metadata)
+    job_idx = np.asarray(job_idx, dtype=np.int64)
+    entry_jobs = [jobs[i] for i in job_idx.tolist()]
+    builder.extend_columns(
+        entry_jobs,
+        starts,
+        span_first,
+        span_count,
+        span_owner=span_owner,
+        duration_overrides=duration_overrides,
+    )
+    return builder.build()
+
+
+class ScheduleColumns:
+    """Flat array view of an existing schedule (one pass over the entries).
+
+    Attributes
+    ----------
+    start, duration, end:
+        Per-entry float64 arrays (``end = start + duration``; overrides
+        respected).
+    processors:
+        Per-entry int64 processor counts.
+    has_override:
+        Per-entry bool mask of explicit duration overrides.
+    span_owner, span_first, span_end:
+        Per-span int64 columns (``span_end`` is exclusive).
+    """
+
+    __slots__ = (
+        "n",
+        "start",
+        "duration",
+        "end",
+        "processors",
+        "has_override",
+        "span_owner",
+        "span_first",
+        "span_end",
+    )
+
+    def __init__(self, schedule: Schedule, *, oracle=None) -> None:
+        entries = schedule.entries
+        n = len(entries)
+        self.n = n
+        self.start = np.empty(n, dtype=np.float64)
+        self.duration = np.empty(n, dtype=np.float64)
+        self.processors = np.empty(n, dtype=np.int64)
+        self.has_override = np.zeros(n, dtype=bool)
+        span_owner: List[int] = []
+        span_first: List[int] = []
+        span_end: List[int] = []
+        #: entries whose duration comes from the oracle batch, not the memo
+        deferred_rows: List[int] = []
+        deferred_jobs: List[int] = []
+        index_of = oracle.index_of if oracle is not None else None
+        for i, e in enumerate(entries):
+            self.start[i] = e.start
+            procs = 0
+            for f, c in e.spans:
+                span_owner.append(i)
+                span_first.append(f)
+                span_end.append(f + c)
+                procs += c
+            self.processors[i] = procs
+            override = e.duration_override
+            if override is not None:
+                self.has_override[i] = True
+                self.duration[i] = override
+            elif index_of is not None:
+                try:
+                    deferred_jobs.append(index_of(e.job))
+                    deferred_rows.append(i)
+                except KeyError:  # job not part of the oracle's instance
+                    self.duration[i] = e.job.processing_time(procs)
+            else:
+                self.duration[i] = e.job.processing_time(procs)
+        if deferred_rows:
+            # one batched kernel pass for every oracle-known duration
+            rows = np.asarray(deferred_rows, dtype=np.int64)
+            self.duration[rows] = oracle.bundle.eval_at(
+                np.asarray(deferred_jobs, dtype=np.int64),
+                self.processors[rows],
+            )
+        self.end = self.start + self.duration
+        self.span_owner = np.asarray(span_owner, dtype=np.int64)
+        self.span_first = np.asarray(span_first, dtype=np.int64)
+        self.span_end = np.asarray(span_end, dtype=np.int64)
+
+
+def grouped_running_count(group_ids: np.ndarray, deltas: np.ndarray) -> np.ndarray:
+    """Per-group running sums of ``deltas`` (both sorted by group already).
+
+    One global prefix sum, then each group is re-based by subtracting the
+    prefix value just before its first element — the standard columnar
+    substitute for a per-group Python loop.
+    """
+    run = np.cumsum(deltas)
+    if len(run) == 0:
+        return run
+    new_group = np.concatenate(([True], group_ids[1:] != group_ids[:-1]))
+    group_start = np.flatnonzero(new_group)
+    base = np.concatenate(([deltas.dtype.type(0)], run[group_start[1:] - 1]))
+    sizes = np.diff(np.concatenate((group_start, [len(run)])))
+    return run - np.repeat(base, sizes)
+
+
+def spans_time_overlap(
+    span_first: np.ndarray,
+    span_end: np.ndarray,
+    start: np.ndarray,
+    end: np.ndarray,
+    *,
+    max_incidences: Optional[int] = None,
+) -> Optional[bool]:
+    """Detect whether any two busy rectangles (machine span × time interval)
+    overlap with positive area.
+
+    This is the O(P log P) sort/prefix-sum core of the vectorized conflict
+    checks: machine spans are cut at every distinct span boundary, each piece
+    is expanded to the elementary segments it covers, and per segment a
+    time-sorted event sweep counts simultaneously active intervals (ends sort
+    before starts, so touching intervals never count as two).
+
+    Returns ``True``/``False``, or ``None`` when the expansion would exceed
+    ``max_incidences`` (pathologically nested spans) — the caller should fall
+    back to a scalar sweep.  The check is *exact* (no float tolerance): a
+    ``True`` may still be a within-tolerance touch that a tolerant scalar
+    checker would accept, so ``True`` means "re-check", not "infeasible".
+    """
+    p = len(span_first)
+    if p < 2:
+        return False
+    cuts = np.unique(np.concatenate((span_first, span_end)))
+    lo = np.searchsorted(cuts, span_first, side="left")
+    hi = np.searchsorted(cuts, span_end, side="left")
+    counts = hi - lo
+    total = int(counts.sum())
+    if max_incidences is not None and total > max_incidences:
+        return None
+    piece = np.repeat(np.arange(p, dtype=np.int64), counts)
+    offsets = np.concatenate(([0], np.cumsum(counts[:-1])))
+    within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+    seg = lo[piece] + within
+    ev_seg = np.concatenate((seg, seg))
+    ev_time = np.concatenate((start[piece], end[piece]))
+    ev_delta = np.concatenate(
+        (np.ones(total, dtype=np.int64), -np.ones(total, dtype=np.int64))
+    )
+    order = np.lexsort((ev_delta, ev_time, ev_seg))
+    running = grouped_running_count(ev_seg[order], ev_delta[order])
+    return bool(running.size) and int(running.max()) >= 2

@@ -9,12 +9,22 @@ technique for schedulers.
 
 It also records a utilisation profile (busy processors over time) used by the
 experiments.
+
+The default (``backend="auto"``) replay is *columnar*: events are sorted and
+prefix-summed as NumPy arrays (O(n log n) instead of the Python event loop's
+pairwise conflict scans), producing the identical trace.  Whenever the fast
+sweep sees anything the scalar loop treats specially — events closer together
+than the float tolerance, a potential machine conflict, an out-of-range span
+or over-subscription — it re-runs the scalar loop, which stays the single
+source of truth for error reporting and tolerance handling.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..core.schedule import Schedule, ScheduledJob
 
@@ -75,7 +85,87 @@ def _spans_overlap(a: Tuple[int, int], b: Tuple[int, int]) -> int:
     return max(0, hi - lo)
 
 
-def simulate_schedule(schedule: Schedule, *, strict: bool = True) -> ExecutionTrace:
+def _simulate_columnar(schedule: Schedule) -> Optional[ExecutionTrace]:
+    """Columnar replay: NumPy event sort + prefix-sum sweep.
+
+    Returns ``None`` whenever the scalar loop's special cases could apply —
+    near-coincident event times (its float-tolerance release logic), a
+    potential machine conflict, over-subscription, out-of-range spans, or
+    columns that do not fit int64 — so the caller falls back to the scalar
+    event loop.  When a trace *is* returned it is identical to the scalar
+    one.
+    """
+    from ..perf.schedule_builder import (
+        MAX_COLUMNAR_M,
+        ScheduleColumns,
+        spans_time_overlap,
+    )
+
+    m = schedule.m
+    n = len(schedule.entries)
+    if n == 0 or m > MAX_COLUMNAR_M:
+        return None
+    try:
+        cols = ScheduleColumns(schedule)
+    except OverflowError:
+        return None
+    # out-of-range spans: let the scalar loop raise with its exact message
+    if (cols.span_first < 0).any() or (cols.span_end > m).any():
+        return None
+
+    times = np.concatenate((cols.start, cols.end))
+    kinds = np.concatenate((np.ones(n, dtype=np.int64), np.zeros(n, dtype=np.int64)))
+    order = np.lexsort((kinds, times))
+    t_sorted = times[order]
+
+    # The scalar loop releases "almost done" jobs within float tolerance of a
+    # start; bail out to it whenever two distinct event times are that close.
+    uniq = np.unique(t_sorted)
+    if len(uniq) > 1:
+        tol = _EPS + _EPS * max(1.0, float(np.abs(t_sorted).max()))
+        if float(np.diff(uniq).min()) <= tol:
+            return None
+
+    if float(np.sum(cols.processors.astype(np.float64))) > float(1 << 62):
+        return None  # int64 prefix sums could overflow
+    deltas = np.concatenate((cols.processors, -cols.processors))[order]
+    running = np.cumsum(deltas)
+    peak = max(0, int(running.max()))
+    if peak > m:
+        return None  # over-subscription: scalar loop owns strict/lenient handling
+
+    # potential machine conflicts re-run the scalar loop (tolerance + message)
+    suspicious = spans_time_overlap(
+        cols.span_first,
+        cols.span_end,
+        cols.start[cols.span_owner],
+        cols.end[cols.span_owner],
+        max_incidences=max(1_000_000, 8 * len(cols.span_first)),
+    )
+    if suspicious is None or suspicious:
+        return None
+
+    # utilisation profile: busy count after the last event of each instant
+    change = np.concatenate((t_sorted[1:] != t_sorted[:-1], [True]))
+    profile = list(zip(t_sorted[change].tolist(), running[change].tolist()))
+
+    # total work accumulates in start-event order, exactly like the loop
+    start_positions = order[order < n]
+    works = cols.processors.astype(np.float64) * cols.duration
+    total_work = sum(works[start_positions].tolist())
+
+    return ExecutionTrace(
+        makespan=float(cols.end.max()),
+        total_work=total_work,
+        utilization_profile=profile,
+        events=n,
+        peak_busy=peak,
+    )
+
+
+def simulate_schedule(
+    schedule: Schedule, *, strict: bool = True, backend: str = "auto"
+) -> ExecutionTrace:
     """Execute a schedule event by event.
 
     Parameters
@@ -86,7 +176,17 @@ def simulate_schedule(schedule: Schedule, *, strict: bool = True) -> ExecutionTr
         If true (default), any machine conflict or out-of-range span raises
         :class:`SimulationError`; otherwise the trace is still produced and
         the caller can inspect it.
+    backend:
+        ``"auto"`` (default) runs the columnar NumPy sweep and falls back to
+        the scalar event loop for anything it cannot replay exactly;
+        ``"scalar"`` forces the reference loop.  Traces are identical.
     """
+    if backend not in ("auto", "vectorized", "scalar"):
+        raise ValueError(f"unknown simulation backend {backend!r}")
+    if backend != "scalar":
+        trace = _simulate_columnar(schedule)
+        if trace is not None:
+            return trace
     m = schedule.m
     entries = list(schedule.entries)
     events: List[Tuple[float, int, int, ScheduledJob]] = []

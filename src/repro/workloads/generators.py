@@ -24,6 +24,8 @@ __all__ = [
     "random_power_law_instance",
     "random_communication_instance",
     "random_mixed_instance",
+    "random_power_work_instance",
+    "random_bimodal_instance",
     "random_monotone_tabulated_instance",
     "planted_partition_instance",
     "scenario",
@@ -145,6 +147,75 @@ def random_mixed_instance(
         else:
             jobs.append(CommunicationJob(f"mixed-comm-{i}", t1=t1, overhead=float(rng.uniform(1e-4, 5e-2))))
     spec = InstanceSpec("mixed", n, m)
+    return WorkloadInstance(jobs, m, spec)
+
+
+def random_power_work_instance(
+    n: int,
+    m: int,
+    *,
+    seed: SeedLike = None,
+    shape: float = 1.4,
+    t1_scale: float = 3.0,
+    t1_cap: float = 5000.0,
+) -> WorkloadInstance:
+    """Power-law (Pareto) distributed sequential works.
+
+    Real cluster traces have heavy-tailed job sizes: most jobs are tiny, a few
+    dominate the total work.  ``t_j(1)`` is drawn from a Pareto distribution
+    with tail index ``shape`` (smaller = heavier tail), capped at ``t1_cap``
+    to keep instances numerically tame; the speedup models rotate through the
+    same Amdahl / power-law / communication mix as
+    :func:`random_mixed_instance`.
+    """
+    rng = _rng(seed)
+    jobs: List[MoldableJob] = []
+    for i in range(n):
+        t1 = min(float(t1_scale * (1.0 + rng.pareto(shape))), t1_cap)
+        kind = i % 3
+        if kind == 0:
+            jobs.append(AmdahlJob(f"powerwork-amdahl-{i}", t1=t1, serial_fraction=float(rng.uniform(0.01, 0.4))))
+        elif kind == 1:
+            jobs.append(PowerLawJob(f"powerwork-powerlaw-{i}", t1=t1, alpha=float(rng.uniform(0.4, 1.0))))
+        else:
+            jobs.append(CommunicationJob(f"powerwork-comm-{i}", t1=t1, overhead=float(rng.uniform(1e-4, 5e-2))))
+    spec = InstanceSpec("power_work", n, m, params={"shape": shape, "t1_scale": t1_scale})
+    return WorkloadInstance(jobs, m, spec)
+
+
+def random_bimodal_instance(
+    n: int,
+    m: int,
+    *,
+    seed: SeedLike = None,
+    small_range: tuple[float, float] = (1.0, 8.0),
+    big_range: tuple[float, float] = (300.0, 600.0),
+    big_fraction: float = 0.15,
+) -> WorkloadInstance:
+    """Bimodal job sizes: a sea of short jobs plus a slab of long ones.
+
+    This is the classic "interactive + batch" mix; the long jobs force the
+    shelf constructions to exercise both shelves while the short ones stress
+    the small-job insertion path.  Speedup models rotate through the mixed
+    set.
+    """
+    rng = _rng(seed)
+    jobs: List[MoldableJob] = []
+    for i in range(n):
+        if float(rng.uniform()) < big_fraction:
+            t1 = float(rng.uniform(*big_range))
+        else:
+            t1 = float(rng.uniform(*small_range))
+        kind = i % 3
+        if kind == 0:
+            jobs.append(AmdahlJob(f"bimodal-amdahl-{i}", t1=t1, serial_fraction=float(rng.uniform(0.01, 0.3))))
+        elif kind == 1:
+            jobs.append(PowerLawJob(f"bimodal-powerlaw-{i}", t1=t1, alpha=float(rng.uniform(0.5, 1.0))))
+        else:
+            jobs.append(CommunicationJob(f"bimodal-comm-{i}", t1=t1, overhead=float(rng.uniform(1e-4, 2e-2))))
+    spec = InstanceSpec(
+        "bimodal", n, m, params={"big_fraction": big_fraction, "big_lo": big_range[0], "big_hi": big_range[1]}
+    )
     return WorkloadInstance(jobs, m, spec)
 
 

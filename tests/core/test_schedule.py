@@ -32,10 +32,37 @@ class TestScheduledJob:
         assert entry.spans == ((0, 4),)
         assert entry.processors == 4
 
-    def test_overlapping_spans_merge(self):
+    def test_adjacent_spans_merge_in_any_order(self):
         job = make_job()
-        entry = ScheduledJob(job=job, start=0.0, spans=((0, 3), (2, 2)))
-        assert entry.spans == ((0, 4),)
+        entry = ScheduledJob(job=job, start=0.0, spans=((2, 2), (0, 2), (4, 1)))
+        assert entry.spans == ((0, 5),)
+
+    def test_adjacent_chain_merges_across_gap(self):
+        job = make_job()
+        entry = ScheduledJob(job=job, start=0.0, spans=((0, 1), (1, 1), (5, 2)))
+        assert entry.spans == ((0, 2), (5, 2))
+
+    def test_overlapping_spans_rejected(self):
+        """Overlapping spans double-book a machine and must not be merged."""
+        job = make_job()
+        with pytest.raises(ValueError, match="double-book"):
+            ScheduledJob(job=job, start=0.0, spans=((0, 3), (2, 2)))
+
+    def test_contained_span_rejected(self):
+        job = make_job()
+        with pytest.raises(ValueError, match="double-book"):
+            ScheduledJob(job=job, start=0.0, spans=((0, 5), (1, 2)))
+
+    def test_duplicate_span_rejected(self):
+        job = make_job()
+        with pytest.raises(ValueError, match="double-book"):
+            ScheduledJob(job=job, start=0.0, spans=((3, 2), (3, 2)))
+
+    def test_overlap_with_merged_run_rejected(self):
+        """A span overlapping the result of an earlier adjacency merge."""
+        job = make_job()
+        with pytest.raises(ValueError, match="double-book"):
+            ScheduledJob(job=job, start=0.0, spans=((0, 2), (2, 2), (3, 1)))
 
     def test_duration_override(self):
         job = make_job()

@@ -154,3 +154,58 @@ class TestMonotonyChecks:
     def test_rigid_job_not_monotone(self):
         job = RigidJob("r", duration=3.0, size=3)
         assert not is_monotone_work(job, 6)
+
+
+class TestColumnarValidationParity:
+    """The columnar fast path must produce reports identical to the scalar
+    reference — including violation messages, which always come from the
+    scalar sweep."""
+
+    def _both(self, schedule, jobs, **kwargs):
+        fast = validate_schedule(schedule, jobs, **kwargs)
+        slow = validate_schedule(schedule, jobs, backend="scalar", **kwargs)
+        assert fast.ok == slow.ok
+        assert fast.violations == slow.violations
+        assert fast.makespan == slow.makespan
+        assert fast.peak_processors == slow.peak_processors
+        return fast
+
+    def test_parity_on_valid_schedule(self):
+        a, b = make_job("a"), make_job("b")
+        schedule = Schedule(m=3)
+        schedule.add(a, 0.0, [(0, 2)])
+        schedule.add(b, 0.0, [(2, 1)])
+        assert self._both(schedule, [a, b]).ok
+
+    def test_parity_on_conflict(self):
+        a, b = make_job("a"), make_job("b")
+        schedule = Schedule(m=3)
+        schedule.add(a, 0.0, [(0, 2)])
+        schedule.add(b, 1.0, [(1, 1)])
+        assert not self._both(schedule, [a, b]).ok
+
+    def test_parity_on_bounds_and_makespan(self):
+        a = make_job("a")
+        schedule = Schedule(m=2)
+        schedule.add(a, 0.0, [(1, 2)])
+        report = self._both(schedule, [a], max_makespan=1.0)
+        assert any("exceeds machine count" in v for v in report.violations)
+        assert any("exceeds bound" in v for v in report.violations)
+
+    def test_parity_with_oracle_durations(self):
+        from repro.perf.oracle import BatchedOracle
+
+        a, b = make_job("a"), make_job("b")
+        schedule = Schedule(m=4)
+        schedule.add(a, 0.0, [(0, 2)])
+        schedule.add(b, 0.0, [(2, 2)], duration_override=11.0)
+        oracle = BatchedOracle([a, b], 4)
+        fast = validate_schedule(schedule, [a, b], oracle=oracle)
+        slow = validate_schedule(schedule, [a, b], backend="scalar")
+        assert fast.ok == slow.ok
+        assert fast.makespan == slow.makespan
+        assert fast.peak_processors == slow.peak_processors
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            validate_schedule(Schedule(m=1), backend="quantum")

@@ -1,0 +1,170 @@
+"""Unit tests for the multi-family sharded bench harness (no timing runs)."""
+
+import json
+
+import pytest
+
+from repro.perf.bench import (
+    ALL_ALGORITHMS,
+    BenchReport,
+    BenchRow,
+    DEFAULT_FAMILIES,
+    FAMILIES,
+    TABLE1_ALGORITHMS,
+    _aggregate,
+    _configs,
+    _normalize_families,
+    check_regression,
+)
+
+
+def _row(algorithm, family, n, speedup, identical=True):
+    return BenchRow(
+        algorithm=algorithm,
+        family=family,
+        n=n,
+        m=8 * n,
+        eps=0.1,
+        scalar_seconds=speedup,
+        vectorized_seconds=1.0,
+        speedup=speedup,
+        scalar_makespan=1.0,
+        vectorized_makespan=1.0 if identical else 2.0,
+        makespans_identical=identical,
+    )
+
+
+class TestConfigs:
+    def test_full_sweep_covers_all_families_and_algorithms(self):
+        configs = _configs("full", list(DEFAULT_FAMILIES))
+        families = {c["family"] for c in configs}
+        algorithms = {c["algorithm"] for c in configs}
+        assert families == set(DEFAULT_FAMILIES)
+        assert algorithms == set(ALL_ALGORITHMS)
+        # the tiny family pins every algorithm to the large-m dispatch shape
+        tiny = [c for c in configs if c["family"] == "tiny_n_huge_m"]
+        assert {c["algorithm"] for c in tiny} == set(ALL_ALGORITHMS)
+        assert all(c["n"] == 64 and c["m"] == 1 << 22 for c in tiny)
+        # gate rows exist at n >= 1000 for every non-tiny family
+        for family in DEFAULT_FAMILIES:
+            if family == "tiny_n_huge_m":
+                continue
+            assert any(
+                c["algorithm"] == "fptas" and c["family"] == family and c["n"] >= 1000
+                for c in configs
+            )
+            assert any(
+                c["algorithm"] == "two_approx" and c["family"] == family and c["n"] >= 1000
+                for c in configs
+            )
+
+    def test_smoke_round_robins_families(self):
+        families = list(DEFAULT_FAMILIES)
+        configs = _configs("smoke", families)
+        table1 = [c for c in configs if c["algorithm"] in TABLE1_ALGORITHMS]
+        assert [c["family"] for c in table1] == families[: len(table1)]
+        # every requested family appears somewhere in the smoke run
+        assert {c["family"] for c in configs} == set(families)
+        # the gate rows stay at n >= 1000
+        for algorithm in ("fptas", "two_approx"):
+            rows = [c for c in configs if c["algorithm"] == algorithm]
+            assert any(c["n"] >= 1000 for c in rows)
+
+    def test_fptas_rows_respect_machine_threshold(self):
+        for mode in ("smoke", "full"):
+            for c in _configs(mode, list(DEFAULT_FAMILIES)):
+                if c["algorithm"] == "fptas":
+                    assert c["m"] >= 8 * c["n"] / 0.5
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown families"):
+            _normalize_families(["mixed", "nope"])
+
+    def test_family_registry_generators_work(self):
+        for name, generator in FAMILIES.items():
+            instance = generator(6, 48, seed=1)
+            assert instance.n == 6
+
+
+class TestAggregatesAndGate:
+    def _report(self, rows):
+        report = BenchReport(mode="full", seed=1, rows=rows)
+        report.identical_makespans = all(r.makespans_identical for r in rows)
+        report.aggregates = _aggregate(rows)
+        return report
+
+    def test_assembly_geomean_aggregate(self):
+        rows = [
+            _row("fptas", "mixed", 1000, 8.0),
+            _row("fptas", "comm", 2000, 18.0),
+            _row("two_approx", "mixed", 2000, 9.0),
+            _row("two_approx", "tiny", 64, 0.5),  # small n excluded
+        ]
+        aggregates = _aggregate(rows)
+        assert aggregates["fptas_two_approx_geomean_n1000"] == pytest.approx(
+            (8.0 * 18.0 * 9.0) ** (1 / 3)
+        )
+        # the gated variant only counts Table-1 (mixed-family) rows
+        assert aggregates["fptas_two_approx_table1_geomean_n1000"] == pytest.approx(
+            (8.0 * 9.0) ** (1 / 2)
+        )
+        assert aggregates["speedup_fptas_n1000"] == pytest.approx(12.0)
+
+    def test_floor_gate_fails_below_eight(self, tmp_path):
+        rows = [_row("fptas", "mixed", 2000, 5.0), _row("two_approx", "mixed", 2000, 5.0)]
+        report = self._report(rows)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"aggregates": {}}))
+        failures = check_regression(report, str(baseline))
+        assert any("columnar-assembly floor" in f for f in failures)
+        assert not check_regression(
+            report, str(baseline), min_fptas_two_approx=None
+        )
+
+    def test_relative_regression_detected(self, tmp_path):
+        rows = [_row("mrt", "mixed", 1000, 4.0)]
+        report = self._report(rows)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"aggregates": {"speedup_mrt": 20.0}}))
+        failures = check_regression(report, str(baseline), min_fptas_two_approx=None)
+        assert any("speedup_mrt" in f for f in failures)
+
+    def test_makespan_mismatch_fails_gate(self, tmp_path):
+        rows = [_row("mrt", "mixed", 1000, 10.0, identical=False)]
+        report = self._report(rows)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"aggregates": {}}))
+        failures = check_regression(report, str(baseline), min_fptas_two_approx=None)
+        assert any("different makespans" in f for f in failures)
+
+
+class TestShardedRun:
+    def test_pool_rows_match_sequential(self):
+        """The pooled run must merge per-shard rows in configuration order
+        with identical (deterministic) makespans — only timings may differ."""
+        from repro.perf.bench import run_suite
+
+        sequential = run_suite(
+            "smoke", seed=3, repeat=1, verbose=False, families=["mixed"], processes=1
+        )
+        pooled = run_suite(
+            "smoke", seed=3, repeat=1, verbose=False, families=["mixed"], processes=2
+        )
+        assert [r.algorithm for r in pooled.rows] == [r.algorithm for r in sequential.rows]
+        assert [r.scalar_makespan for r in pooled.rows] == [
+            r.scalar_makespan for r in sequential.rows
+        ]
+        assert pooled.identical_makespans and sequential.identical_makespans
+
+
+class TestSmokeFamilySelection:
+    def test_tiny_only_smoke_never_sweeps_excluded_families(self):
+        configs = _configs("smoke", ["tiny_n_huge_m"])
+        assert {c["family"] for c in configs} == {"tiny_n_huge_m"}
+        assert {c["algorithm"] for c in configs} >= {"fptas", "two_approx"}
+
+    def test_non_mixed_gate_rows_use_requested_family(self):
+        configs = _configs("smoke", ["comm"])
+        gates = [c for c in configs if c["algorithm"] in ("fptas", "two_approx")]
+        assert all(c["family"] == "comm" for c in gates)
+        assert any(c["n"] >= 1000 for c in gates)

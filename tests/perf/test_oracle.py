@@ -158,3 +158,69 @@ class TestSimulatorValidatorTolerance:
         assert not validate_schedule(corrupted, jobs).ok
         with pytest.raises(SimulationError):
             simulate_schedule(corrupted)
+
+
+class TestOracleJobVectorizedHook:
+    def _hooked_jobs(self, n=6):
+        import math
+
+        jobs = []
+        for i in range(n):
+            t1 = 20.0 + i
+            jobs.append(
+                OracleJob(
+                    f"h{i}",
+                    lambda k, t1=t1: t1 / math.sqrt(k),
+                    times_vectorized=lambda ks, t1=t1: t1 / np.sqrt(ks),
+                )
+            )
+        return jobs
+
+    def test_hook_used_by_times_for(self):
+        job = self._hooked_jobs(1)[0]
+        got = job.times_for([1, 4, 9])
+        want = [job.processing_time(k) for k in (1, 4, 9)]
+        assert got.tolist() == want
+
+    def test_hooked_jobs_count_as_vectorized(self):
+        bundle = JobArrayBundle(self._hooked_jobs())
+        assert bundle.vectorized_fraction == 1.0
+
+    def test_plain_oracle_jobs_still_fall_back(self):
+        bundle = JobArrayBundle([OracleJob("plain", lambda k: 9.0 / k)])
+        assert bundle.vectorized_fraction == 0.0
+
+    def test_bundle_eval_matches_scalar(self):
+        jobs = self._hooked_jobs() + [OracleJob("plain", lambda k: 9.0 / k)]
+        bundle = JobArrayBundle(jobs)
+        ks = np.array([1.0, 2.0, 5.0, 9.0, 3.0, 4.0, 2.0])
+        got = bundle.eval_all(ks)
+        want = np.array([j.processing_time(int(k)) for j, k in zip(jobs, ks)])
+        assert (got == want).all()
+
+    def test_gamma_parity_with_hooked_jobs(self):
+        jobs = self._hooked_jobs()
+        oracle = BatchedOracle(jobs, 256)
+        for threshold in (2.0, 3.5, 7.0, 1.1):
+            arr = oracle.gamma_array(threshold)
+            for i, job in enumerate(jobs):
+                g = gamma(job, threshold, 256)
+                assert (g if g is not None else 257) == arr[i]
+
+    def test_one_hook_call_per_job(self):
+        calls = []
+
+        def make(i, t1):
+            def vec(ks, t1=t1):
+                calls.append(i)
+                return t1 / ks
+
+            return OracleJob(f"c{i}", lambda k, t1=t1: t1 / k, times_vectorized=vec)
+
+        jobs = [make(i, 10.0 + i) for i in range(3)]
+        bundle = JobArrayBundle(jobs)
+        bundle.eval_at(
+            np.array([0, 1, 2, 0, 1, 2, 0]),
+            np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]),
+        )
+        assert sorted(calls) == [0, 1, 2]

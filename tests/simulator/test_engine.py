@@ -75,3 +75,44 @@ class TestSimulateSchedule:
             trace = simulate_schedule(result.schedule)
             assert trace.makespan == pytest.approx(result.makespan)
             assert trace.peak_busy <= 24
+
+
+class TestColumnarBackendParity:
+    """The columnar event sweep must produce the identical trace, and fall
+    back to the scalar loop for everything it cannot replay exactly."""
+
+    def _traces(self, schedule):
+        fast = simulate_schedule(schedule)
+        slow = simulate_schedule(schedule, backend="scalar")
+        return fast, slow
+
+    def test_trace_parity_on_algorithm_schedules(self):
+        from repro.core.mrt import mrt_schedule
+        from repro.core.two_approx import two_approximation
+
+        for seed in (1, 5):
+            inst = random_mixed_instance(60, 480, seed=seed)
+            for sched in (
+                mrt_schedule(inst.jobs, 480, 0.1).schedule,
+                two_approximation(inst.jobs, 480).schedule,
+            ):
+                fast, slow = self._traces(sched)
+                assert fast.makespan == slow.makespan
+                assert fast.total_work == slow.total_work
+                assert fast.peak_busy == slow.peak_busy
+                assert fast.events == slow.events
+                assert fast.utilization_profile == slow.utilization_profile
+
+    def test_conflicting_schedule_raises_for_both(self):
+        a, b = make_job("a"), make_job("b")
+        schedule = Schedule(m=4)
+        schedule.add(a, 0.0, [(0, 2)])
+        schedule.add(b, 1.0, [(1, 2)])
+        with pytest.raises(SimulationError):
+            simulate_schedule(schedule)
+        with pytest.raises(SimulationError):
+            simulate_schedule(schedule, backend="scalar")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_schedule(Schedule(m=1), backend="quantum")

@@ -7,10 +7,12 @@ from repro.workloads.generators import (
     SCENARIOS,
     planted_partition_instance,
     random_amdahl_instance,
+    random_bimodal_instance,
     random_communication_instance,
     random_mixed_instance,
     random_monotone_tabulated_instance,
     random_power_law_instance,
+    random_power_work_instance,
     scenario,
 )
 
@@ -20,6 +22,8 @@ ANALYTIC_GENERATORS = [
     random_power_law_instance,
     random_communication_instance,
     random_mixed_instance,
+    random_power_work_instance,
+    random_bimodal_instance,
 ]
 
 
@@ -109,3 +113,21 @@ class TestScenarios:
     def test_unknown_scenario(self):
         with pytest.raises(ValueError):
             scenario("does_not_exist")
+
+
+class TestNewFamilies:
+    def test_power_work_tail_is_heavy_and_capped(self):
+        instance = random_power_work_instance(400, 64, seed=3, t1_cap=500.0)
+        t1s = sorted(j.processing_time(1) for j in instance.jobs)
+        assert t1s[-1] <= 500.0
+        # heavy tail: the top decile holds a disproportionate share of work
+        top = sum(t1s[-40:])
+        assert top > 0.3 * sum(t1s)
+
+    def test_bimodal_has_two_modes(self):
+        instance = random_bimodal_instance(400, 64, seed=3)
+        t1s = [j.processing_time(1) for j in instance.jobs]
+        small = [t for t in t1s if t <= 8.0]
+        big = [t for t in t1s if t >= 300.0]
+        assert len(small) + len(big) == len(t1s)
+        assert small and big
