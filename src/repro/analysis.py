@@ -76,38 +76,54 @@ def analyze_schedule(
         :func:`repro.core.bounds.makespan_lower_bound` if omitted (pass the
         cheap :func:`trivial_lower_bound` result if speed matters).
     """
-    entries = schedule.entries
-    job_list = list(jobs) if jobs is not None else [e.job for e in entries]
+    scheduled_jobs = schedule.jobs()
+    job_list = list(jobs) if jobs is not None else list(scheduled_jobs)
     m = schedule.m
 
     if lower_bound is None:
         lower_bound = makespan_lower_bound(job_list, m) if job_list else 0.0
+
+    # per-entry scalars straight from the schedule's columns; entry objects
+    # are never materialised
+    cols = schedule.try_columns()
+    if cols is not None:
+        starts = cols.start.tolist()
+        durations = cols.duration.tolist()
+        ends = cols.end.tolist()
+        processors = cols.processors.tolist()
+        works = (cols.processors * cols.duration).tolist()
+    else:  # astronomically wide spans: per-entry fallback
+        entries = list(schedule.entries)
+        starts = [e.start for e in entries]
+        durations = [e.duration for e in entries]
+        ends = [e.end for e in entries]
+        processors = [e.processors for e in entries]
+        works = [e.work for e in entries]
 
     per_job: List[JobMetrics] = []
     total_work = 0.0
     sequential_work = 0.0
     stretches: List[float] = []
     weighted_parallelism = 0.0
-    for entry in entries:
-        job = entry.job
+    for i, job in enumerate(scheduled_jobs):
         seq = job.processing_time(1)
         fastest = job.processing_time(m)
-        work = entry.work
+        work = works[i]
         total_work += work
         sequential_work += seq
-        stretch = entry.end / fastest if fastest > 0 else 1.0
+        stretch = ends[i] / fastest if fastest > 0 else 1.0
         stretches.append(stretch)
-        weighted_parallelism += entry.processors * entry.duration
+        weighted_parallelism += processors[i] * durations[i]
         per_job.append(
             JobMetrics(
                 name=job.name,
-                processors=entry.processors,
-                start=entry.start,
-                completion=entry.end,
-                duration=entry.duration,
+                processors=processors[i],
+                start=starts[i],
+                completion=ends[i],
+                duration=durations[i],
                 work_inflation=work / seq if seq > 0 else 1.0,
                 stretch=stretch,
-                efficiency=job.efficiency(entry.processors),
+                efficiency=job.efficiency(processors[i]),
             )
         )
 
@@ -118,7 +134,7 @@ def analyze_schedule(
         total_work=total_work,
         sequential_work=sequential_work,
         machines=m,
-        jobs=len(entries),
+        jobs=len(scheduled_jobs),
         utilization=utilization,
         work_inflation=total_work / sequential_work if sequential_work > 0 else 1.0,
         ratio_vs_lower_bound=makespan / lower_bound if lower_bound > 0 else 1.0,

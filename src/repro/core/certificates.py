@@ -52,16 +52,26 @@ class Certificate:
 
 
 def extract_certificate(schedule: Schedule, jobs: Sequence[MoldableJob]) -> Certificate:
-    """Read a certificate (allotments + start order) off a schedule."""
+    """Read a certificate (allotments + start order) off a schedule.
+
+    Reads the schedule's flat columns (processor counts, start times)
+    directly; entry objects are only materialised on the astronomically-wide
+    fallback path.
+    """
     index_of = {id(job): i for i, job in enumerate(jobs)}
     allotment: List[int] = [1] * len(jobs)
     starts: List[Tuple[float, int]] = []
-    for entry in schedule.entries:
-        idx = index_of.get(id(entry.job))
+    cols = schedule.try_columns()
+    if cols is not None:
+        entry_rows = zip(schedule.jobs(), cols.processors.tolist(), cols.start.tolist())
+    else:
+        entry_rows = ((e.job, e.processors, e.start) for e in schedule.entries)
+    for job, processors, start in entry_rows:
+        idx = index_of.get(id(job))
         if idx is None:
-            raise ValueError(f"schedule contains a job not in the instance: {entry.job.name!r}")
-        allotment[idx] = entry.processors
-        starts.append((entry.start, idx))
+            raise ValueError(f"schedule contains a job not in the instance: {job.name!r}")
+        allotment[idx] = processors
+        starts.append((start, idx))
     starts.sort()
     return Certificate(allotment=tuple(allotment), order=tuple(idx for _, idx in starts))
 

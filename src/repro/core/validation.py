@@ -161,11 +161,10 @@ def _duration_violation(entry: ScheduledJob, oracle: float) -> Optional[str]:
 
 
 def _completeness_violations(
-    entries: Sequence[ScheduledJob], jobs: Iterable[MoldableJob]
+    scheduled: Sequence[MoldableJob], jobs: Iterable[MoldableJob]
 ) -> List[str]:
     violations: List[str] = []
     wanted = list(jobs)
-    scheduled = [e.job for e in entries]
     scheduled_ids: dict = {}
     for job in scheduled:
         scheduled_ids[id(job)] = scheduled_ids.get(id(job), 0) + 1
@@ -202,7 +201,7 @@ def _validate_scalar(
             violations.append(message)
 
     if jobs is not None and require_all_jobs:
-        violations.extend(_completeness_violations(entries, jobs))
+        violations.extend(_completeness_violations(schedule.jobs(), jobs))
 
     violations.extend(_machine_conflicts(entries))
 
@@ -231,42 +230,44 @@ def _validate_columnar(
     require_all_jobs: bool,
     oracle=None,
 ) -> Optional[ValidationReport]:
-    """Columnar validation: one pass to arrays, then sort/prefix-sum checks.
+    """Columnar validation: the schedule's native columns, then
+    sort/prefix-sum checks.
 
     Returns ``None`` when the schedule cannot be safely put into int64
     columns (astronomical machine counts); the caller falls back to the
     scalar path.  Violation *messages* always come from the scalar helpers,
-    so reports are identical to :func:`_validate_scalar`.
+    so reports are identical to :func:`_validate_scalar`.  No per-entry
+    Python pass happens on this path: the columns are the schedule's own
+    storage, and entry objects are materialised only for the (rare) rows
+    that need a violation message.
     """
     import numpy as np
 
-    from ..perf.schedule_builder import ScheduleColumns, spans_time_overlap
+    from .schedule import spans_time_overlap
 
-    entries = schedule.entries
     m = schedule.m
-    try:
-        cols = ScheduleColumns(schedule, oracle=oracle)
-    except OverflowError:
+    cols = schedule.try_columns(oracle=oracle)
+    if cols is None:
         return None
 
     violations: List[str] = []
 
     # machine index bounds
     if (cols.span_end > m).any() or (cols.processors > m).any():
-        violations.extend(_bounds_violations(entries, m))
+        violations.extend(_bounds_violations(schedule.entries, m))
 
     # duration consistency (only overridden entries can violate; the others'
-    # oracle times were already evaluated while building the columns)
+    # durations are the oracle times by construction)
     if cols.has_override.any():
         for i in np.flatnonzero(cols.has_override).tolist():
-            entry = entries[i]
+            entry = schedule.entries[i]
             oracle_time = entry.job.processing_time(entry.processors)
             message = _duration_violation(entry, oracle_time)
             if message is not None:
                 violations.append(message)
 
     if jobs is not None and require_all_jobs:
-        violations.extend(_completeness_violations(entries, jobs))
+        violations.extend(_completeness_violations(schedule.jobs(), jobs))
 
     # machine conflicts: exact vectorized sweep; any *potential* overlap (or
     # an over-budget expansion) re-runs the tolerant scalar sweep for the
@@ -279,20 +280,17 @@ def _validate_columnar(
         max_incidences=max(_CONFLICT_INCIDENCE_CAP, 8 * len(cols.span_first)),
     )
     if suspicious is None or suspicious:
-        violations.extend(_machine_conflicts(entries))
+        violations.extend(_machine_conflicts(schedule.entries))
 
     ms = float(cols.end.max()) if cols.n else 0.0
     if max_makespan is not None and not _approx_le(ms, max_makespan):
         violations.append(f"makespan {ms:.6g} exceeds bound {max_makespan:.6g}")
 
-    # peak busy machines: event sort + prefix sum
-    if float(np.sum(cols.processors.astype(np.float64))) > float(1 << 62):
-        peak = schedule.peak_processor_usage()
+    # peak busy machines: the shared event sort + prefix sum
+    if cols.fits_int64_sweep():
+        peak = cols.peak_busy()
     else:
-        times = np.concatenate((cols.start, cols.end))
-        deltas = np.concatenate((cols.processors, -cols.processors))
-        order = np.lexsort((deltas, times))
-        peak = max(0, int(np.cumsum(deltas[order]).max()))
+        peak = schedule.peak_processor_usage()
 
     return ValidationReport(
         ok=not violations,
@@ -335,8 +333,8 @@ def validate_schedule(
     """
     if backend not in ("auto", "vectorized", "scalar"):
         raise ValueError(f"unknown validation backend {backend!r}")
-    if backend != "scalar" and schedule.entries:
-        from ..perf.schedule_builder import MAX_COLUMNAR_M
+    if backend != "scalar" and len(schedule):
+        from .schedule import MAX_COLUMNAR_M
 
         if schedule.m <= MAX_COLUMNAR_M:
             report = _validate_columnar(schedule, jobs, max_makespan, require_all_jobs, oracle)

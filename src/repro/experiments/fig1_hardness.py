@@ -15,7 +15,9 @@ time units.  The experiment
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
+
+import numpy as np
 
 from ..core.validation import assert_valid_schedule
 from ..hardness.four_partition import random_no_instance, random_yes_instance, solve_four_partition
@@ -63,16 +65,23 @@ def run(*, group_sizes=(3, 4, 5, 6), seed: int = 11) -> List[Fig1Row]:
                 schedule = schedule_from_partition(reduced, solution)
                 assert_valid_schedule(schedule, reduced.jobs, max_makespan=reduced.target_makespan)
                 row.schedule_makespan = schedule.makespan
-                per_machine: Dict[int, List] = {}
-                loads: Dict[int, float] = {}
-                for entry in schedule.entries:
-                    machine = entry.spans[0][0]
-                    per_machine.setdefault(machine, []).append(entry)
-                    loads[machine] = loads.get(machine, 0.0) + entry.duration
-                row.jobs_per_machine_ok = all(len(v) == 4 for v in per_machine.values())
-                row.machine_loads_ok = all(
-                    abs(load - reduced.target_makespan) <= 1e-6 * reduced.target_makespan
-                    for load in loads.values()
+                # per-machine structure straight from the schedule's columns:
+                # reduction jobs occupy exactly one machine each, so the
+                # span_first column *is* the machine column
+                cols = schedule.columns()
+                machines, machine_ids = np.unique(cols.span_first, return_inverse=True)
+                jobs_per_machine = np.bincount(machine_ids, minlength=len(machines))
+                loads = np.bincount(
+                    machine_ids,
+                    weights=cols.duration[cols.span_owner],
+                    minlength=len(machines),
+                )
+                row.jobs_per_machine_ok = bool((jobs_per_machine == 4).all())
+                row.machine_loads_ok = bool(
+                    (
+                        np.abs(loads - reduced.target_makespan)
+                        <= 1e-6 * reduced.target_makespan
+                    ).all()
                 )
                 back = partition_from_schedule(reduced, schedule)
                 row.roundtrip_ok = verify_four_partition_solution(instance, back)

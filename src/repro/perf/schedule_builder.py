@@ -1,12 +1,12 @@
 """Columnar schedule assembly: build a :class:`~repro.core.schedule.Schedule`
 from flat NumPy columns in one pass.
 
-The object path assembles schedules one :class:`ScheduledJob` at a time:
-every ``Schedule.add`` runs the frozen-dataclass machinery, re-validates its
-arguments and normalizes its machine spans in Python.  For the vectorized
-algorithm drivers — which already hold their whole answer in arrays (γ-counts,
-prefix-sum machine offsets, start times) — that per-entry tour through Python
-is the dominant cost of producing the result object.
+The sequential path assembles schedules one :class:`ScheduledJob` at a time:
+every ``Schedule.add`` re-validates its arguments and normalizes its machine
+spans in Python.  For the vectorized algorithm drivers — which already hold
+their whole answer in arrays (γ-counts, prefix-sum machine offsets, start
+times) — that per-entry tour through Python is the dominant cost of producing
+the result object.
 
 :class:`ArraySchedule` keeps the placements as flat *columns* instead:
 
@@ -18,37 +18,45 @@ is the dominant cost of producing the result object.
 :meth:`ArraySchedule.build` validates and normalizes **all** spans with a
 handful of array operations (one ``lexsort`` + vectorized adjacency merge,
 mirroring ``repro.core.schedule._normalize_spans`` including its rejection of
-double-booked machines) and then materializes the ``ScheduledJob`` entries in
-a single tight loop that bypasses the per-entry re-validation — the resulting
-:class:`Schedule` is *identical* (same entry order, same floats, same span
-tuples) to one assembled through sequential ``Schedule.add`` calls.
+double-booked machines) and then *installs the columns directly* as the
+built schedule's storage — since :class:`~repro.core.schedule.Schedule` is
+itself columnar, no per-entry conversion happens at all; entry objects are
+materialized lazily by the schedule only if someone subscripts them.  The
+resulting :class:`Schedule` is *identical* (same entry order, same floats,
+same span tuples) to one assembled through sequential ``Schedule.add`` calls.
 
-:class:`ScheduleColumns` is the read-side counterpart: one pass over an
-existing schedule's entries yields the flat arrays that the vectorized
-validator (:mod:`repro.core.validation`) and the event-sweep simulator
-(:mod:`repro.simulator.engine`) consume.
+:class:`~repro.core.schedule.ScheduleColumns` — the flat read-side view the
+vectorized validator (:mod:`repro.core.validation`) and the event-sweep
+simulator (:mod:`repro.simulator.engine`) consume — now lives in
+:mod:`repro.core.schedule` next to the container; it is re-exported here for
+backwards compatibility, together with the sweep helpers.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..core.job import MoldableJob
-from ..core.schedule import MachineSpan, Schedule, ScheduledJob
+from ..core.schedule import (
+    MAX_COLUMNAR_M,
+    MachineSpan,
+    Schedule,
+    ScheduleColumns,
+    _ColumnBlock,
+    grouped_running_count,
+    spans_time_overlap,
+)
 
 __all__ = [
     "ArraySchedule",
     "ScheduleColumns",
     "schedule_from_arrays",
+    "grouped_running_count",
+    "spans_time_overlap",
     "MAX_COLUMNAR_M",
 ]
-
-
-#: Above this machine count int64 span arithmetic could overflow; columnar
-#: consumers fall back to the scalar (arbitrary-precision) paths.
-MAX_COLUMNAR_M = 1 << 62
 
 
 class ArraySchedule:
@@ -67,6 +75,7 @@ class ArraySchedule:
         "_jobs",
         "_starts",
         "_overrides",
+        "_any_override",
         "_span_owner",
         "_span_first",
         "_span_count",
@@ -80,6 +89,7 @@ class ArraySchedule:
         self._jobs: List[MoldableJob] = []
         self._starts: List[float] = []
         self._overrides: List[Optional[float]] = []
+        self._any_override = False
         self._span_owner: List[int] = []
         self._span_first: List[int] = []
         self._span_count: List[int] = []
@@ -100,6 +110,8 @@ class ArraySchedule:
         self._jobs.append(job)
         self._starts.append(start)
         self._overrides.append(duration_override)
+        if duration_override is not None:
+            self._any_override = True
         owner = self._span_owner
         firsts = self._span_first
         counts = self._span_count
@@ -157,13 +169,15 @@ class ArraySchedule:
             if len(duration_overrides) != len(jobs):
                 raise ValueError("duration_overrides must be entry-aligned")
             self._overrides.extend(duration_overrides)
+            if any(o is not None for o in duration_overrides):
+                self._any_override = True
         self._span_owner.extend(owner_list)
         self._span_first.extend(span_first.tolist())
         self._span_count.extend(span_count.tolist())
 
     # ----------------------------------------------------------------- build
     def build(self) -> Schedule:
-        """Materialize the :class:`Schedule` (one batched pass).
+        """Materialize the :class:`Schedule` (one batched pass, no entry objects).
 
         Raises :class:`ValueError` for exactly the inputs sequential
         ``Schedule.add`` would reject: non-positive span counts, negative
@@ -218,25 +232,26 @@ class ArraySchedule:
         run_count = ends[run_last_idx] - run_first
         run_owner = oo[run_start_idx]
 
-        runs_per_entry = np.bincount(run_owner, minlength=n)
-        offsets = np.concatenate(([0], np.cumsum(runs_per_entry))).tolist()
-        span_pairs = list(zip(run_first.tolist(), run_count.tolist()))
+        # exact per-entry processor totals: segment sums over the sorted spans
+        entry_start = np.flatnonzero(np.concatenate(([True], oo[1:] != oo[:-1])))
+        procs = np.add.reduceat(oc, entry_start)
 
-        jobs = self._jobs
-        starts_list = starts.tolist()
-        overrides = self._overrides
-        entries: List[ScheduledJob] = []
-        append = entries.append
-        new = ScheduledJob.__new__
-        set_attr = object.__setattr__
-        for i in range(n):
-            entry = new(ScheduledJob)
-            set_attr(entry, "job", jobs[i])
-            set_attr(entry, "start", starts_list[i])
-            set_attr(entry, "spans", tuple(span_pairs[offsets[i] : offsets[i + 1]]))
-            set_attr(entry, "duration_override", overrides[i])
-            append(entry)
-        schedule.entries = entries
+        runs_per_entry = np.bincount(run_owner, minlength=n)
+        span_off = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(runs_per_entry, out=span_off[1:])
+
+        duration = np.full(n, np.nan, dtype=np.float64)
+        has_override = np.zeros(n, dtype=bool)
+        if self._any_override:
+            for i, override in enumerate(self._overrides):
+                if override is not None:
+                    has_override[i] = True
+                    duration[i] = override
+
+        block = _ColumnBlock(
+            n, starts, procs, duration, has_override, span_off, run_first, run_count
+        )
+        schedule._install_block(list(self._jobs), block)
         return schedule
 
 
@@ -274,144 +289,3 @@ def schedule_from_arrays(
         duration_overrides=duration_overrides,
     )
     return builder.build()
-
-
-class ScheduleColumns:
-    """Flat array view of an existing schedule (one pass over the entries).
-
-    Attributes
-    ----------
-    start, duration, end:
-        Per-entry float64 arrays (``end = start + duration``; overrides
-        respected).
-    processors:
-        Per-entry int64 processor counts.
-    has_override:
-        Per-entry bool mask of explicit duration overrides.
-    span_owner, span_first, span_end:
-        Per-span int64 columns (``span_end`` is exclusive).
-    """
-
-    __slots__ = (
-        "n",
-        "start",
-        "duration",
-        "end",
-        "processors",
-        "has_override",
-        "span_owner",
-        "span_first",
-        "span_end",
-    )
-
-    def __init__(self, schedule: Schedule, *, oracle=None) -> None:
-        entries = schedule.entries
-        n = len(entries)
-        self.n = n
-        self.start = np.empty(n, dtype=np.float64)
-        self.duration = np.empty(n, dtype=np.float64)
-        self.processors = np.empty(n, dtype=np.int64)
-        self.has_override = np.zeros(n, dtype=bool)
-        span_owner: List[int] = []
-        span_first: List[int] = []
-        span_end: List[int] = []
-        #: entries whose duration comes from the oracle batch, not the memo
-        deferred_rows: List[int] = []
-        deferred_jobs: List[int] = []
-        index_of = oracle.index_of if oracle is not None else None
-        for i, e in enumerate(entries):
-            self.start[i] = e.start
-            procs = 0
-            for f, c in e.spans:
-                span_owner.append(i)
-                span_first.append(f)
-                span_end.append(f + c)
-                procs += c
-            self.processors[i] = procs
-            override = e.duration_override
-            if override is not None:
-                self.has_override[i] = True
-                self.duration[i] = override
-            elif index_of is not None:
-                try:
-                    deferred_jobs.append(index_of(e.job))
-                    deferred_rows.append(i)
-                except KeyError:  # job not part of the oracle's instance
-                    self.duration[i] = e.job.processing_time(procs)
-            else:
-                self.duration[i] = e.job.processing_time(procs)
-        if deferred_rows:
-            # one batched kernel pass for every oracle-known duration
-            rows = np.asarray(deferred_rows, dtype=np.int64)
-            self.duration[rows] = oracle.bundle.eval_at(
-                np.asarray(deferred_jobs, dtype=np.int64),
-                self.processors[rows],
-            )
-        self.end = self.start + self.duration
-        self.span_owner = np.asarray(span_owner, dtype=np.int64)
-        self.span_first = np.asarray(span_first, dtype=np.int64)
-        self.span_end = np.asarray(span_end, dtype=np.int64)
-
-
-def grouped_running_count(group_ids: np.ndarray, deltas: np.ndarray) -> np.ndarray:
-    """Per-group running sums of ``deltas`` (both sorted by group already).
-
-    One global prefix sum, then each group is re-based by subtracting the
-    prefix value just before its first element — the standard columnar
-    substitute for a per-group Python loop.
-    """
-    run = np.cumsum(deltas)
-    if len(run) == 0:
-        return run
-    new_group = np.concatenate(([True], group_ids[1:] != group_ids[:-1]))
-    group_start = np.flatnonzero(new_group)
-    base = np.concatenate(([deltas.dtype.type(0)], run[group_start[1:] - 1]))
-    sizes = np.diff(np.concatenate((group_start, [len(run)])))
-    return run - np.repeat(base, sizes)
-
-
-def spans_time_overlap(
-    span_first: np.ndarray,
-    span_end: np.ndarray,
-    start: np.ndarray,
-    end: np.ndarray,
-    *,
-    max_incidences: Optional[int] = None,
-) -> Optional[bool]:
-    """Detect whether any two busy rectangles (machine span × time interval)
-    overlap with positive area.
-
-    This is the O(P log P) sort/prefix-sum core of the vectorized conflict
-    checks: machine spans are cut at every distinct span boundary, each piece
-    is expanded to the elementary segments it covers, and per segment a
-    time-sorted event sweep counts simultaneously active intervals (ends sort
-    before starts, so touching intervals never count as two).
-
-    Returns ``True``/``False``, or ``None`` when the expansion would exceed
-    ``max_incidences`` (pathologically nested spans) — the caller should fall
-    back to a scalar sweep.  The check is *exact* (no float tolerance): a
-    ``True`` may still be a within-tolerance touch that a tolerant scalar
-    checker would accept, so ``True`` means "re-check", not "infeasible".
-    """
-    p = len(span_first)
-    if p < 2:
-        return False
-    cuts = np.unique(np.concatenate((span_first, span_end)))
-    lo = np.searchsorted(cuts, span_first, side="left")
-    hi = np.searchsorted(cuts, span_end, side="left")
-    counts = hi - lo
-    total = int(counts.sum())
-    if max_incidences is not None and total > max_incidences:
-        return None
-    piece = np.repeat(np.arange(p, dtype=np.int64), counts)
-    offsets = np.concatenate(([0], np.cumsum(counts[:-1])))
-    within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
-    seg = lo[piece] + within
-    ev_seg = np.concatenate((seg, seg))
-    ev_time = np.concatenate((start[piece], end[piece]))
-    ev_delta = np.concatenate(
-        (np.ones(total, dtype=np.int64), -np.ones(total, dtype=np.int64))
-    )
-    order = np.lexsort((ev_delta, ev_time, ev_seg))
-    running = grouped_running_count(ev_seg[order], ev_delta[order])
-    return bool(running.size) and int(running.max()) >= 2

@@ -86,37 +86,34 @@ def _spans_overlap(a: Tuple[int, int], b: Tuple[int, int]) -> int:
 
 
 def _simulate_columnar(schedule: Schedule) -> Optional[ExecutionTrace]:
-    """Columnar replay: NumPy event sort + prefix-sum sweep.
+    """Columnar replay: the schedule's native columns plus the shared
+    event-sweep helper (:meth:`~repro.core.schedule.ScheduleColumns.event_sweep`).
 
     Returns ``None`` whenever the scalar loop's special cases could apply —
     near-coincident event times (its float-tolerance release logic), a
     potential machine conflict, over-subscription, out-of-range spans, or
     columns that do not fit int64 — so the caller falls back to the scalar
-    event loop.  When a trace *is* returned it is identical to the scalar
-    one.
+    event loop.  The scalar loop remains a genuinely *independent*
+    implementation of the feasibility rules (request it explicitly with
+    ``backend="scalar"`` for cross-validation); when a trace is returned
+    from this fast path it is identical to the scalar one.
     """
-    from ..perf.schedule_builder import (
-        MAX_COLUMNAR_M,
-        ScheduleColumns,
-        spans_time_overlap,
-    )
+    from ..core.schedule import MAX_COLUMNAR_M, spans_time_overlap
 
     m = schedule.m
-    n = len(schedule.entries)
+    n = len(schedule)
     if n == 0 or m > MAX_COLUMNAR_M:
         return None
-    try:
-        cols = ScheduleColumns(schedule)
-    except OverflowError:
+    cols = schedule.try_columns()
+    if cols is None:
         return None
     # out-of-range spans: let the scalar loop raise with its exact message
     if (cols.span_first < 0).any() or (cols.span_end > m).any():
         return None
 
-    times = np.concatenate((cols.start, cols.end))
-    kinds = np.concatenate((np.ones(n, dtype=np.int64), np.zeros(n, dtype=np.int64)))
-    order = np.lexsort((kinds, times))
-    t_sorted = times[order]
+    if not cols.fits_int64_sweep():
+        return None  # int64 prefix sums could overflow
+    order, t_sorted, running = cols.event_sweep()
 
     # The scalar loop releases "almost done" jobs within float tolerance of a
     # start; bail out to it whenever two distinct event times are that close.
@@ -126,10 +123,6 @@ def _simulate_columnar(schedule: Schedule) -> Optional[ExecutionTrace]:
         if float(np.diff(uniq).min()) <= tol:
             return None
 
-    if float(np.sum(cols.processors.astype(np.float64))) > float(1 << 62):
-        return None  # int64 prefix sums could overflow
-    deltas = np.concatenate((cols.processors, -cols.processors))[order]
-    running = np.cumsum(deltas)
     peak = max(0, int(running.max()))
     if peak > m:
         return None  # over-subscription: scalar loop owns strict/lenient handling
@@ -146,8 +139,8 @@ def _simulate_columnar(schedule: Schedule) -> Optional[ExecutionTrace]:
         return None
 
     # utilisation profile: busy count after the last event of each instant
-    change = np.concatenate((t_sorted[1:] != t_sorted[:-1], [True]))
-    profile = list(zip(t_sorted[change].tolist(), running[change].tolist()))
+    profile_times, profile_busy = cols.busy_profile()
+    profile = list(zip(profile_times.tolist(), profile_busy.tolist()))
 
     # total work accumulates in start-event order, exactly like the loop
     start_positions = order[order < n]

@@ -16,6 +16,53 @@ class TestAnalyzeSchedule:
         assert metrics.utilization == 0.0
         assert metrics.jobs == 0
 
+    def test_empty_schedule_without_job_list(self):
+        """No jobs argument + no entries: every aggregate has a sane default."""
+        metrics = analyze_schedule(Schedule(m=4))
+        assert metrics.jobs == 0
+        assert metrics.makespan == 0.0
+        assert metrics.total_work == 0.0
+        assert metrics.sequential_work == 0.0
+        assert metrics.lower_bound == 0.0
+        assert metrics.ratio_vs_lower_bound == 1.0
+        assert metrics.work_inflation == 1.0
+        assert metrics.peak_processors == 0
+        assert metrics.average_parallelism == 0.0
+        assert metrics.max_stretch == 1.0
+        assert metrics.mean_stretch == 1.0
+        assert metrics.per_job == []
+
+    def test_singleton_schedule(self):
+        job = TabulatedJob("only", [12.0, 7.0, 5.0])
+        schedule = Schedule(m=3)
+        schedule.add(job, 0.0, [(0, 3)])
+        metrics = analyze_schedule(schedule, [job])
+        assert metrics.jobs == 1
+        assert metrics.makespan == pytest.approx(5.0)
+        assert metrics.total_work == pytest.approx(15.0)
+        assert metrics.sequential_work == pytest.approx(12.0)
+        assert metrics.utilization == pytest.approx(1.0)
+        assert metrics.peak_processors == 3
+        assert metrics.average_parallelism == pytest.approx(3.0)
+        (only,) = metrics.per_job
+        assert only.name == "only"
+        assert only.processors == 3
+        assert only.stretch == pytest.approx(1.0)
+        assert metrics.max_stretch == metrics.mean_stretch == only.stretch
+
+    def test_columnar_schedule_analyzed_lazily(self):
+        """analyze_schedule reads the columns; entry views stay unbuilt."""
+        from repro.perf.schedule_builder import ArraySchedule
+
+        builder = ArraySchedule(8)
+        jobs = [TabulatedJob(f"j{i}", [4.0, 3.0]) for i in range(4)]
+        for i, job in enumerate(jobs):
+            builder.append(job, 0.0, [(2 * i, 2)])
+        schedule = builder.build()
+        metrics = analyze_schedule(schedule, jobs)
+        assert metrics.jobs == 4
+        assert all(view is None for view in schedule._views)
+
     def test_hand_built_schedule(self):
         a = TabulatedJob("a", [10.0, 6.0])
         b = TabulatedJob("b", [4.0, 3.0])

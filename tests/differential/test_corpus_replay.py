@@ -1,0 +1,33 @@
+"""Deterministic replay of the differential regression corpus.
+
+Every JSON file under ``tests/differential/corpus/`` is a previously found
+(or hand-planted) cross-backend case: the fuzzer in
+``test_cross_backend.py`` serialises failures here, and this module replays
+them on every run — a hypothesis discovery only needs to happen once to be
+pinned forever.  The corpus ships with seed cases covering every driver so
+the replay path itself cannot rot silently.
+
+CI runs this module as its own named step ("Differential corpus replay") so
+parity regressions are visible in the workflow summary at a glance.
+"""
+
+import json
+
+import pytest
+
+from .harness import load_corpus, run_case
+
+CORPUS = load_corpus()
+
+
+def test_corpus_is_seeded():
+    """The shipped corpus must never be empty (the replay must exercise
+    every driver at least once)."""
+    drivers = {json.loads(path.read_text())["driver"] for path in CORPUS}
+    assert drivers == {"mrt", "compressible", "bounded", "fptas", "two_approx"}
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_replay_corpus_case(path):
+    case = json.loads(path.read_text())
+    run_case(case)

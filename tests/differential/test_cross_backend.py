@@ -1,0 +1,76 @@
+"""Hypothesis-driven cross-backend parity fuzzing.
+
+Draws random (driver, family, n, m, eps, seed) cases across all five
+algorithm drivers and all five bench instance families, runs each driver
+under ``backend="scalar"`` and ``backend="vectorized"``, and asserts
+identical schedules, makespans and validator verdicts (see
+``tests/differential/harness.py`` for the exact checks).
+
+Any failing case is serialised into ``tests/differential/corpus/`` before
+the assertion propagates, so it is replayed forever after as a
+deterministic regression test (``test_corpus_replay.py``) — shrinking a
+hypothesis failure once is enough to pin it for every future run.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from .harness import DRIVERS, FAMILIES, run_case, save_failure
+
+
+@st.composite
+def cases(draw):
+    driver = draw(st.sampled_from(DRIVERS))
+    family = draw(st.sampled_from(sorted(FAMILIES)))
+    n = draw(st.integers(min_value=1, max_value=10))
+    m = draw(st.sampled_from([1, 2, 3, 8, 24, 64, 256]))
+    eps = draw(st.sampled_from([0.1, 0.25, 0.5]))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return {"driver": driver, "family": family, "n": n, "m": m, "eps": eps, "seed": seed}
+
+
+class TestCrossBackendParity:
+    @given(cases())
+    @settings(
+        max_examples=120,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_backends_agree_on_random_cases(self, case):
+        try:
+            run_case(case)
+        except AssertionError as exc:
+            path = save_failure(case, exc)
+            raise AssertionError(
+                f"cross-backend divergence (case saved to {path}): {exc}"
+            ) from exc
+
+
+class TestHarnessSelfChecks:
+    """The harness must actually be able to catch divergences."""
+
+    def test_every_driver_and_family_is_exercised(self):
+        assert set(DRIVERS) == {"mrt", "compressible", "bounded", "fptas", "two_approx"}
+        assert set(FAMILIES) == {"mixed", "powerwork", "comm", "bimodal", "tiny_n_huge_m"}
+
+    @pytest.mark.parametrize("driver", DRIVERS)
+    def test_one_deterministic_case_per_driver(self, driver):
+        run_case(
+            {"driver": driver, "family": "mixed", "n": 6, "m": 24, "eps": 0.25, "seed": 7}
+        )
+
+    def test_save_failure_roundtrip(self, tmp_path, monkeypatch):
+        import json
+
+        from . import harness
+
+        monkeypatch.setattr(harness, "CORPUS_DIR", tmp_path / "corpus")
+        case = {"driver": "mrt", "family": "comm", "n": 3, "m": 8, "eps": 0.5, "seed": 1}
+        path = harness.save_failure(case, AssertionError("makespan mismatch"))
+        assert path.is_file()
+        payload = json.loads(path.read_text())
+        assert payload["driver"] == "mrt"
+        assert payload["seed"] == 1
+        assert "makespan mismatch" in payload["error"]
+        # idempotent: the same case maps to the same file
+        assert harness.save_failure(case, AssertionError("again")) == path

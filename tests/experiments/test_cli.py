@@ -1,5 +1,10 @@
 """Tests for the command-line interface."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.cli import EXPERIMENTS, main
@@ -25,3 +30,45 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Figure 4" in out
         assert "True" in out
+
+    def test_fig1_runs_end_to_end(self, capsys):
+        """fig1 renders a Gantt chart of a columnar hardness schedule."""
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "4-Partition" in out
+        assert "█" in out  # the example Gantt rendering
+
+    def test_no_arguments_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([])
+        assert exc.value.code != 0
+        assert "experiment" in capsys.readouterr().err
+
+
+class TestMainModule:
+    """``python -m repro`` smoke invocations (the real module entry point)."""
+
+    def _run(self, *args):
+        src = Path(__file__).resolve().parents[2] / "src"
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": str(src)},
+        )
+
+    def test_module_help(self):
+        proc = self._run("--help")
+        assert proc.returncode == 0
+        assert "Reproduce" in proc.stdout
+
+    def test_module_runs_experiment(self):
+        proc = self._run("fig1")
+        assert proc.returncode == 0
+        assert "Figure 1" in proc.stdout
+
+    def test_module_unknown_experiment(self):
+        proc = self._run("bogus")
+        assert proc.returncode != 0
+        assert "invalid choice" in proc.stderr

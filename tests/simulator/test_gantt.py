@@ -4,6 +4,8 @@ from repro.core.bounds import ludwig_tiwari_estimator
 from repro.core.job import TabulatedJob
 from repro.core.mrt import mrt_dual
 from repro.core.schedule import Schedule
+from repro.core.scheduler import schedule_moldable
+from repro.perf.schedule_builder import ArraySchedule
 from repro.simulator.gantt import render_gantt, render_shelves
 from repro.workloads.generators import random_mixed_instance
 
@@ -40,6 +42,41 @@ class TestRenderGantt:
         lines = {line.split()[0]: line for line in out.splitlines()[1:]}
         assert lines["long"].count("█") > lines["short"].count("█")
 
+    def test_rows_ordered_by_start_then_width(self):
+        schedule = Schedule(m=8)
+        late = TabulatedJob("late", [2.0] * 8)
+        narrow = TabulatedJob("narrow", [4.0] * 8)
+        wide = TabulatedJob("wide", [4.0] * 8)
+        schedule.add(late, 5.0, [(0, 1)])
+        schedule.add(narrow, 0.0, [(1, 1)])
+        schedule.add(wide, 0.0, [(2, 4)])
+        names = [line.split()[0] for line in render_gantt(schedule).splitlines()[1:]]
+        assert names == ["wide", "narrow", "late"]
+
+    def test_renders_columnar_schedule_without_materializing_entries(self):
+        """Gantt rendering must work straight off the columns of a
+        builder-assembled schedule — no entry views."""
+        builder = ArraySchedule(16)
+        for i in range(8):
+            builder.append(TabulatedJob(f"job{i}", [float(i + 1)]), float(i), [(2 * i, 2)])
+        schedule = builder.build()
+        out = render_gantt(schedule)
+        assert "job0" in out
+        assert "p=2" in out
+        assert all(view is None for view in schedule._views)
+
+    def test_zero_length_schedule(self):
+        schedule = Schedule(m=2)
+        schedule.add(TabulatedJob("instant", [5.0]), 0.0, [(0, 1)], duration_override=0.0)
+        assert "zero-length" in render_gantt(schedule)
+
+    def test_long_names_truncated_to_label_width(self):
+        schedule = Schedule(m=1)
+        schedule.add(TabulatedJob("a-very-long-job-name-indeed", [2.0]), 0.0, [(0, 1)])
+        out = render_gantt(schedule, label_width=8)
+        assert "a-very-" in out
+        assert "a-very-long" not in out
+
 
 class TestRenderShelves:
     def test_reports_shelf_statistics(self):
@@ -51,3 +88,30 @@ class TestRenderShelves:
         for shelf in ("S0", "S1", "S2", "small"):
             assert shelf in out
         assert "makespan bound" in out
+
+    def test_shelf_classification_covers_all_jobs(self):
+        """The shelf masks partition the entries: job counts sum to n."""
+        instance = random_mixed_instance(24, 16, seed=9)
+        result = schedule_moldable(instance.jobs, 16, 0.25, algorithm="bounded")
+        schedule = result.schedule
+        d = schedule.metadata.get("d", schedule.makespan / 1.5)
+        out = render_shelves(schedule, d)
+        counts = [
+            int(line.split("jobs=")[1].split()[0])
+            for line in out.splitlines()
+            if "jobs=" in line
+        ]
+        assert sum(counts) == len(schedule)
+
+    def test_shelves_render_columnar_schedule_lazily(self):
+        instance = random_mixed_instance(15, 12, seed=4)
+        result = schedule_moldable(instance.jobs, 12, 0.25, algorithm="bounded")
+        schedule = result.schedule
+        views_before = sum(view is not None for view in schedule._views)
+        render_shelves(schedule, schedule.metadata.get("d", 1.0))
+        assert sum(view is not None for view in schedule._views) == views_before
+
+    def test_empty_schedule_shelves(self):
+        out = render_shelves(Schedule(m=4), 1.0)
+        assert "jobs=0" in out
+        assert "empty schedule" in out
