@@ -38,6 +38,9 @@ class DualSearchResult:
     lower_bound: float
     iterations: int
     dual_calls: int
+    #: total γ-probes spent by the batched oracle across the search (the
+    #: estimator bracket plus every dual step); ``None`` on the scalar path.
+    gamma_probes: Optional[int] = None
 
     @property
     def makespan(self) -> float:
@@ -132,4 +135,5 @@ def dual_binary_search(
         lower_bound=lower,
         iterations=iterations,
         dual_calls=dual_calls,
+        gamma_probes=oracle.gamma_probes if oracle is not None else None,
     )

@@ -113,6 +113,7 @@ def fptas_schedule(
     validate: bool = True,
     enforce_threshold: bool = True,
     backend: str = "vectorized",
+    oracle=None,
 ) -> DualSearchResult:
     """`(1+eps)`-approximation for instances with ``m >= 8n/eps`` (Theorem 2).
 
@@ -122,6 +123,10 @@ def fptas_schedule(
 
     ``backend="vectorized"`` (default) shares one batched γ-oracle across the
     whole dual search; ``backend="scalar"`` is the bit-identical reference.
+    ``oracle`` optionally supplies a pre-built
+    :class:`repro.perf.oracle.BatchedOracle` (implies the vectorized
+    backend; its probe instrumentation lands in the result's
+    ``gamma_probes``).
     """
     if not 0 < eps <= 1:
         raise ValueError("eps must lie in (0, 1]")
@@ -132,7 +137,7 @@ def fptas_schedule(
             f"the FPTAS requires m >= 8n/eps = {fptas_machine_threshold(n, eps):.1f}, got m={m}; "
             "use ptas_schedule() for the general case"
         )
-    backend, oracle = resolve_backend(jobs, m, backend, None)
+    backend, oracle = resolve_backend(jobs, m, backend, oracle)
     inner = eps / 3.0
     result = dual_binary_search(
         jobs,

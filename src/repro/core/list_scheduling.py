@@ -21,6 +21,19 @@ include a counterexample.)  The factor-2 bound is what the Ludwig–Tiwari
 
 The implementation tracks idle machines as *spans*, so it never materialises
 per-machine state and works for astronomically large ``m``.
+
+Three backends produce the bit-identical schedule:
+
+* ``backend="heap"`` — the scalar reference: a Python ``heapq`` wake-up loop
+  with per-entry ``Schedule.add`` calls;
+* ``backend="wakeup"`` — the PR-2 columnar loop (one vectorized candidate
+  query per wake-up, still one ``heapq`` pop per completion);
+* ``backend="event_queue"`` — the batched event-queue formulation:
+  completions live in one ``(end, seq)``-sorted array, every epoch pops *all*
+  simultaneous completions with a single sorted-array partition, admission is
+  one vectorized ``need <= idle`` scan with prefix-sum batching, and machine
+  spans for a whole epoch are cut with one cumulative-sum partition feeding
+  the :class:`~repro.perf.schedule_builder.ArraySchedule` block install.
 """
 
 from __future__ import annotations
@@ -32,9 +45,17 @@ import numpy as np
 
 from .allotment import Allotment
 from .job import MoldableJob
-from .schedule import MachineSpan, Schedule
+from .schedule import MAX_COLUMNAR_M, MachineSpan, Schedule
 
-__all__ = ["list_schedule", "list_schedule_bound"]
+__all__ = ["list_schedule", "list_schedule_bound", "LIST_BACKENDS"]
+
+#: Selectable list-scheduling backends (all bit-identical).
+LIST_BACKENDS = ("heap", "wakeup", "event_queue")
+
+#: Completions within this absolute tolerance of the earliest pending
+#: completion are processed in the same wake-up epoch (shared by all three
+#: backends; the scalar heap loop defined it first).
+EPOCH_TOLERANCE = 1e-15
 
 
 def list_schedule_bound(allotment: Allotment, m: int) -> float:
@@ -48,8 +69,11 @@ def list_schedule(
     m: int,
     *,
     order: Optional[Sequence[MoldableJob]] = None,
+    backend: Optional[str] = None,
     columnar: bool = False,
     allotted_times: Optional[Dict[MoldableJob, float]] = None,
+    oracle=None,
+    stats: Optional[dict] = None,
 ) -> Schedule:
     """Greedy (first-fit) list scheduling of ``jobs`` with counts ``allotment``.
 
@@ -60,18 +84,30 @@ def list_schedule(
         ``allotment[job] <= m``.
     order:
         Optional list priority; defaults to the order of ``jobs``.
+    backend:
+        ``"heap"`` (scalar reference, default), ``"wakeup"`` (columnar
+        per-wake-up loop) or ``"event_queue"`` (batched event epochs) — all
+        bit-identical; see the module docstring.  Machine counts beyond the
+        int64 span range silently fall back to ``"heap"`` (the only backend
+        that handles arbitrary-precision ``m``).
     columnar:
-        Assemble the result through the columnar
-        :class:`repro.perf.schedule_builder.ArraySchedule` builder instead of
-        per-job ``Schedule.add`` calls (the vectorized drivers' fast path;
-        bit-identical schedule).
+        Backwards-compatible alias: ``columnar=True`` selects
+        ``backend="wakeup"`` when ``backend`` is not given.
     allotted_times:
         Optional precomputed ``{job: t_j(allotment[job])}`` durations (only
-        used by the columnar path).  Callers that already evaluated the
+        used by the array backends).  Callers that already evaluated the
         allotted processing times in a batched kernel pass (e.g. the
         two-approximation's LPT sort) hand them over instead of forcing one
         scalar oracle call per job; values must equal ``processing_time``
         bit for bit, which the batched kernels guarantee.
+    oracle:
+        Optional :class:`repro.perf.oracle.BatchedOracle` covering ``jobs``;
+        the array backends then resolve missing durations in one batched
+        kernel pass instead of per-job Python calls.
+    stats:
+        Optional dict the event-queue backend fills with instrumentation
+        (``epochs``: completion epochs processed, ``events``: completions,
+        ``max_epoch_completions``: largest simultaneous-completion group).
 
     Returns
     -------
@@ -80,18 +116,33 @@ def list_schedule(
     """
     if m < 1:
         raise ValueError("m must be >= 1")
+    if backend is None:
+        backend = "wakeup" if columnar else "heap"
+    if backend not in LIST_BACKENDS:
+        raise ValueError(f"unknown list scheduling backend {backend!r}; choose from {LIST_BACKENDS}")
+    if backend != "heap" and m > MAX_COLUMNAR_M:
+        backend = "heap"  # int64 span columns cannot represent such m
     sequence = list(order) if order is not None else list(jobs)
     if len(sequence) != len(jobs) or {id(j) for j in sequence} != {id(j) for j in jobs}:
         raise ValueError("order must be a permutation of jobs")
+    total_need = 0
     for job in sequence:
         k = allotment.get(job)
         if k is None:
             raise ValueError(f"job {job.name!r} has no allotment")
         if k > m:
             raise ValueError(f"job {job.name!r} is allotted {k} > m={m} processors")
+        total_need += k
+    if backend == "event_queue" and total_need > MAX_COLUMNAR_M - m:
+        # the epoch batch paths prefix-sum needs and popped span capacities
+        # in int64 (bounded by total_need + m); near the int64 edge fall
+        # back to the heap reference, which uses Python ints throughout
+        backend = "heap"
 
-    if columnar:
-        return _list_schedule_columnar(sequence, allotment, m, allotted_times)
+    if backend == "wakeup":
+        return _list_schedule_columnar(sequence, allotment, m, allotted_times, oracle)
+    if backend == "event_queue":
+        return _list_schedule_event_queue(sequence, allotment, m, allotted_times, oracle, stats)
 
     schedule = Schedule(m=m, metadata={"algorithm": "list_scheduling"})
     if not sequence:
@@ -142,7 +193,7 @@ def list_schedule(
         end, _, spans = heapq.heappop(running)
         now = end
         released = list(spans)
-        while running and running[0][0] <= now + 1e-15:
+        while running and running[0][0] <= now + EPOCH_TOLERANCE:
             _, _, more = heapq.heappop(running)
             released.extend(more)
         for first, count in released:
@@ -152,11 +203,28 @@ def list_schedule(
     return schedule
 
 
+def _resolve_durations(
+    sequence: List[MoldableJob],
+    needs: Sequence[int],
+    allotted_times: Optional[Dict[MoldableJob, float]],
+    oracle,
+) -> List[float]:
+    """Per-job allotted processing times (bit-identical however resolved)."""
+    if allotted_times is not None:
+        return [allotted_times[job] for job in sequence]
+    if oracle is not None:
+        return oracle.times_for(
+            sequence, np.asarray(needs, dtype=np.float64)
+        ).tolist()
+    return [job.processing_time(k) for job, k in zip(sequence, needs)]
+
+
 def _list_schedule_columnar(
     sequence: List[MoldableJob],
     allotment: Allotment,
     m: int,
     allotted_times: Optional[Dict[MoldableJob, float]] = None,
+    oracle=None,
 ) -> Schedule:
     """Columnar twin of the scalar first-fit loop.
 
@@ -184,18 +252,18 @@ def _list_schedule_columnar(
     counts = allotment.counts
     needs = [counts[job] for job in sequence]
     needs_arr = np.array(needs, dtype=np.int64)
-    if allotted_times is not None:
-        durations = [allotted_times[job] for job in sequence]
-    else:
-        durations = [job.processing_time(k) for job, k in zip(sequence, needs)]
+    durations = _resolve_durations(sequence, needs, allotted_times, oracle)
 
     # row columns, written through bound methods in the hot loop
-    row_job_append = builder._jobs.append
-    row_start_append = builder._starts.append
-    row_override_append = builder._overrides.append
-    span_owner_append = builder._span_owner.append
-    span_first_append = builder._span_first.append
-    span_count_append = builder._span_count.append
+    jobs_col, starts_col, overrides_col, owner_col, first_col, count_col = (
+        builder.raw_columns()
+    )
+    row_job_append = jobs_col.append
+    row_start_append = starts_col.append
+    row_override_append = overrides_col.append
+    span_owner_append = owner_col.append
+    span_first_append = first_col.append
+    span_count_append = count_col.append
     heappush = heapq.heappush
     heappop = heapq.heappop
 
@@ -263,11 +331,285 @@ def _list_schedule_columnar(
         end, _, spans = heappop(running)
         now = end
         released = list(spans)
-        while running and running[0][0] <= now + 1e-15:
+        while running and running[0][0] <= now + EPOCH_TOLERANCE:
             _, _, more = heappop(running)
             released.extend(more)
         for first, count in released:
             idle_spans.append((first, count))
             idle_count += count
 
+    return builder.build()
+
+
+#: Below this many admitted jobs (or admission candidates) an epoch uses the
+#: lean scalar inner path — the vectorized batch machinery only amortizes its
+#: fixed per-call overhead on larger groups.  Both paths are bit-identical;
+#: tier-1 crosses the boundary in both directions
+#: (``tests/core/test_event_queue.py``: the large-epoch deterministic pin and
+#: the hypothesis strategy draw instances well past this threshold).
+_SMALL_EPOCH = 32
+
+
+def _list_schedule_event_queue(
+    sequence: List[MoldableJob],
+    allotment: Allotment,
+    m: int,
+    allotted_times: Optional[Dict[MoldableJob, float]] = None,
+    oracle=None,
+    stats: Optional[dict] = None,
+) -> Schedule:
+    """Batched event-queue twin of the scalar first-fit loop.
+
+    Bit-identical to the heap backend, but the per-completion ``heapq`` is
+    replaced by one ``(end, seq)``-sorted event queue processed in *epochs*:
+
+    * **epoch pop** — all completions within :data:`EPOCH_TOLERANCE` of the
+      earliest pending one leave the queue via a single sorted-array
+      partition (``bisect_right`` + one slice deletion; the heap backend
+      pops them one by one with the same grouping rule, so the
+      released-span order is identical);
+    * **admission** — candidates are one vectorized ``need <= idle`` scan;
+      large candidate sets are admitted per cumulative-sum round (the
+      first-fit prefix whose need prefix-sum fits is admitted at once, the
+      first rejected candidate is dropped for the whole epoch — idle only
+      decreases within an epoch, so it can never be admitted later);
+    * **span allocation** — a large admitted batch consumes the popped idle
+      spans as one capacity axis: cutting it at every job boundary and
+      every span boundary with two ``searchsorted`` calls yields exactly
+      the pieces the sequential ``take`` loop produces, in the same order,
+      and the rows feed the :class:`ArraySchedule` columns directly (no
+      per-entry ``Schedule.add``);
+    * **event merge** — a large epoch's new completions are sorted once and
+      merged into the queue with a single ``searchsorted``/``insert`` pass
+      (new events carry strictly larger ``seq``, so ``side="right"``
+      preserves the heap's ``(end, seq)`` tie order).
+
+    Epochs below :data:`_SMALL_EPOCH` jobs take lean scalar inner paths
+    (identical decisions, same column writes) — the batch passes above only
+    pay for themselves on mass starts and mass completions.
+    """
+    from bisect import bisect_right
+
+    from ..perf.schedule_builder import ArraySchedule
+
+    builder = ArraySchedule(m, metadata={"algorithm": "list_scheduling"})
+    n = len(sequence)
+    if stats is not None:
+        stats.update(backend="event_queue", epochs=0, events=0, max_epoch_completions=0)
+    if n == 0:
+        return builder.build()
+
+    counts = allotment.counts
+    needs_list = [counts[job] for job in sequence]
+    needs = np.array(needs_list, dtype=np.int64)
+    durations = _resolve_durations(sequence, needs_list, allotted_times, oracle)
+
+    # builder columns, written directly (block mode)
+    (
+        jobs_col,
+        starts_col,
+        overrides_col,
+        span_owner_col,
+        span_first_col,
+        span_count_col,
+    ) = builder.raw_columns()
+
+    waiting = np.ones(n, dtype=bool)
+    n_waiting = n
+    #: lower bound on the smallest need among waiting jobs (see the wakeup
+    #: backend: stale-but-valid, refreshed only on a fruitless scan)
+    min_waiting_need = int(needs.min())
+    idle_spans: List[MachineSpan] = [(0, m)]
+    idle = m
+    #: the event queue: parallel lists sorted lexicographically by
+    #: (end, seq); per started row, its piece slice
+    #: [pieces_lo[row], pieces_hi[row]) in the builder span columns and its
+    #: processor total for the release
+    ev_end: List[float] = []
+    ev_seq: List[int] = []
+    pieces_lo: List[int] = []
+    pieces_hi: List[int] = []
+    row_need: List[int] = []
+    now = 0.0
+    epochs = 0
+    events = 0
+    max_epoch = 0
+
+    while n_waiting or ev_end:
+        if n_waiting and idle >= min_waiting_need:
+            # one vectorized candidate scan for the whole epoch
+            cand = (waiting & (needs <= idle)).nonzero()[0]
+            remaining = idle
+            adm_list: List[int] = []
+            if cand.size <= _SMALL_EPOCH or remaining <= _SMALL_EPOCH:
+                # scalar first-fit pass over the few candidates
+                for ji in map(int, cand):
+                    need = needs_list[ji]
+                    if need <= remaining:
+                        adm_list.append(ji)
+                        remaining -= need
+                        if remaining == 0:
+                            break
+            else:
+                # batched first-fit: admit the longest candidate prefix whose
+                # need prefix-sum fits, drop the first rejected candidate
+                # (idle only shrinks within the epoch), repeat on the rest.
+                # Every admitted job takes >= 1 processor, so at most
+                # ``remaining`` candidates can be admitted per round — the
+                # prefix-sum window is sliced accordingly, keeping a round
+                # O(min(|cand|, remaining)) instead of O(|cand|).
+                admitted: List[np.ndarray] = []
+                first_round = True
+                while cand.size:
+                    if first_round:
+                        # the candidate scan already guaranteed need <= idle
+                        first_round = False
+                    else:
+                        fits = needs[cand] <= remaining
+                        if not fits.any():
+                            break
+                        cand = cand[fits]
+                    window = cand[:remaining]
+                    csum = needs[window].cumsum()
+                    k = int(csum.searchsorted(remaining, side="right"))
+                    # k >= 1: the first candidate fits by construction
+                    admitted.append(cand[:k])
+                    remaining -= int(csum[k - 1])
+                    if k < len(window):
+                        # cand[k] is rejected *now* and stays rejected
+                        cand = cand[k + 1 :]
+                    else:
+                        # the window limit cut the prefix short, no rejection
+                        # was observed — continue with the remaining tail
+                        cand = cand[k:]
+                if admitted:
+                    adm_list = (
+                        admitted[0] if len(admitted) == 1 else np.concatenate(admitted)
+                    ).tolist()
+            if adm_list:
+                k = len(adm_list)
+                row_base = len(jobs_col)
+                if k <= _SMALL_EPOCH:
+                    # lean inner path: sequential take() per admitted job,
+                    # single-event insertion into the sorted queue
+                    for ji in adm_list:
+                        waiting[ji] = False
+                        need = needs_list[ji]
+                        row = len(jobs_col)
+                        p_lo = len(span_first_col)
+                        while need > 0:
+                            first, count = idle_spans.pop()
+                            if count <= need:
+                                span_owner_col.append(row)
+                                span_first_col.append(first)
+                                span_count_col.append(count)
+                                need -= count
+                            else:
+                                span_owner_col.append(row)
+                                span_first_col.append(first)
+                                span_count_col.append(need)
+                                idle_spans.append((first + need, count - need))
+                                need = 0
+                        jobs_col.append(sequence[ji])
+                        starts_col.append(now)
+                        overrides_col.append(None)
+                        pieces_lo.append(p_lo)
+                        pieces_hi.append(len(span_first_col))
+                        row_need.append(needs_list[ji])
+                        end = now + durations[ji]
+                        pos = bisect_right(ev_end, end)
+                        ev_end.insert(pos, end)
+                        ev_seq.insert(pos, row)
+                else:
+                    adm = np.asarray(adm_list, dtype=np.int64)
+                    adm_needs = needs[adm]
+                    ncum = np.cumsum(adm_needs)
+                    total = int(ncum[-1])
+                    # pop idle spans (stack order) until the batch is covered
+                    popped_first: List[int] = []
+                    popped_count: List[int] = []
+                    acc = 0
+                    while acc < total:
+                        f, c = idle_spans.pop()
+                        popped_first.append(f)
+                        popped_count.append(c)
+                        acc += c
+                    if acc > total:
+                        # the unused tail of the last popped span goes back on
+                        # top of the stack, exactly like the sequential take()
+                        used = popped_count[-1] - (acc - total)
+                        idle_spans.append((popped_first[-1] + used, acc - total))
+                        popped_count[-1] = used
+                    pf = np.array(popped_first, dtype=np.int64)
+                    ccum = np.cumsum(np.array(popped_count, dtype=np.int64))
+                    # cut the capacity axis at every job and span boundary:
+                    # each resulting piece belongs to exactly one
+                    # (job, idle-span) pair — the same pieces, in the same
+                    # order, as the sequential take() loop emits
+                    bounds = np.unique(np.concatenate((ncum, ccum)))
+                    lo_b = np.concatenate((np.zeros(1, dtype=np.int64), bounds[:-1]))
+                    owner_local = np.searchsorted(ncum, lo_b, side="right")
+                    span_idx = np.searchsorted(ccum, lo_b, side="right")
+                    base = np.concatenate((np.zeros(1, dtype=np.int64), ccum))[span_idx]
+                    piece_first = pf[span_idx] + (lo_b - base)
+                    piece_count = bounds - lo_b
+
+                    piece_base = len(span_first_col)
+                    jobs_col.extend([sequence[ji] for ji in adm_list])
+                    starts_col.extend([now] * k)
+                    overrides_col.extend([None] * k)
+                    span_owner_col.extend((owner_local + row_base).tolist())
+                    span_first_col.extend(piece_first.tolist())
+                    span_count_col.extend(piece_count.tolist())
+                    # per-row piece slices (pieces are grouped by owner)
+                    row_ids = np.arange(k, dtype=np.int64)
+                    pieces_lo.extend(
+                        (np.searchsorted(owner_local, row_ids, side="left") + piece_base).tolist()
+                    )
+                    pieces_hi.extend(
+                        (np.searchsorted(owner_local, row_ids, side="right") + piece_base).tolist()
+                    )
+                    row_need.extend(adm_needs.tolist())
+
+                    # merge the new completions into the sorted event queue
+                    new_ends = now + np.array(
+                        [durations[ji] for ji in adm_list], dtype=np.float64
+                    )
+                    order = np.argsort(new_ends, kind="stable")
+                    new_ends = new_ends[order]
+                    new_seqs = row_base + order
+                    old_ends = np.asarray(ev_end, dtype=np.float64)
+                    pos = np.searchsorted(old_ends, new_ends, side="right")
+                    ev_end = np.insert(old_ends, pos, new_ends).tolist()
+                    ev_seq = np.insert(
+                        np.asarray(ev_seq, dtype=np.int64), pos, new_seqs
+                    ).tolist()
+                    waiting[adm_list] = False
+                n_waiting -= k
+                idle = remaining
+            elif n_waiting:
+                # fruitless scan: the lower bound was stale — refresh it so
+                # later idle wake-ups can skip the scan in O(1)
+                min_waiting_need = int(needs[waiting].min())
+        if not ev_end:
+            if n_waiting:  # pragma: no cover - cannot happen: every job fits on m >= a_j machines
+                raise RuntimeError("deadlock in list scheduling")
+            break
+        # epoch pop: one sorted-array partition takes every completion
+        # within tolerance of the earliest one out of the queue at once
+        now = ev_end[0]
+        cut = bisect_right(ev_end, now + EPOCH_TOLERANCE)
+        for s in ev_seq[:cut]:
+            for p in range(pieces_lo[s], pieces_hi[s]):
+                idle_spans.append((span_first_col[p], span_count_col[p]))
+            idle += row_need[s]
+        del ev_end[:cut]
+        del ev_seq[:cut]
+        epochs += 1
+        events += cut
+        if cut > max_epoch:
+            max_epoch = cut
+
+    if stats is not None:
+        stats.update(epochs=epochs, events=events, max_epoch_completions=max_epoch)
     return builder.build()

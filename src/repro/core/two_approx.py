@@ -12,7 +12,7 @@ polynomial even with compact input encodings.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from .backend import resolve_backend
 from .bounds import EstimatorResult, ludwig_tiwari_estimator
@@ -27,11 +27,18 @@ __all__ = ["two_approximation", "TwoApproxResult"]
 class TwoApproxResult:
     """Schedule plus the estimator evidence that certifies the ratio."""
 
-    __slots__ = ("schedule", "estimate")
+    __slots__ = ("schedule", "estimate", "gamma_probes")
 
-    def __init__(self, schedule: Schedule, estimate: EstimatorResult) -> None:
+    def __init__(
+        self,
+        schedule: Schedule,
+        estimate: EstimatorResult,
+        gamma_probes: Optional[int] = None,
+    ) -> None:
         self.schedule = schedule
         self.estimate = estimate
+        #: total γ-probes the batched oracle spent (None on the scalar path)
+        self.gamma_probes = gamma_probes
 
     @property
     def makespan(self) -> float:
@@ -51,17 +58,29 @@ def two_approximation(
     *,
     validate: bool = True,
     backend: str = "vectorized",
+    oracle=None,
+    list_backend: Optional[str] = None,
 ) -> TwoApproxResult:
     """Compute a 2-approximate schedule for monotone moldable jobs.
 
     ``backend="vectorized"`` (default) runs the estimator's γ-searches in
     lockstep on arrays; ``backend="scalar"`` is the bit-identical reference.
+    ``oracle`` optionally supplies a pre-built
+    :class:`repro.perf.oracle.BatchedOracle` (implies the vectorized
+    backend; lets callers read its probe instrumentation afterwards).
+    ``list_backend`` overrides the list-scheduling phase's backend (defaults
+    to the batched ``"event_queue"`` on the vectorized path and the scalar
+    ``"heap"`` loop otherwise; ``"wakeup"`` selects the columnar per-wake-up
+    loop — all bit-identical).
     """
     jobs = list(jobs)
-    backend, oracle = resolve_backend(jobs, m, backend, None)
+    backend, oracle = resolve_backend(jobs, m, backend, oracle)
     estimate = ludwig_tiwari_estimator(jobs, m, oracle=oracle)
+    probes = oracle.gamma_probes if oracle is not None else None
     if not jobs:
-        return TwoApproxResult(Schedule(m=m, metadata={"algorithm": "two_approximation"}), estimate)
+        return TwoApproxResult(
+            Schedule(m=m, metadata={"algorithm": "two_approximation"}), estimate, probes
+        )
     # Sort longest-processing-time first: not required for the bound but a
     # standard practical improvement.
     if oracle is not None:
@@ -77,16 +96,21 @@ def two_approximation(
     else:
         order = sorted(jobs, key=lambda j: estimate.allotment[j] * 0 - j.processing_time(estimate.allotment[j]))
         allotted_times = None
+    if list_backend is None:
+        list_backend = "event_queue" if oracle is not None else "heap"
     schedule = list_schedule(
         jobs,
         estimate.allotment,
         m,
         order=order,
-        columnar=oracle is not None,
+        backend=list_backend,
         allotted_times=allotted_times,
+        oracle=oracle,
     )
     schedule.metadata["algorithm"] = "two_approximation"
     schedule.metadata["omega"] = estimate.omega
     if validate:
         assert_valid_schedule(schedule, jobs, oracle=oracle)
-    return TwoApproxResult(schedule, estimate)
+    return TwoApproxResult(
+        schedule, estimate, oracle.gamma_probes if oracle is not None else None
+    )

@@ -58,8 +58,14 @@ __all__ = ["BenchRow", "BenchReport", "run_suite", "main", "FAMILIES"]
 #: paper's Table 1 covers the (3/2+eps) dual algorithms; MRT is its baseline).
 TABLE1_ALGORITHMS = ("mrt", "compressible", "bounded_heap", "bounded_bucket")
 
-#: All timed algorithms (Table-1 set plus the columnar-assembly headliners).
-ALL_ALGORITHMS = TABLE1_ALGORITHMS + ("fptas", "two_approx")
+#: Algorithms whose γ-probe counts are recorded warm vs cold (the oracle
+#: warm-start instrumentation rows).
+PROBE_ALGORITHMS = ("fptas", "two_approx")
+
+#: All timed algorithms: the Table-1 set, the columnar-assembly headliners,
+#: and the isolated list-scheduling phase (scalar heap loop vs batched
+#: event-queue backend on a fixed estimator allotment).
+ALL_ALGORITHMS = TABLE1_ALGORITHMS + ("fptas", "two_approx", "list_schedule")
 
 SCHEDULE_EPS = 0.1
 FPTAS_EPS = 0.5
@@ -94,6 +100,10 @@ class BenchRow:
     scalar_makespan: float
     vectorized_makespan: float
     makespans_identical: bool
+    #: γ-probes the vectorized run spent with the warm-start policy on /
+    #: off (0 for algorithms without probe instrumentation).
+    gamma_probes_warm: int = 0
+    gamma_probes_cold: int = 0
 
 
 @dataclass
@@ -199,12 +209,18 @@ def _configs(mode: str, families: Sequence[str]) -> List[dict]:
             configs.append(
                 dict(algorithm="two_approx", family=gate_families[0], n=2000, m=16000)
             )
+            configs.append(
+                dict(algorithm="list_schedule", family=gate_families[0], n=2000, m=16000)
+            )
         else:
             configs.append(
                 dict(algorithm="fptas", family="tiny_n_huge_m", n=_TINY_N, m=_TINY_M)
             )
             configs.append(
                 dict(algorithm="two_approx", family="tiny_n_huge_m", n=_TINY_N, m=_TINY_M)
+            )
+            configs.append(
+                dict(algorithm="list_schedule", family="tiny_n_huge_m", n=_TINY_N, m=_TINY_M)
             )
         # families the round-robin did not reach still get one cheap shard
         covered = {c["family"] for c in configs}
@@ -237,7 +253,68 @@ def _configs(mode: str, families: Sequence[str]) -> List[dict]:
             dict(algorithm="two_approx", family=family, n=n, m=8 * n)
             for n in gate_sizes
         ]
+        configs += [
+            dict(algorithm="list_schedule", family=family, n=n, m=8 * n)
+            for n in gate_sizes
+        ]
     return configs
+
+
+def _list_schedule_shard(instance, m: int, repeat: int) -> tuple:
+    """Time the isolated list-scheduling phase: scalar heap loop vs batched
+    event-queue backend on the *same* estimator allotment and LPT order (the
+    allotment is prepared once, untimed, with the batched estimator)."""
+    import numpy as np
+
+    from ..core.bounds import ludwig_tiwari_estimator
+    from ..core.list_scheduling import list_schedule
+    from ..perf.oracle import BatchedOracle
+
+    oracle = BatchedOracle(instance.jobs, m)
+    estimate = ludwig_tiwari_estimator(instance.jobs, m, oracle=oracle)
+    counts = estimate.allotment.counts
+    times = oracle.times_at(np.array([counts[j] for j in instance.jobs], dtype=np.float64))
+    order = [instance.jobs[i] for i in np.argsort(-times, kind="stable").tolist()]
+    allotted = dict(zip(instance.jobs, times.tolist()))
+    scalar_seconds, scalar_result = _timed(
+        lambda: list_schedule(
+            instance.jobs, estimate.allotment, m, order=order, backend="heap"
+        ),
+        repeat,
+        instance.jobs,
+    )
+    vec_seconds, vec_result = _timed(
+        lambda: list_schedule(
+            instance.jobs,
+            estimate.allotment,
+            m,
+            order=order,
+            backend="event_queue",
+            allotted_times=allotted,
+        ),
+        repeat,
+        instance.jobs,
+    )
+    return scalar_seconds, scalar_result, vec_seconds, vec_result
+
+
+def _probe_counts(instance, m: int, algorithm: str) -> tuple:
+    """γ-probe totals of one vectorized run with the warm-start policy on
+    (brackets + interpolation) and off (cold full bisection) — results are
+    bit-identical, only the probe counts differ."""
+    from ..perf.oracle import BatchedOracle
+
+    counts = []
+    for warm in (True, False):
+        oracle = BatchedOracle(instance.jobs, m, warm_start=warm)
+        for job in instance.jobs:
+            job._cache.clear()
+        if algorithm == "fptas":
+            fptas_schedule(instance.jobs, m, FPTAS_EPS, oracle=oracle)
+        else:
+            two_approximation(instance.jobs, m, oracle=oracle)
+        counts.append(oracle.gamma_probes)
+    return counts[0], counts[1]
 
 
 def _bench_shard(task: tuple) -> BenchRow:
@@ -246,18 +323,28 @@ def _bench_shard(task: tuple) -> BenchRow:
     Module-level so a ``multiprocessing`` pool can pickle it; the instance is
     regenerated inside the worker from (family, n, m, seed), and both backends
     run in the *same* worker so pool contention cancels out of the ratio.
+    ``fptas``/``two_approx`` shards additionally record the vectorized run's
+    γ-probe totals warm vs cold (separate untimed passes).
     """
     config, seed, repeat = task
     algorithm = config["algorithm"]
     n, m, family = config["n"], config["m"], config["family"]
     instance = FAMILIES[family](n, m, seed=seed)
-    runner = _runner_for(algorithm)
-    scalar_seconds, scalar_result = _timed(
-        lambda: runner(instance.jobs, m, "scalar"), repeat, instance.jobs
-    )
-    vec_seconds, vec_result = _timed(
-        lambda: runner(instance.jobs, m, "vectorized"), repeat, instance.jobs
-    )
+    if algorithm == "list_schedule":
+        scalar_seconds, scalar_result, vec_seconds, vec_result = _list_schedule_shard(
+            instance, m, repeat
+        )
+    else:
+        runner = _runner_for(algorithm)
+        scalar_seconds, scalar_result = _timed(
+            lambda: runner(instance.jobs, m, "scalar"), repeat, instance.jobs
+        )
+        vec_seconds, vec_result = _timed(
+            lambda: runner(instance.jobs, m, "vectorized"), repeat, instance.jobs
+        )
+    probes_warm = probes_cold = 0
+    if algorithm in PROBE_ALGORITHMS:
+        probes_warm, probes_cold = _probe_counts(instance, m, algorithm)
     return BenchRow(
         algorithm=algorithm,
         family=family,
@@ -270,6 +357,8 @@ def _bench_shard(task: tuple) -> BenchRow:
         scalar_makespan=scalar_result.makespan,
         vectorized_makespan=vec_result.makespan,
         makespans_identical=scalar_result.makespan == vec_result.makespan,
+        gamma_probes_warm=probes_warm,
+        gamma_probes_cold=probes_cold,
     )
 
 
@@ -367,6 +456,15 @@ def _aggregate(rows: Sequence[BenchRow]) -> Dict[str, float]:
     ]
     if assembly_table1:
         aggregates["fptas_two_approx_table1_geomean_n1000"] = _geomean(assembly_table1)
+    # γ-probe warm-start accounting over the instrumented (fptas/two_approx)
+    # rows: total probes with the warm-start policy on vs off, and the
+    # relative reduction the policy buys.
+    warm_total = sum(row.gamma_probes_warm for row in rows)
+    cold_total = sum(row.gamma_probes_cold for row in rows)
+    if cold_total > 0:
+        aggregates["gamma_probes_warm_total"] = float(warm_total)
+        aggregates["gamma_probes_cold_total"] = float(cold_total)
+        aggregates["gamma_probe_reduction"] = 1.0 - warm_total / cold_total
     aggregates["speedup_geomean_all"] = _geomean([row.speedup for row in rows])
     return aggregates
 
@@ -378,21 +476,41 @@ def _geomean(values: Sequence[float]) -> float:
     return math.exp(sum(math.log(v) for v in finite) / len(finite))
 
 
+def _row_label(row: BenchRow) -> str:
+    return f"{row.algorithm}/{row.family} (n={row.n}, m={row.m})"
+
+
+def _contributing_rows(rows: Sequence[BenchRow], algorithms, family=None) -> List[BenchRow]:
+    out = [
+        row
+        for row in rows
+        if row.algorithm in algorithms
+        and row.n >= 1000
+        and (family is None or row.family == family)
+    ]
+    return sorted(out, key=lambda r: r.speedup)
+
+
 def check_regression(
     report: BenchReport,
     baseline_path: str,
     *,
     regression_factor: float = 2.0,
     min_fptas_two_approx: Optional[float] = 8.0,
+    min_list_schedule: Optional[float] = 2.0,
 ) -> List[str]:
     """Compare per-algorithm speedups against a baseline report.
 
-    Returns a list of human-readable failures (empty = gate passes).  Speedup
-    ratios are used rather than absolute seconds so the gate is meaningful on
-    hardware other than the machine that recorded the baseline.  In addition
-    to the relative baseline check, the fptas/two_approx ``n >= 1000``
-    geomean must stay above the absolute ``min_fptas_two_approx`` floor (the
-    columnar schedule-assembly guarantee; pass ``None`` to skip).
+    Returns a list of human-readable failures (empty = gate passes); every
+    aggregate failure also names the contributing (algorithm, family) rows,
+    slowest first, so a red gate points at the offending configuration
+    directly.  Speedup ratios are used rather than absolute seconds so the
+    gate is meaningful on hardware other than the machine that recorded the
+    baseline.  In addition to the relative baseline check, two absolute
+    floors are enforced: the fptas/two_approx ``n >= 1000`` geomean
+    (``min_fptas_two_approx``, the columnar schedule-assembly guarantee) and
+    the list_schedule ``n >= 1000`` geomean (``min_list_schedule``, the
+    event-queue backend guarantee); pass ``None`` to skip either.
     """
     with open(baseline_path) as fh:
         baseline = json.load(fh)
@@ -406,26 +524,61 @@ def check_regression(
             continue
         floor = reference / regression_factor
         if current < floor:
+            algorithm = key[len("speedup_") :].removesuffix("_n1000")
+            detail = ", ".join(
+                f"{_row_label(r)}: {r.speedup:.2f}x"
+                for r in sorted(
+                    (r for r in report.rows if r.algorithm == algorithm),
+                    key=lambda r: r.speedup,
+                )
+            )
             failures.append(
                 f"{key}: speedup {current:.2f}x fell below {floor:.2f}x "
                 f"(baseline {reference:.2f}x / factor {regression_factor})"
+                + (f" — rows: {detail}" if detail else "")
             )
     if min_fptas_two_approx is not None:
         # Gate on the Table-1 (mixed-family) geomean; when the run swept no
         # mixed n>=1000 rows, fall back to the all-family geomean rather than
         # silently passing a requested floor without measuring anything.
         key = "fptas_two_approx_table1_geomean_n1000"
+        family = "mixed"
         assembly = report.aggregates.get(key)
         if assembly is None:
             key = "fptas_two_approx_geomean_n1000"
+            family = None
             assembly = report.aggregates.get(key)
         if assembly is not None and assembly < min_fptas_two_approx:
+            detail = ", ".join(
+                f"{_row_label(r)}: {r.speedup:.2f}x"
+                for r in _contributing_rows(report.rows, ("fptas", "two_approx"), family)
+            )
             failures.append(
                 f"{key}: {assembly:.2f}x fell below the "
-                f"columnar-assembly floor {min_fptas_two_approx:.2f}x"
+                f"columnar-assembly floor {min_fptas_two_approx:.2f}x — rows: {detail}"
+            )
+    if min_list_schedule is not None:
+        ls = report.aggregates.get("speedup_list_schedule_n1000")
+        if ls is not None and ls < min_list_schedule:
+            detail = ", ".join(
+                f"{_row_label(r)}: {r.speedup:.2f}x"
+                for r in _contributing_rows(report.rows, ("list_schedule",))
+            )
+            failures.append(
+                f"speedup_list_schedule_n1000: {ls:.2f}x fell below the "
+                f"event-queue floor {min_list_schedule:.2f}x — rows: {detail}"
             )
     if not report.identical_makespans:
-        failures.append("scalar and vectorized backends produced different makespans")
+        mismatched = ", ".join(
+            f"{_row_label(r)}: scalar {r.scalar_makespan!r} != "
+            f"vectorized {r.vectorized_makespan!r}"
+            for r in report.rows
+            if not r.makespans_identical
+        )
+        failures.append(
+            "scalar and vectorized backends produced different makespans — "
+            f"rows: {mismatched}"
+        )
     return failures
 
 
@@ -463,6 +616,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "on Table-1 (mixed-family) rows, enforced by --check; falls back to "
         "the all-family geomean when the run swept no mixed rows (0 disables)",
     )
+    parser.add_argument(
+        "--min-list-schedule",
+        type=float,
+        default=2.0,
+        help="absolute floor for the list_schedule n>=1000 speedup geomean "
+        "(scalar heap loop vs batched event-queue backend), enforced by "
+        "--check (0 disables)",
+    )
     args = parser.parse_args(argv)
 
     families = [f.strip() for f in args.families.split(",") if f.strip()] if args.families else None
@@ -479,7 +640,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         fh.write(report.to_json() + "\n")
     print(f"wrote {args.output}")
     for key in sorted(report.aggregates):
-        print(f"  {key}: {report.aggregates[key]:.2f}x")
+        value = report.aggregates[key]
+        if key == "gamma_probe_reduction":
+            print(f"  {key}: {100.0 * value:.1f}%")
+        elif key.startswith("gamma_probes_"):
+            print(f"  {key}: {value:.0f}")
+        else:
+            print(f"  {key}: {value:.2f}x")
     print(f"  identical makespans: {report.identical_makespans}")
 
     if args.check:
@@ -489,6 +656,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 args.check,
                 regression_factor=args.regression_factor,
                 min_fptas_two_approx=args.min_fptas_two_approx or None,
+                min_list_schedule=args.min_list_schedule or None,
             )
         except (OSError, json.JSONDecodeError) as exc:
             print(f"cannot read baseline {args.check!r}: {exc}", file=sys.stderr)

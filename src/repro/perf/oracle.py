@@ -12,12 +12,25 @@ binary searches of ``log m`` Python-level oracle calls each.
 :class:`BatchedOracle` instead advances *all* jobs' bisections together: one
 vectorized oracle evaluation (via :class:`~repro.perf.arrays.JobArrayBundle`)
 per bisection level, ``O(log m)`` array operations total.  Results are cached
-per threshold, and — the γ-breakpoint cache — every new threshold initialises
-its bisection brackets from the nearest previously evaluated thresholds:
-``t' > t`` implies ``gamma_j(t') <= gamma_j(t)``, so the cached γ-array of a
-neighbouring threshold is a valid per-job lower/upper bracket.  Across the
-dual search's shrinking threshold interval this cuts the number of bisection
-levels far below ``log m``.
+per threshold, and — the γ *warm start* — every new threshold initialises its
+lockstep search from the previously evaluated thresholds in two ways:
+
+* **brackets**: ``t' > t`` implies ``gamma_j(t') <= gamma_j(t)``, so the
+  cached γ-arrays of the two nearest neighbouring thresholds are valid
+  per-job lower/upper brackets;
+* **monotone interpolation**: across the sorted dual-search thresholds the
+  per-job γ curve is monotone, so interpolating the two neighbouring
+  γ-arrays in log-threshold space predicts the answer directly.  The first
+  two bisection levels probe the prediction and its adjacent boundary
+  instead of the bracket midpoint — when the prediction is exact (the common
+  case for the dual search's geometrically converging probes) the bracket
+  closes in one or two evaluations regardless of its width.
+
+``warm_start=False`` disables both (every threshold runs the full cold
+``log m`` lockstep bisection); probe counts are instrumented either way in
+``stats`` (``oracle_evals`` is the total number of per-job kernel probes,
+``warm_probes`` the subset spent on warm-start guesses) so regression tests
+can pin the savings.
 
 γ-arrays use the sentinel ``m + 1`` for "infeasible even on all m machines"
 (where the scalar :func:`repro.core.allotment.gamma` returns ``None``); the
@@ -45,7 +58,9 @@ class BatchedOracle:
     cached per threshold and job indices are positional.
     """
 
-    def __init__(self, jobs: Sequence[MoldableJob], m: int) -> None:
+    def __init__(
+        self, jobs: Sequence[MoldableJob], m: int, *, warm_start: bool = True
+    ) -> None:
         if m < 1:
             raise ValueError("m must be >= 1")
         if m > (1 << 63) - 2:
@@ -58,6 +73,7 @@ class BatchedOracle:
         self.jobs: List[MoldableJob] = list(jobs)
         self.m = int(m)
         self.n = len(self.jobs)
+        self.warm_start = bool(warm_start)
         self.bundle = JobArrayBundle(self.jobs)
         self._index: Dict[int, int] = {id(job): i for i, job in enumerate(self.jobs)}
         self._t1: Optional[np.ndarray] = None
@@ -67,13 +83,21 @@ class BatchedOracle:
         #: instrumentation: lockstep searches run, bisection levels spent
         #: (summed over the per-job-class group loops, so a mixed instance
         #: counts each class's levels separately), vectorized oracle values
-        #: computed, threshold-cache hits.
+        #: computed (= γ-probes), warm-start guess probes among them, and
+        #: threshold-cache hits.
         self.stats = {
             "gamma_batches": 0,
             "bisection_levels": 0,
             "oracle_evals": 0,
+            "warm_probes": 0,
             "threshold_cache_hits": 0,
         }
+
+    @property
+    def gamma_probes(self) -> int:
+        """Total per-job oracle probes spent by the γ-searches so far (each
+        probe is one ``t_j(k)`` kernel evaluation inside a lockstep search)."""
+        return self.stats["oracle_evals"]
 
     # ------------------------------------------------------------- raw times
     @property
@@ -95,6 +119,18 @@ class BatchedOracle:
     def times_at(self, ks) -> np.ndarray:
         """``t_j(ks_j)`` for all jobs at per-job processor counts."""
         return self.bundle.eval_all(ks)
+
+    def times_for(self, jobs: Sequence[MoldableJob], ks) -> np.ndarray:
+        """``t_j(ks_i)`` for an arbitrary job subset/permutation ``jobs``.
+
+        One batched kernel call per job class present — the columnar
+        list-scheduling backends use this to resolve durations for a
+        priority-ordered job sequence without per-job Python calls."""
+        index = self._index
+        idx = np.fromiter(
+            (index[id(job)] for job in jobs), dtype=np.int64, count=len(jobs)
+        )
+        return self.bundle.eval_at(idx, np.asarray(ks, dtype=np.float64))
 
     def works_at(self, ks) -> np.ndarray:
         """``w_j(ks_j) = ks_j * t_j(ks_j)`` for all jobs."""
@@ -132,22 +168,51 @@ class BatchedOracle:
                 # bisection invariant: t(lo) > threshold, t(hi) <= threshold
                 lo = np.ones(len(idx), dtype=np.int64)
                 hi = np.full(len(idx), m, dtype=np.int64)
-                # γ-breakpoint cache: brackets from neighbouring thresholds.
-                pos = bisect_right(self._sorted_thresholds, threshold)
-                if pos < len(self._sorted_thresholds):
-                    above = self._gamma_cache[self._sorted_thresholds[pos]][idx]
-                    # t' > t  =>  gamma(t') <= gamma(t); t(gamma(t') - 1) > t' > t
-                    lo = np.maximum(lo, np.minimum(above, np.int64(m + 1)) - 1)
-                if pos > 0:
-                    below = self._gamma_cache[self._sorted_thresholds[pos - 1]][idx]
-                    # t' < t  =>  gamma(t') >= gamma(t); t(gamma(t')) <= t' < t
-                    hi = np.minimum(hi, below)
+                #: per-job warm-start prediction of γ (None = cold search)
+                pred: Optional[np.ndarray] = None
+                if self.warm_start:
+                    # γ warm start, part 1 — brackets from the two nearest
+                    # neighbouring thresholds.
+                    pos = bisect_right(self._sorted_thresholds, threshold)
+                    above = below = None
+                    if pos < len(self._sorted_thresholds):
+                        above = self._gamma_cache[self._sorted_thresholds[pos]][idx]
+                        # t' > t  =>  gamma(t') <= gamma(t); t(gamma(t') - 1) > t' > t
+                        above = np.minimum(above, np.int64(m + 1))
+                        lo = np.maximum(lo, above - 1)
+                    if pos > 0:
+                        below = self._gamma_cache[self._sorted_thresholds[pos - 1]][idx]
+                        # t' < t  =>  gamma(t') >= gamma(t); t(gamma(t')) <= t' < t
+                        hi = np.minimum(hi, below)
+                    # γ warm start, part 2 — monotone interpolation across the
+                    # sorted thresholds: with both neighbours present,
+                    # interpolate their γ-arrays at the new threshold's
+                    # position in log space.  The prediction only steers
+                    # *which* count the first probes evaluate — correctness
+                    # rests on the bracket invariant alone.
+                    t_below = self._sorted_thresholds[pos - 1] if pos > 0 else 0.0
+                    if above is not None and below is not None and t_below > 0.0:
+                        t_above = self._sorted_thresholds[pos]
+                        span = np.log(t_above) - np.log(t_below)
+                        frac = (np.log(threshold) - np.log(t_below)) / span if span > 0 else 0.5
+                        # interpolate log γ against log t: exact for power-law
+                        # speedups (log γ is linear in log t there) and the
+                        # right curvature for the other monotone families —
+                        # linear interpolation of the raw γ values would
+                        # systematically overshoot (arithmetic vs geometric
+                        # mean) on the dual search's sqrt-midpoint probes.
+                        lg_b = np.log(below.astype(np.float64))
+                        lg_a = np.log(above.astype(np.float64))
+                        pred = np.rint(np.exp(lg_b + frac * (lg_a - lg_b))).astype(np.int64)
+                    # a single neighbour narrows the bracket but carries no
+                    # positional information about the new threshold between
+                    # the remaining [1, m] mass — predicting its γ unchanged
+                    # degrades to a linear probe there, so no prediction.
                 # Dispatch the job-class groups once, then run each group's
                 # bisection in a tight loop over its own kernel — every job's
                 # (lo, hi, mid) trajectory is independent, so the per-job
-                # results (and the total oracle_evals count) are identical to
-                # a combined lockstep search, without re-partitioning the
-                # active set on every level.
+                # results are identical to a combined lockstep search, without
+                # re-partitioning the active set on every level.
                 gof = self.bundle.group_of[idx]
                 groups = self.bundle.groups
                 for gid in np.unique(gof):
@@ -155,8 +220,11 @@ class BatchedOracle:
                     gidx = idx[gsel]
                     glo = lo[gsel]
                     ghi = hi[gsel]
+                    gpred = pred[gsel] if pred is not None else None
+                    last_le: Optional[np.ndarray] = None
                     eval_kernel = groups[gid].eval
                     gpos = self.bundle.pos_in_group[gidx]
+                    level = 0
                     while True:
                         open_mask = ghi - glo > 1
                         if not open_mask.any():
@@ -164,6 +232,33 @@ class BatchedOracle:
                         self.stats["bisection_levels"] += 1
                         sub = np.nonzero(open_mask)[0]
                         mid = (glo[sub] + ghi[sub]) // 2
+                        if gpred is not None and level == 0:
+                            # probe the interpolated prediction itself — but
+                            # only where it lies inside (or on the edge of)
+                            # the bracket; a prediction further out is stale
+                            # and clipping it would degenerate into a linear
+                            # probe at the bracket edge, which loses to the
+                            # midpoint.  pred == hi probes hi-1 (the "γ
+                            # unchanged from the neighbour" confirmation),
+                            # pred == lo symmetrically probes lo+1.
+                            guided = (gpred[sub] >= glo[sub]) & (gpred[sub] <= ghi[sub])
+                            mid = np.where(
+                                guided, np.clip(gpred[sub], glo[sub] + 1, ghi[sub] - 1), mid
+                            )
+                            self.stats["warm_probes"] += int(guided.sum())
+                        elif gpred is not None and level == 1 and last_le is not None:
+                            # confirm-the-prediction probe: when t(pred) <=
+                            # threshold the answer is likely pred itself, so
+                            # testing hi-1 (== pred-1) closes the bracket in
+                            # one more evaluation.  When the first probe went
+                            # the other way the prediction undershot and the
+                            # remaining bracket is genuinely uncertain —
+                            # midpoint bisection resumes immediately.
+                            went_le = last_le[sub]
+                            guess = ghi[sub] - 1
+                            near = went_le & (np.abs(guess - gpred[sub]) <= 1)
+                            mid = np.where(near, np.clip(guess, glo[sub] + 1, ghi[sub] - 1), mid)
+                            self.stats["warm_probes"] += int(near.sum())
                         self.stats["oracle_evals"] += len(sub)
                         # int64 counts upcast to float64 inside the kernels
                         # exactly like an explicit astype would
@@ -172,6 +267,10 @@ class BatchedOracle:
                         ghi[sub[le]] = mid[le]
                         ge = ~le
                         glo[sub[ge]] = mid[ge]
+                        if gpred is not None and level == 0:
+                            last_le = np.zeros(len(glo), dtype=bool)
+                            last_le[sub] = le
+                        level += 1
                     out[gidx] = ghi
         out.setflags(write=False)
         self._gamma_cache[threshold] = out

@@ -97,6 +97,32 @@ class ArraySchedule:
     def __len__(self) -> int:
         return len(self._jobs)
 
+    def raw_columns(self):
+        """The builder's mutable column lists, in row/span order:
+        ``(jobs, starts, overrides, span_owner, span_first, span_count)``.
+
+        For trusted in-package producers that stream rows from a hot loop
+        (the columnar list-scheduling backends) and cannot afford one
+        :meth:`append` call per placement.  Writers must keep the columns
+        consistent (every row needs at least one span; overrides entry per
+        row) — :meth:`build` re-validates everything anyway.  Duration
+        overrides appended here must also be flagged via
+        :meth:`mark_any_override`.
+        """
+        return (
+            self._jobs,
+            self._starts,
+            self._overrides,
+            self._span_owner,
+            self._span_first,
+            self._span_count,
+        )
+
+    def mark_any_override(self) -> None:
+        """Tell :meth:`build` that :meth:`raw_columns` writers appended a
+        non-``None`` duration override."""
+        self._any_override = True
+
     # ------------------------------------------------------------------ edit
     def append(
         self,

@@ -27,6 +27,7 @@ __all__ = [
     "random_power_work_instance",
     "random_bimodal_instance",
     "random_monotone_tabulated_instance",
+    "random_quantized_instance",
     "planted_partition_instance",
     "scenario",
     "SCENARIOS",
@@ -215,6 +216,39 @@ def random_bimodal_instance(
             jobs.append(CommunicationJob(f"bimodal-comm-{i}", t1=t1, overhead=float(rng.uniform(1e-4, 2e-2))))
     spec = InstanceSpec(
         "bimodal", n, m, params={"big_fraction": big_fraction, "big_lo": big_range[0], "big_hi": big_range[1]}
+    )
+    return WorkloadInstance(jobs, m, spec)
+
+
+def random_quantized_instance(
+    n: int,
+    m: int,
+    *,
+    seed: SeedLike = None,
+    grid: Sequence[float] = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0),
+    table_cap: int = 64,
+) -> WorkloadInstance:
+    """Tabulated jobs with perfectly linear speedup and *quantized* base times.
+
+    ``t_j(1)`` is drawn from a small discrete grid and ``t_j(k) = t_j(1)/k``,
+    so distinct jobs frequently share bit-identical processing times at their
+    allotted counts — unlike the continuous families, which almost never
+    produce exact duration ties.  The differential fuzzer uses this family to
+    exercise simultaneous-completion *epochs* in the list-scheduling
+    backends (many jobs finishing at exactly the same float instant) and the
+    multi-span leftover reuse that mass wake-ups trigger.  Tables are capped
+    at ``table_cap`` columns (``TabulatedJob`` clamps wider allotments to the
+    last column, keeping the family usable at huge ``m``).
+    """
+    rng = _rng(seed)
+    length = max(1, min(int(m), int(table_cap)))
+    jobs: List[MoldableJob] = []
+    for i in range(n):
+        t1 = float(rng.choice(np.asarray(grid, dtype=np.float64)))
+        times = [t1 / k for k in range(1, length + 1)]
+        jobs.append(TabulatedJob(f"quantized-{i}", times))
+    spec = InstanceSpec(
+        "quantized", n, m, params={"grid_lo": float(min(grid)), "grid_hi": float(max(grid))}
     )
     return WorkloadInstance(jobs, m, spec)
 

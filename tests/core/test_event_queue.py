@@ -1,0 +1,239 @@
+"""Event-epoch grouping semantics of the batched event-queue list scheduler.
+
+The scalar heap loop groups completions within ``EPOCH_TOLERANCE`` (1e-15,
+absolute) of the earliest pending completion into one wake-up; the
+event-queue backend must reproduce that grouping *exactly* — near-tie floats
+one ulp apart (at magnitudes where one ulp exceeds the tolerance) must NOT
+merge epochs, bit-identical times MUST, and the tolerance window is anchored
+at the earliest completion only (no chaining), following the PR-3 near-tie
+sweep conventions of pinning both sides of every tolerance boundary.
+
+All pins assert *both* the epoch instrumentation and bit-identity of the
+resulting schedule against the heap reference, so a grouping regression
+cannot hide behind a still-identical schedule or vice versa.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.allotment import Allotment
+from repro.core.job import TabulatedJob
+from repro.core.list_scheduling import (
+    EPOCH_TOLERANCE,
+    LIST_BACKENDS,
+    list_schedule,
+)
+from repro.core.schedule import MAX_COLUMNAR_M
+from repro.core.validation import validate_schedule
+
+ULP16 = np.nextafter(16.0, 32.0) - 16.0  # 3.55e-15 > EPOCH_TOLERANCE
+ULP1 = np.nextafter(1.0, 2.0) - 1.0  # 2.22e-16 < EPOCH_TOLERANCE
+
+
+def _jobs_with_durations(durations, need=1):
+    """One TabulatedJob per duration, constant table at its allotted need."""
+    jobs = [
+        TabulatedJob(f"j{i}", [float(d)] * need) for i, d in enumerate(durations)
+    ]
+    allot = Allotment({job: need for job in jobs})
+    return jobs, allot
+
+
+def _assert_identical(a, b, ctx=""):
+    assert a.m == b.m and len(a) == len(b), ctx
+    assert [j.name for j in a.jobs()] == [j.name for j in b.jobs()], ctx
+    if len(a) == 0:
+        return
+    ca, cb = a.columns(), b.columns()
+    for f in ("start", "processors", "duration", "span_owner", "span_first", "span_end"):
+        assert np.array_equal(getattr(ca, f), getattr(cb, f)), (ctx, f)
+
+
+def _run(jobs, allot, m, **kw):
+    stats = {}
+    schedule = list_schedule(jobs, allot, m, backend="event_queue", stats=stats, **kw)
+    return schedule, stats
+
+
+class TestEpochGroupingPins:
+    def test_identical_times_merge_into_one_epoch(self):
+        jobs, allot = _jobs_with_durations([16.0, 16.0, 16.0, 16.0])
+        schedule, stats = _run(jobs, allot, 4)
+        assert stats["epochs"] == 1
+        assert stats["events"] == 4
+        assert stats["max_epoch_completions"] == 4
+        _assert_identical(list_schedule(jobs, allot, 4, backend="heap"), schedule)
+
+    def test_one_ulp_apart_does_not_merge(self):
+        """At magnitude 16 one ulp (3.55e-15) exceeds the 1e-15 tolerance:
+        the two completions are distinct epochs, exactly as the heap pops
+        them."""
+        assert ULP16 > EPOCH_TOLERANCE
+        jobs, allot = _jobs_with_durations([16.0, 16.0 + ULP16])
+        schedule, stats = _run(jobs, allot, 2)
+        assert stats["epochs"] == 2
+        assert stats["max_epoch_completions"] == 1
+        _assert_identical(list_schedule(jobs, allot, 2, backend="heap"), schedule)
+
+    def test_one_ulp_apart_below_tolerance_merges(self):
+        """At magnitude 1 one ulp (2.2e-16) sits inside the tolerance: the
+        scalar loop pops both completions in one wake-up, so must the
+        event queue."""
+        assert ULP1 < EPOCH_TOLERANCE
+        jobs, allot = _jobs_with_durations([1.0, 1.0 + ULP1])
+        schedule, stats = _run(jobs, allot, 2)
+        assert stats["epochs"] == 1
+        assert stats["max_epoch_completions"] == 2
+        _assert_identical(list_schedule(jobs, allot, 2, backend="heap"), schedule)
+
+    def test_tolerance_window_is_anchored_not_chained(self):
+        """Three completions at 1.0, 1.0+4u, 1.0+8u: the window is anchored
+        at the earliest end (1.0 + 1e-15), so the third event stays out even
+        though it is within tolerance of the second — the scalar loop fixes
+        ``now`` once per wake-up and so does the epoch partition."""
+        e1, e2, e3 = 1.0, 1.0 + 4 * ULP1, 1.0 + 8 * ULP1
+        assert e2 - e1 <= EPOCH_TOLERANCE < e3 - e1
+        assert e3 - e2 <= EPOCH_TOLERANCE
+        jobs, allot = _jobs_with_durations([e1, e2, e3])
+        schedule, stats = _run(jobs, allot, 3)
+        assert stats["epochs"] == 2
+        assert stats["max_epoch_completions"] == 2
+        _assert_identical(list_schedule(jobs, allot, 3, backend="heap"), schedule)
+
+    def test_epoch_wakeup_starts_all_fitting_jobs_at_once(self):
+        """A merged epoch's released machines admit the whole next wave in
+        one admission scan (same schedule as the heap, one epoch fewer than
+        the no-tie case would need)."""
+        # wave 1: four unit jobs finishing together; wave 2: four more
+        jobs, allot = _jobs_with_durations([2.0] * 4 + [4.0] * 4)
+        schedule, stats = _run(jobs, allot, 4)
+        # epoch at t=2 (wave 1 done, wave 2 starts), epoch at t=6
+        assert stats["epochs"] == 2
+        assert stats["max_epoch_completions"] == 4
+        heap = list_schedule(jobs, allot, 4, backend="heap")
+        _assert_identical(heap, schedule)
+        assert schedule.makespan == 6.0
+
+
+class TestMultiSpanLeftovers:
+    def test_leftover_fragments_reassemble_across_spans(self):
+        """A wide job started in a simultaneous-completion epoch from
+        scattered (non-adjacent) leftover fragments gets the same multi-span
+        placement as the heap loop."""
+        x = TabulatedJob("x", [10.0])
+        y = TabulatedJob("y", [2.0])
+        z = TabulatedJob("z", [10.0])
+        w = TabulatedJob("w", [2.0])
+        v = TabulatedJob("v", [6.0, 6.0])
+        jobs = [x, y, z, w, v]
+        allot = Allotment({x: 1, y: 1, z: 1, w: 1, v: 2})
+        schedule, stats = _run(jobs, allot, 4)
+        heap = list_schedule(jobs, allot, 4, backend="heap")
+        _assert_identical(heap, schedule)
+        # y and w complete in one epoch; v reuses their non-adjacent machines
+        assert stats["max_epoch_completions"] == 2
+        entry = schedule.entry_for(v)
+        assert entry.spans == ((1, 1), (3, 1))
+        assert validate_schedule(schedule, jobs).ok
+
+    def test_large_epoch_batch_path_matches_heap(self):
+        """More admitted jobs than the small-epoch threshold forces the
+        vectorized cumsum span partition; a prime machine count leaves a
+        ragged tail so span splits land mid-span."""
+        jobs, allot = _jobs_with_durations([8.0] * 120 + [2.0] * 120)
+        schedule, stats = _run(jobs, allot, 97)
+        heap = list_schedule(jobs, allot, 97, backend="heap")
+        _assert_identical(heap, schedule)
+        assert stats["max_epoch_completions"] >= 90
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        jobs, allot = _jobs_with_durations([1.0])
+        with pytest.raises(ValueError, match="unknown list scheduling backend"):
+            list_schedule(jobs, allot, 1, backend="quantum")
+
+    def test_backends_registry(self):
+        assert LIST_BACKENDS == ("heap", "wakeup", "event_queue")
+
+    def test_columnar_flag_still_selects_wakeup(self):
+        jobs, allot = _jobs_with_durations([2.0, 1.0], need=1)
+        _assert_identical(
+            list_schedule(jobs, allot, 2, columnar=True),
+            list_schedule(jobs, allot, 2, backend="wakeup"),
+        )
+
+    def test_astronomical_m_falls_back_to_heap(self):
+        """Machine counts beyond the int64 span range silently use the heap
+        reference (the only backend with arbitrary-precision spans)."""
+        m = MAX_COLUMNAR_M * 4
+        jobs = [TabulatedJob("big", [3.0, 3.0])]
+        allot = Allotment({jobs[0]: 2})
+        stats = {}
+        schedule = list_schedule(
+            jobs, allot, m, backend="event_queue", stats=stats
+        )
+        assert schedule.makespan == 3.0
+        assert "epochs" not in stats  # the heap path ran, not the event queue
+
+    def test_huge_total_need_falls_back_to_heap(self):
+        """Needs whose prefix sums would overflow int64 (regression: 40 jobs
+        of 2^61 processors on m = 2^62 crashed the batched admission path)
+        silently take the heap reference instead."""
+        m = MAX_COLUMNAR_M
+        need = 1 << 61
+        jobs = [TabulatedJob(f"h{i}", [10.0]) for i in range(40)]
+        allot = Allotment({j: need for j in jobs})
+        stats = {}
+        schedule = list_schedule(jobs, allot, m, backend="event_queue", stats=stats)
+        assert schedule.makespan == 200.0
+        assert "epochs" not in stats  # the heap path ran
+
+    def test_stats_contract(self):
+        jobs, allot = _jobs_with_durations([1.0, 2.0, 3.0])
+        _, stats = _run(jobs, allot, 2)
+        assert stats["backend"] == "event_queue"
+        assert stats["events"] == 3
+        assert stats["epochs"] >= 1
+        assert 1 <= stats["max_epoch_completions"] <= 3
+
+
+@st.composite
+def _tie_heavy_case(draw):
+    # m and n ranges deliberately straddle the _SMALL_EPOCH threshold (32):
+    # epochs with > 32 candidates AND > 32 idle machines take the batched
+    # admission/span/merge paths, smaller ones the lean scalar paths — the
+    # strategy must cross the boundary in both directions
+    m = draw(st.sampled_from([1, 2, 3, 7, 9, 40, 48]))
+    n = draw(st.integers(min_value=1, max_value=90))
+    # quantized duration grid plus near-tie values straddling the tolerance
+    grid = [0.5, 1.0, 1.0 + ULP1, 2.0, 16.0, 16.0 + ULP16, 3.0]
+    durations = [draw(st.sampled_from(grid)) for _ in range(n)]
+    needs = [draw(st.integers(min_value=1, max_value=m)) for _ in range(n)]
+    return m, durations, needs
+
+
+class TestEpochGroupingProperties:
+    @given(_tie_heavy_case())
+    @settings(max_examples=120, deadline=None)
+    def test_all_backends_bit_identical_on_tie_heavy_instances(self, case):
+        m, durations, needs = case
+        jobs = [
+            TabulatedJob(f"j{i}", [float(d)] * k)
+            for i, (d, k) in enumerate(zip(durations, needs))
+        ]
+        allot = Allotment({job: k for job, k in zip(jobs, needs)})
+        heap = list_schedule(jobs, allot, m, backend="heap")
+        wakeup = list_schedule(jobs, allot, m, backend="wakeup")
+        stats = {}
+        event = list_schedule(jobs, allot, m, backend="event_queue", stats=stats)
+        _assert_identical(heap, wakeup, (m, durations, needs))
+        _assert_identical(heap, event, (m, durations, needs))
+        # every completion is seen exactly once, and epochs are bounded by
+        # the number of *distinct* end values (an epoch consumes at least
+        # one distinct completion instant, possibly several within the
+        # tolerance window)
+        assert stats["events"] == len(jobs)
+        distinct_ends = len({float(e) for e in heap.columns().end.tolist()})
+        assert 1 <= stats["epochs"] <= distinct_ends

@@ -1,14 +1,26 @@
-"""Cross-backend differential testing harness.
+"""Cross-backend differential testing harness (N-way).
 
-The repository ships two bit-identical implementations of every algorithm
-driver (``backend="scalar"`` and ``backend="vectorized"``) — exactly the
-structure differential testing exploits: run both on the same random
-instance and *any* disagreement is a bug in one of them, no oracle needed.
+The repository ships multiple bit-identical implementations of every
+algorithm driver — exactly the structure differential testing exploits: run
+all of them on the same random instance and *any* disagreement is a bug in
+one of them, no oracle needed.  Since PR 4 the comparison is **N-way**
+(:data:`BACKENDS`):
+
+* ``"scalar"`` — the pure-Python reference (heap wake-up loop for list
+  scheduling, per-entry ``Schedule.add`` assembly);
+* ``"vectorized"`` — the batched-oracle drivers; for ``two_approx`` the
+  list-scheduling phase is pinned to the columnar per-wake-up loop
+  (``list_backend="wakeup"``), PR 2's fast path;
+* ``"event_queue"`` — the batched event-queue list scheduler: the genuinely
+  distinct third implementation, so it is compared for ``two_approx`` (the
+  one driver with a list-scheduling phase) and skipped for the others —
+  re-running their unchanged vectorized path would double the fuzz budget
+  without exercising any new code.
 
 A *case* is a small JSON-able dict ``{driver, family, n, m, eps, seed}``:
 the instance is regenerated from the family generator and the seed, so a
 failing case costs a few dozen bytes to persist.  :func:`run_case` executes
-both backends and asserts
+every backend and asserts
 
 * identical schedules: same entry order, job names, start times, processor
   counts and machine spans (compared columnar, so a 10^3-entry schedule
@@ -16,9 +28,10 @@ both backends and asserts
 * identical makespans (also re-checked via the schedule columns);
 * identical validator verdicts: the columnar and the scalar validation
   backends must return the same ``ok``, the same violation messages, the
-  same makespan and the same peak processor count on both schedules;
+  same makespan and the same peak processor count on every schedule;
 * an agreeing independent simulator replay (the discrete-event engine's
-  scalar loop shares no code with the validator).
+  scalar loop shares no code with the validator) for every non-scalar
+  backend.
 
 :func:`save_failure` serialises a failing case into ``corpus/`` — the
 hypothesis fuzzer in ``test_cross_backend.py`` calls it from its exception
@@ -49,24 +62,33 @@ from repro.workloads.generators import (
     random_communication_instance,
     random_mixed_instance,
     random_power_work_instance,
+    random_quantized_instance,
 )
 
 CORPUS_DIR = Path(__file__).parent / "corpus"
 
-#: Instance families, mirroring the bench suite's sweep: ``tiny_n_huge_m``
-#: reuses the mixed generator but pins an m that forces every driver through
-#: its large-m dispatch.
+#: Instance families: the bench suite's sweep (``tiny_n_huge_m`` reuses the
+#: mixed generator but pins an m that forces every driver through its
+#: large-m dispatch) plus the differential-only ``quantized`` family, whose
+#: discrete duration grid makes exact completion-time ties — the fuel of the
+#: event-queue backend's simultaneous-completion epochs — common instead of
+#: measure-zero.
 FAMILIES: Dict[str, Callable] = {
     "mixed": random_mixed_instance,
     "powerwork": random_power_work_instance,
     "comm": random_communication_instance,
     "bimodal": random_bimodal_instance,
     "tiny_n_huge_m": random_mixed_instance,
+    "quantized": random_quantized_instance,
 }
 
 TINY_N_HUGE_M = 1 << 20
 
 DRIVERS = ("mrt", "compressible", "bounded", "fptas", "two_approx")
+
+#: The N-way comparison: the scalar reference plus every non-scalar
+#: implementation, compared pairwise against the reference.
+BACKENDS = ("scalar", "vectorized", "event_queue")
 
 
 def effective_m(case: dict) -> int:
@@ -88,35 +110,48 @@ def build_instance(case: dict):
 
 
 def run_driver(case: dict, backend: str, jobs=None) -> Schedule:
+    if backend not in BACKENDS:
+        raise KeyError(backend)
     if jobs is None:
         jobs = build_instance(case).jobs
     m = effective_m(case)
     eps = float(case["eps"])
     driver = case["driver"]
-    if driver == "mrt":
-        return mrt_schedule(jobs, m, eps, backend=backend).schedule
-    if driver == "compressible":
-        return compressible_schedule(jobs, m, eps, backend=backend).schedule
-    if driver == "bounded":
-        return bounded_schedule(jobs, m, eps, backend=backend).schedule
-    if driver == "fptas":
-        return fptas_schedule(jobs, m, eps, backend=backend).schedule
     if driver == "two_approx":
-        return two_approximation(jobs, m, backend=backend).schedule
+        # the three genuinely distinct list-scheduling implementations
+        if backend == "scalar":
+            return two_approximation(jobs, m, backend="scalar").schedule
+        list_backend = "wakeup" if backend == "vectorized" else "event_queue"
+        return two_approximation(
+            jobs, m, backend="vectorized", list_backend=list_backend
+        ).schedule
+    # the remaining drivers have no list-scheduling phase; "event_queue"
+    # maps to their vectorized path (run_case skips it for them)
+    effective = "vectorized" if backend == "event_queue" else backend
+    if driver == "mrt":
+        return mrt_schedule(jobs, m, eps, backend=effective).schedule
+    if driver == "compressible":
+        return compressible_schedule(jobs, m, eps, backend=effective).schedule
+    if driver == "bounded":
+        return bounded_schedule(jobs, m, eps, backend=effective).schedule
+    if driver == "fptas":
+        return fptas_schedule(jobs, m, eps, backend=effective).schedule
     raise KeyError(driver)
 
 
-def _assert_schedules_identical(scalar: Schedule, vectorized: Schedule, case: dict) -> None:
-    context = f"case {case!r}"
-    assert scalar.m == vectorized.m, context
-    assert len(scalar) == len(vectorized), context
-    s_names = [job.name for job in scalar.jobs()]
-    v_names = [job.name for job in vectorized.jobs()]
+def _assert_schedules_identical(
+    reference: Schedule, other: Schedule, case: dict, backend: str
+) -> None:
+    context = f"case {case!r}, backend {backend!r} vs scalar"
+    assert reference.m == other.m, context
+    assert len(reference) == len(other), context
+    s_names = [job.name for job in reference.jobs()]
+    v_names = [job.name for job in other.jobs()]
     assert s_names == v_names, context
-    if len(scalar) == 0:
+    if len(reference) == 0:
         return
-    s_cols = scalar.columns()
-    v_cols = vectorized.columns()
+    s_cols = reference.columns()
+    v_cols = other.columns()
     assert np.array_equal(s_cols.start, v_cols.start), context
     assert np.array_equal(s_cols.processors, v_cols.processors), context
     assert np.array_equal(s_cols.duration, v_cols.duration), context
@@ -137,32 +172,42 @@ def _assert_validator_verdicts_agree(schedule: Schedule, jobs, case: dict) -> No
 
 
 def run_case(case: dict) -> None:
-    """Execute one differential case; raises AssertionError on any mismatch."""
-    # each backend gets its own regenerated instance: the generators are
-    # seed-deterministic, and separate job objects rule out cross-backend
-    # memo pollution hiding a real divergence
+    """Execute one differential case; raises AssertionError on any mismatch.
+
+    N-way: every backend in :data:`BACKENDS` runs on its own regenerated
+    instance (the generators are seed-deterministic, and separate job
+    objects rule out cross-backend memo pollution hiding a real divergence)
+    and is compared against the scalar reference.
+    """
     scalar_jobs = build_instance(case).jobs
-    vectorized_jobs = build_instance(case).jobs
     scalar = run_driver(case, "scalar", scalar_jobs)
-    vectorized = run_driver(case, "vectorized", vectorized_jobs)
-
-    assert scalar.makespan == vectorized.makespan, (
-        f"makespan mismatch for case {case!r}: "
-        f"scalar {scalar.makespan!r} != vectorized {vectorized.makespan!r}"
-    )
-    _assert_schedules_identical(scalar, vectorized, case)
-
     # validator verdicts: columnar and scalar validation backends must agree
-    # on both schedules, checked against the full instance (completeness too)
+    # on every schedule, checked against the full instance (completeness too)
     _assert_validator_verdicts_agree(scalar, scalar_jobs, case)
-    _assert_validator_verdicts_agree(vectorized, vectorized_jobs, case)
 
-    # independent cross-check: the discrete-event simulator's scalar loop
-    try:
-        trace = simulate_schedule(vectorized, backend="scalar")
-    except SimulationError as exc:  # pragma: no cover - a real finding
-        raise AssertionError(f"simulator rejected a validated schedule for case {case!r}: {exc}")
-    assert trace.makespan == vectorized.makespan, f"case {case!r}"
+    for backend in BACKENDS[1:]:
+        if backend == "event_queue" and case["driver"] != "two_approx":
+            # identical to the vectorized run for drivers without a
+            # list-scheduling phase — skip the duplicate work
+            continue
+        jobs = build_instance(case).jobs
+        schedule = run_driver(case, backend, jobs)
+        assert scalar.makespan == schedule.makespan, (
+            f"makespan mismatch for case {case!r}: "
+            f"scalar {scalar.makespan!r} != {backend} {schedule.makespan!r}"
+        )
+        _assert_schedules_identical(scalar, schedule, case, backend)
+        _assert_validator_verdicts_agree(schedule, jobs, case)
+
+        # independent cross-check: the discrete-event simulator's scalar loop
+        try:
+            trace = simulate_schedule(schedule, backend="scalar")
+        except SimulationError as exc:  # pragma: no cover - a real finding
+            raise AssertionError(
+                f"simulator rejected a validated schedule for case {case!r} "
+                f"(backend {backend!r}): {exc}"
+            )
+        assert trace.makespan == schedule.makespan, f"case {case!r}, backend {backend!r}"
 
 
 def case_id(case: dict) -> str:

@@ -2,7 +2,8 @@
 
 Draws random (driver, family, n, m, eps, seed) cases across all five
 algorithm drivers and all five bench instance families, runs each driver
-under ``backend="scalar"`` and ``backend="vectorized"``, and asserts
+under every backend of the N-way comparison (scalar heap reference,
+vectorized drivers, batched event-queue list scheduler), and asserts
 identical schedules, makespans and validator verdicts (see
 ``tests/differential/harness.py`` for the exact checks).
 
@@ -10,21 +11,43 @@ Any failing case is serialised into ``tests/differential/corpus/`` before
 the assertion propagates, so it is replayed forever after as a
 deterministic regression test (``test_corpus_replay.py``) — shrinking a
 hypothesis failure once is enough to pin it for every future run.
+
+Two environment knobs configure the run (the nightly long-fuzz workflow
+sets both; tier-1 CI uses the defaults):
+
+* ``DIFF_FUZZ_EXAMPLES`` — hypothesis ``max_examples`` (default 120);
+* ``DIFF_FUZZ_PROFILE`` — ``"tier1"`` (default) or ``"long"``: the long
+  profile draws larger instances (n up to 48, m up to 4096) where rarer
+  epoch/packing interactions live.
 """
+
+import os
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from .harness import DRIVERS, FAMILIES, run_case, save_failure
+from .harness import BACKENDS, DRIVERS, FAMILIES, run_case, save_failure
+
+FUZZ_EXAMPLES = int(os.environ.get("DIFF_FUZZ_EXAMPLES", "120"))
+FUZZ_PROFILE = os.environ.get("DIFF_FUZZ_PROFILE", "tier1")
+
+if FUZZ_PROFILE == "long":
+    MAX_N = 48
+    M_CHOICES = [1, 2, 3, 8, 24, 64, 256, 1024, 4096]
+    EPS_CHOICES = [0.05, 0.1, 0.25, 0.5]
+else:
+    MAX_N = 10
+    M_CHOICES = [1, 2, 3, 8, 24, 64, 256]
+    EPS_CHOICES = [0.1, 0.25, 0.5]
 
 
 @st.composite
 def cases(draw):
     driver = draw(st.sampled_from(DRIVERS))
     family = draw(st.sampled_from(sorted(FAMILIES)))
-    n = draw(st.integers(min_value=1, max_value=10))
-    m = draw(st.sampled_from([1, 2, 3, 8, 24, 64, 256]))
-    eps = draw(st.sampled_from([0.1, 0.25, 0.5]))
+    n = draw(st.integers(min_value=1, max_value=MAX_N))
+    m = draw(st.sampled_from(M_CHOICES))
+    eps = draw(st.sampled_from(EPS_CHOICES))
     seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
     return {"driver": driver, "family": family, "n": n, "m": m, "eps": eps, "seed": seed}
 
@@ -32,7 +55,7 @@ def cases(draw):
 class TestCrossBackendParity:
     @given(cases())
     @settings(
-        max_examples=120,
+        max_examples=FUZZ_EXAMPLES,
         deadline=None,
         suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
     )
@@ -51,7 +74,28 @@ class TestHarnessSelfChecks:
 
     def test_every_driver_and_family_is_exercised(self):
         assert set(DRIVERS) == {"mrt", "compressible", "bounded", "fptas", "two_approx"}
-        assert set(FAMILIES) == {"mixed", "powerwork", "comm", "bimodal", "tiny_n_huge_m"}
+        assert set(FAMILIES) == {
+            "mixed",
+            "powerwork",
+            "comm",
+            "bimodal",
+            "tiny_n_huge_m",
+            "quantized",
+        }
+
+    def test_comparison_is_n_way(self):
+        """The harness must compare the scalar reference against *every*
+        non-scalar implementation, including the event-queue backend."""
+        assert BACKENDS[0] == "scalar"
+        assert "vectorized" in BACKENDS and "event_queue" in BACKENDS
+        assert len(BACKENDS) >= 3
+
+    def test_profile_defaults(self):
+        """Tier-1 CI must keep the fast profile unless told otherwise."""
+        if "DIFF_FUZZ_EXAMPLES" not in os.environ:
+            assert FUZZ_EXAMPLES == 120
+        if os.environ.get("DIFF_FUZZ_PROFILE", "tier1") != "long":
+            assert MAX_N == 10
 
     @pytest.mark.parametrize("driver", DRIVERS)
     def test_one_deterministic_case_per_driver(self, driver):

@@ -18,7 +18,7 @@ from repro.perf.bench import (
 )
 
 
-def _row(algorithm, family, n, speedup, identical=True):
+def _row(algorithm, family, n, speedup, identical=True, probes=(0, 0)):
     return BenchRow(
         algorithm=algorithm,
         family=family,
@@ -31,6 +31,8 @@ def _row(algorithm, family, n, speedup, identical=True):
         scalar_makespan=1.0,
         vectorized_makespan=1.0 if identical else 2.0,
         makespans_identical=identical,
+        gamma_probes_warm=probes[0],
+        gamma_probes_cold=probes[1],
     )
 
 
@@ -75,6 +77,12 @@ class TestConfigs:
             for c in _configs(mode, list(DEFAULT_FAMILIES)):
                 if c["algorithm"] == "fptas":
                     assert c["m"] >= 8 * c["n"] / 0.5
+
+    def test_list_schedule_rows_present_at_gate_sizes(self):
+        for mode in ("smoke", "full"):
+            configs = _configs(mode, list(DEFAULT_FAMILIES))
+            rows = [c for c in configs if c["algorithm"] == "list_schedule"]
+            assert any(c["n"] >= 1000 for c in rows), mode
 
     def test_unknown_family_rejected(self):
         with pytest.raises(ValueError, match="unknown families"):
@@ -136,6 +144,79 @@ class TestAggregatesAndGate:
         baseline.write_text(json.dumps({"aggregates": {}}))
         failures = check_regression(report, str(baseline), min_fptas_two_approx=None)
         assert any("different makespans" in f for f in failures)
+
+    def test_makespan_mismatch_names_the_offending_rows(self, tmp_path):
+        """A red gate must point at the failing algorithm/family pair, not
+        just report the aggregate verdict."""
+        rows = [
+            _row("mrt", "mixed", 1000, 10.0),
+            _row("fptas", "bimodal", 2000, 9.0, identical=False),
+        ]
+        report = self._report(rows)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"aggregates": {}}))
+        failures = check_regression(
+            report, str(baseline), min_fptas_two_approx=None, min_list_schedule=None
+        )
+        message = "\n".join(failures)
+        assert "fptas/bimodal" in message
+        assert "n=2000" in message
+        assert "mrt/mixed" not in message
+
+    def test_assembly_floor_failure_names_contributing_rows(self, tmp_path):
+        rows = [
+            _row("fptas", "mixed", 2000, 3.0),
+            _row("two_approx", "mixed", 2000, 5.0),
+        ]
+        report = self._report(rows)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"aggregates": {}}))
+        failures = check_regression(report, str(baseline), min_list_schedule=None)
+        message = "\n".join(failures)
+        assert "columnar-assembly floor" in message
+        # slowest row first, both named
+        assert message.index("fptas/mixed") < message.index("two_approx/mixed")
+        assert "3.00x" in message and "5.00x" in message
+
+    def test_list_schedule_floor_gate(self, tmp_path):
+        rows = [_row("list_schedule", "mixed", 2000, 1.3)]
+        report = self._report(rows)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"aggregates": {}}))
+        failures = check_regression(report, str(baseline), min_fptas_two_approx=None)
+        message = "\n".join(failures)
+        assert "event-queue floor" in message and "list_schedule/mixed" in message
+        assert not check_regression(
+            report, str(baseline), min_fptas_two_approx=None, min_list_schedule=None
+        )
+        assert not check_regression(
+            report, str(baseline), min_fptas_two_approx=None, min_list_schedule=1.0
+        )
+
+    def test_relative_regression_failure_names_rows(self, tmp_path):
+        rows = [_row("mrt", "comm", 1000, 4.0)]
+        report = self._report(rows)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"aggregates": {"speedup_mrt": 20.0}}))
+        failures = check_regression(
+            report, str(baseline), min_fptas_two_approx=None, min_list_schedule=None
+        )
+        assert any("mrt/comm" in f for f in failures)
+
+    def test_gamma_probe_aggregates(self):
+        rows = [
+            _row("fptas", "mixed", 2000, 10.0, probes=(300, 1000)),
+            _row("two_approx", "mixed", 2000, 9.0, probes=(100, 1000)),
+            _row("mrt", "mixed", 1000, 5.0),
+        ]
+        aggregates = _aggregate(rows)
+        assert aggregates["gamma_probes_warm_total"] == 400.0
+        assert aggregates["gamma_probes_cold_total"] == 2000.0
+        assert aggregates["gamma_probe_reduction"] == pytest.approx(0.8)
+
+    def test_gamma_probe_aggregates_absent_without_instrumented_rows(self):
+        aggregates = _aggregate([_row("mrt", "mixed", 1000, 5.0)])
+        assert "gamma_probe_reduction" not in aggregates
 
 
 class TestShardedRun:

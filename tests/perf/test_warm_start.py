@@ -1,0 +1,144 @@
+"""Probe-count regression tests for the γ warm-start policy.
+
+The warm start (neighbour brackets + monotone log-space interpolation across
+the sorted dual-search thresholds) must pay for itself in *probes* — per-job
+``t_j(k)`` kernel evaluations inside the lockstep searches — not just in
+wall-clock.  Three layers of pinning:
+
+* warm vs cold strictly fewer probes on every Table-1 bench family, driven
+  through the real ``two_approximation`` / ``fptas_schedule`` threshold
+  sequences;
+* exact probe counts for two small deterministic instances (any change to
+  the search policy shows up here first, deliberately);
+* bit-identical γ-arrays warm vs cold (the policy may only steer *where*
+  the searches probe, never what they return).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fptas import fptas_schedule
+from repro.core.job import AmdahlJob, CommunicationJob, PowerLawJob
+from repro.core.two_approx import two_approximation
+from repro.perf.oracle import BatchedOracle
+from repro.workloads.generators import (
+    random_bimodal_instance,
+    random_communication_instance,
+    random_mixed_instance,
+    random_power_work_instance,
+)
+
+TABLE1_FAMILIES = {
+    "mixed": random_mixed_instance,
+    "powerwork": random_power_work_instance,
+    "comm": random_communication_instance,
+    "bimodal": random_bimodal_instance,
+}
+
+
+class TestWarmStartBeatsColdStart:
+    @pytest.mark.parametrize("family", sorted(TABLE1_FAMILIES))
+    def test_two_approx_probes_strictly_fewer(self, family):
+        instance = TABLE1_FAMILIES[family](24, 192, seed=5)
+        warm = BatchedOracle(instance.jobs, 192)
+        result_warm = two_approximation(instance.jobs, 192, oracle=warm)
+        instance2 = TABLE1_FAMILIES[family](24, 192, seed=5)
+        cold = BatchedOracle(instance2.jobs, 192, warm_start=False)
+        result_cold = two_approximation(instance2.jobs, 192, oracle=cold)
+        assert result_warm.makespan == result_cold.makespan
+        assert warm.gamma_probes < cold.gamma_probes
+        assert result_warm.gamma_probes == warm.gamma_probes
+
+    @pytest.mark.parametrize("family", sorted(TABLE1_FAMILIES))
+    def test_fptas_probes_strictly_fewer(self, family):
+        m = 1 << 12
+        instance = TABLE1_FAMILIES[family](16, m, seed=5)
+        warm = BatchedOracle(instance.jobs, m)
+        result_warm = fptas_schedule(instance.jobs, m, 0.5, oracle=warm)
+        instance2 = TABLE1_FAMILIES[family](16, m, seed=5)
+        cold = BatchedOracle(instance2.jobs, m, warm_start=False)
+        result_cold = fptas_schedule(instance2.jobs, m, 0.5, oracle=cold)
+        assert result_warm.makespan == result_cold.makespan
+        assert warm.gamma_probes < cold.gamma_probes
+        assert result_warm.gamma_probes == warm.gamma_probes
+
+    def test_warm_probes_are_counted(self):
+        instance = random_mixed_instance(24, 192, seed=5)
+        oracle = BatchedOracle(instance.jobs, 192)
+        two_approximation(instance.jobs, 192, oracle=oracle)
+        assert oracle.stats["warm_probes"] > 0
+        assert oracle.stats["warm_probes"] <= oracle.stats["oracle_evals"]
+
+    def test_cold_start_spends_no_warm_probes(self):
+        instance = random_mixed_instance(24, 192, seed=5)
+        oracle = BatchedOracle(instance.jobs, 192, warm_start=False)
+        two_approximation(instance.jobs, 192, oracle=oracle)
+        assert oracle.stats["warm_probes"] == 0
+        assert oracle.gamma_probes == oracle.stats["oracle_evals"]
+
+
+class TestExactProbePins:
+    """Exact probe counts for two deterministic instances.
+
+    These are *pins*, not tolerances: any change to the bracket/interpolation
+    policy must update them consciously (and justify the new numbers in the
+    diff).  The threshold sequences mimic a dual search: first two far-apart
+    probes, then probes landing between earlier ones.
+    """
+
+    INSTANCE1_THRESHOLDS = (8.0, 2.0, 4.0, 3.0, 3.5)
+    INSTANCE2_THRESHOLDS = (20.0, 5.0, 10.0, 7.0)
+
+    def _instance1(self):
+        return [AmdahlJob(f"a{i}", t1=10.0 + i, serial_fraction=0.05) for i in range(6)]
+
+    def _instance2(self):
+        return [
+            AmdahlJob("a", t1=40.0, serial_fraction=0.1),
+            PowerLawJob("p", t1=36.0, alpha=0.8),
+            CommunicationJob("c", t1=50.0, overhead=0.01),
+            PowerLawJob("q", t1=18.0, alpha=0.6),
+        ]
+
+    def test_homogeneous_amdahl_pin(self):
+        warm = BatchedOracle(self._instance1(), 64)
+        for thr in self.INSTANCE1_THRESHOLDS:
+            warm.gamma_array(thr)
+        assert warm.gamma_probes == 101
+        assert warm.stats["warm_probes"] == 32
+        cold = BatchedOracle(self._instance1(), 64, warm_start=False)
+        for thr in self.INSTANCE1_THRESHOLDS:
+            cold.gamma_array(thr)
+        assert cold.gamma_probes == 174
+
+    def test_mixed_class_pin(self):
+        warm = BatchedOracle(self._instance2(), 256)
+        for thr in self.INSTANCE2_THRESHOLDS:
+            warm.gamma_array(thr)
+        assert warm.gamma_probes == 80
+        assert warm.stats["warm_probes"] == 16
+        cold = BatchedOracle(self._instance2(), 256, warm_start=False)
+        for thr in self.INSTANCE2_THRESHOLDS:
+            cold.gamma_array(thr)
+        assert cold.gamma_probes == 120
+
+
+class TestWarmColdParity:
+    """The policy steers probes, never results."""
+
+    def test_gamma_arrays_bit_identical(self):
+        instance = random_mixed_instance(30, 512, seed=11)
+        warm = BatchedOracle(instance.jobs, 512)
+        cold = BatchedOracle(instance.jobs, 512, warm_start=False)
+        for thr in np.geomspace(0.5, 500.0, 23):
+            assert np.array_equal(warm.gamma_array(thr), cold.gamma_array(thr))
+
+    def test_interpolation_survives_unsorted_threshold_order(self):
+        """Thresholds arriving in arbitrary order (the dual search's probes
+        are not monotone) must keep the sorted-threshold invariant intact."""
+        instance = random_bimodal_instance(20, 256, seed=3)
+        warm = BatchedOracle(instance.jobs, 256)
+        cold = BatchedOracle(instance.jobs, 256, warm_start=False)
+        for thr in (100.0, 1.0, 50.0, 2.0, 25.0, 4.0, 12.0, 8.0, 10.0, 9.0):
+            assert np.array_equal(warm.gamma_array(thr), cold.gamma_array(thr))
+        assert warm.gamma_probes < cold.gamma_probes
