@@ -33,12 +33,20 @@ Three backends produce the bit-identical schedule:
   simultaneous completions with a single sorted-array partition, admission is
   one vectorized ``need <= idle`` scan with prefix-sum batching, and machine
   spans for a whole epoch are cut with one cumulative-sum partition feeding
-  the :class:`~repro.perf.schedule_builder.ArraySchedule` block install.
+  the :class:`~repro.perf.schedule_builder.ArraySchedule` block install;
+* ``backend="event_queue_indexed"`` — the event-queue formulation with an
+  *incremental candidate index* (:class:`_NeedBucketIndex`): the waiting set
+  lives in power-of-two need buckets maintained across epochs, so an epoch's
+  admission query walks only the bucket prefix with ``need <= idle`` (in
+  per-bucket list order) instead of re-scanning all ``n`` jobs — the
+  single-completion (no-tie) regime drops from O(n) to O(log m) per epoch.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left, bisect_right
+from itertools import chain
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -47,15 +55,42 @@ from .allotment import Allotment
 from .job import MoldableJob
 from .schedule import MAX_COLUMNAR_M, MachineSpan, Schedule
 
-__all__ = ["list_schedule", "list_schedule_bound", "LIST_BACKENDS"]
+__all__ = [
+    "list_schedule",
+    "list_schedule_bound",
+    "epoch_tolerance",
+    "LIST_BACKENDS",
+]
 
 #: Selectable list-scheduling backends (all bit-identical).
-LIST_BACKENDS = ("heap", "wakeup", "event_queue")
+LIST_BACKENDS = ("heap", "wakeup", "event_queue", "event_queue_indexed")
 
-#: Completions within this absolute tolerance of the earliest pending
-#: completion are processed in the same wake-up epoch (shared by all three
-#: backends; the scalar heap loop defined it first).
+#: Absolute floor of the epoch-grouping tolerance (the scalar heap loop
+#: defined it first); see :func:`epoch_tolerance` for the effective window.
 EPOCH_TOLERANCE = 1e-15
+
+#: Relative part of the epoch-grouping tolerance: two float64 ulp per unit of
+#: completion-time magnitude (``2 * 2**-52``).
+EPOCH_REL_TOLERANCE = 2.0 ** -51
+
+
+def epoch_tolerance(end: float) -> float:
+    """Grouping tolerance of the wake-up epoch anchored at completion ``end``.
+
+    Completions within this tolerance of the earliest pending one are
+    processed in the same wake-up epoch, by every backend (the grouping rule
+    is shared, so the backends stay bit-identical among themselves).
+
+    Historically this was the bare absolute ``EPOCH_TOLERANCE = 1e-15``,
+    which float64 resolution outgrows just past magnitude 1: one ulp of
+    ``16.0`` is already ``3.6e-15``, so epoch grouping silently degraded to
+    exact-ties-only for any schedule whose completion times exceeded ~1.
+    The tolerance is therefore *relative* to the epoch anchor —
+    ``max(EPOCH_TOLERANCE, end * EPOCH_REL_TOLERANCE)``, i.e. two ulp at
+    every magnitude, with the historical absolute floor taking over below
+    magnitude ``EPOCH_TOLERANCE / EPOCH_REL_TOLERANCE`` (~2.25).
+    """
+    return max(EPOCH_TOLERANCE, end * EPOCH_REL_TOLERANCE)
 
 
 def list_schedule_bound(allotment: Allotment, m: int) -> float:
@@ -86,10 +121,12 @@ def list_schedule(
         Optional list priority; defaults to the order of ``jobs``.
     backend:
         ``"heap"`` (scalar reference, default), ``"wakeup"`` (columnar
-        per-wake-up loop) or ``"event_queue"`` (batched event epochs) — all
-        bit-identical; see the module docstring.  Machine counts beyond the
-        int64 span range silently fall back to ``"heap"`` (the only backend
-        that handles arbitrary-precision ``m``).
+        per-wake-up loop), ``"event_queue"`` (batched event epochs) or
+        ``"event_queue_indexed"`` (event epochs with the incremental
+        need-bucket candidate index) — all bit-identical; see the module
+        docstring.  Machine counts beyond the int64 span range silently fall
+        back to ``"heap"`` (the only backend that handles
+        arbitrary-precision ``m``).
     columnar:
         Backwards-compatible alias: ``columnar=True`` selects
         ``backend="wakeup"`` when ``backend`` is not given.
@@ -105,9 +142,13 @@ def list_schedule(
         the array backends then resolve missing durations in one batched
         kernel pass instead of per-job Python calls.
     stats:
-        Optional dict the event-queue backend fills with instrumentation
+        Optional dict the event-queue backends fill with instrumentation
         (``epochs``: completion epochs processed, ``events``: completions,
-        ``max_epoch_completions``: largest simultaneous-completion group).
+        ``max_epoch_completions``: largest simultaneous-completion group,
+        ``candidate_scans``: admission queries executed,
+        ``candidates_visited``: total job slots those queries examined — the
+        scanning backend examines every job slot per query, the indexed
+        backend only the bucket entries its prefix walks touch).
 
     Returns
     -------
@@ -133,16 +174,26 @@ def list_schedule(
         if k > m:
             raise ValueError(f"job {job.name!r} is allotted {k} > m={m} processors")
         total_need += k
-    if backend == "event_queue" and total_need > MAX_COLUMNAR_M - m:
+    if backend in ("event_queue", "event_queue_indexed") and total_need > MAX_COLUMNAR_M - m:
         # the epoch batch paths prefix-sum needs and popped span capacities
         # in int64 (bounded by total_need + m); near the int64 edge fall
-        # back to the heap reference, which uses Python ints throughout
+        # back to the heap reference, which uses Python ints throughout —
+        # identically for the scanning and the indexed event-queue variants,
+        # so no silent behaviour fork opens between them at astronomical m
         backend = "heap"
 
     if backend == "wakeup":
         return _list_schedule_columnar(sequence, allotment, m, allotted_times, oracle)
-    if backend == "event_queue":
-        return _list_schedule_event_queue(sequence, allotment, m, allotted_times, oracle, stats)
+    if backend in ("event_queue", "event_queue_indexed"):
+        return _list_schedule_event_queue(
+            sequence,
+            allotment,
+            m,
+            allotted_times,
+            oracle,
+            stats,
+            indexed=backend == "event_queue_indexed",
+        )
 
     schedule = Schedule(m=m, metadata={"algorithm": "list_scheduling"})
     if not sequence:
@@ -193,7 +244,8 @@ def list_schedule(
         end, _, spans = heapq.heappop(running)
         now = end
         released = list(spans)
-        while running and running[0][0] <= now + EPOCH_TOLERANCE:
+        cut = now + epoch_tolerance(now)
+        while running and running[0][0] <= cut:
             _, _, more = heapq.heappop(running)
             released.extend(more)
         for first, count in released:
@@ -331,7 +383,8 @@ def _list_schedule_columnar(
         end, _, spans = heappop(running)
         now = end
         released = list(spans)
-        while running and running[0][0] <= now + EPOCH_TOLERANCE:
+        cut = now + epoch_tolerance(now)
+        while running and running[0][0] <= cut:
             _, _, more = heappop(running)
             released.extend(more)
         for first, count in released:
@@ -350,6 +403,128 @@ def _list_schedule_columnar(
 _SMALL_EPOCH = 32
 
 
+class _NeedBucketIndex:
+    """Incremental candidate index over the waiting set (power-of-two buckets).
+
+    Bucket ``b`` holds the waiting jobs whose processor need lies in
+    ``[2**b, 2**(b+1))``, as a plain list of list positions kept ascending.
+    A query for *the first ``limit`` waiting jobs with need <= cap, in list
+    order* is then a bucket **prefix walk**: every non-boundary bucket up to
+    ``floor(log2 cap)`` contributes a position-prefix wholesale (all its
+    members fit by construction), the single boundary bucket is filtered by
+    need, and the per-bucket prefixes merge by position.  Maintained
+    incrementally across epochs (admitted jobs are removed, nothing is ever
+    re-inserted), a single-admission epoch costs O(log m) bucket probes plus
+    the handful of entries it returns — instead of the O(n) ``need <= idle``
+    scan of the waiting array the non-indexed event-queue backend pays.
+
+    ``gathers`` / ``visits`` count queries and touched entries for the
+    ``stats=`` instrumentation (``candidate_scans`` / ``candidates_visited``).
+    """
+
+    __slots__ = ("needs", "buckets", "lo", "hi", "size", "visits", "gathers")
+
+    def __init__(self, needs: Sequence[int]) -> None:
+        self.needs = needs
+        buckets: List[List[int]] = [[] for _ in range(64)]
+        for pos, need in enumerate(needs):
+            # positions arrive in ascending list order, so every bucket is
+            # born sorted and removals keep it that way
+            buckets[need.bit_length() - 1].append(pos)
+        self.buckets = buckets
+        self.lo = 0  # lazily-advanced lowest possibly-non-empty bucket
+        self.hi = 63  # lazily-lowered highest possibly-non-empty bucket
+        self.size = len(needs)
+        self.visits = 0
+        self.gathers = 0
+
+    def _bounds(self) -> Tuple[int, int]:
+        """Advance the lazy non-empty bucket bounds and return them."""
+        buckets = self.buckets
+        lo, hi = self.lo, self.hi
+        while lo < 64 and not buckets[lo]:
+            lo += 1
+        while hi >= 0 and not buckets[hi]:
+            hi -= 1
+        self.lo, self.hi = lo, hi
+        return lo, hi
+
+    def min_need(self) -> int:
+        """Exact smallest waiting need (the lowest non-empty bucket holds it,
+        since bucket ranges are disjoint and ordered).  Index must be
+        non-empty."""
+        lo, _ = self._bounds()
+        bucket = self.buckets[lo]
+        self.visits += len(bucket)
+        needs = self.needs
+        return min(needs[pos] for pos in bucket)
+
+    def gather(self, cap: int, limit: int) -> List[int]:
+        """First ``limit`` waiting positions with ``need <= cap``, ascending.
+
+        The per-bucket prefix of length ``limit`` suffices: the global first
+        ``limit`` matches draw at most ``limit`` entries from any one bucket,
+        and always that bucket's position-smallest ones.
+        """
+        self.gathers += 1
+        lo, hi = self._bounds()
+        top = min(cap.bit_length() - 1, hi)
+        needs = self.needs
+        visits = 0
+        parts: List[List[int]] = []
+        for b in range(lo, top + 1):
+            bucket = self.buckets[b]
+            if not bucket:
+                continue
+            if (2 << b) - 1 <= cap:
+                part = bucket[:limit]
+                visits += len(part)
+            else:
+                # boundary bucket: members span [2**b, 2**(b+1)), only those
+                # with need <= cap qualify — filter in position order
+                part = []
+                for pos in bucket:
+                    visits += 1
+                    if needs[pos] <= cap:
+                        part.append(pos)
+                        if len(part) == limit:
+                            break
+            if part:
+                parts.append(part)
+        self.visits += visits
+        if not parts:
+            return []
+        if len(parts) == 1:
+            return parts[0]
+        merged = sorted(chain.from_iterable(parts))
+        del merged[limit:]
+        return merged
+
+    def remove(self, pos: int) -> None:
+        bucket = self.buckets[self.needs[pos].bit_length() - 1]
+        del bucket[bisect_left(bucket, pos)]
+        self.size -= 1
+
+    def remove_many(self, positions: Sequence[int]) -> None:
+        """Remove admitted positions, batching per-bucket for mass epochs."""
+        if len(positions) <= 8:
+            for pos in positions:
+                self.remove(pos)
+            return
+        needs = self.needs
+        by_bucket: Dict[int, set] = {}
+        for pos in positions:
+            by_bucket.setdefault(needs[pos].bit_length() - 1, set()).add(pos)
+        for b, gone in by_bucket.items():
+            bucket = self.buckets[b]
+            if len(gone) * 8 < len(bucket):
+                for pos in sorted(gone, reverse=True):
+                    del bucket[bisect_left(bucket, pos)]
+            else:
+                self.buckets[b] = [pos for pos in bucket if pos not in gone]
+        self.size -= len(positions)
+
+
 def _list_schedule_event_queue(
     sequence: List[MoldableJob],
     allotment: Allotment,
@@ -357,13 +532,15 @@ def _list_schedule_event_queue(
     allotted_times: Optional[Dict[MoldableJob, float]] = None,
     oracle=None,
     stats: Optional[dict] = None,
+    *,
+    indexed: bool = False,
 ) -> Schedule:
     """Batched event-queue twin of the scalar first-fit loop.
 
     Bit-identical to the heap backend, but the per-completion ``heapq`` is
     replaced by one ``(end, seq)``-sorted event queue processed in *epochs*:
 
-    * **epoch pop** — all completions within :data:`EPOCH_TOLERANCE` of the
+    * **epoch pop** — all completions within :func:`epoch_tolerance` of the
       earliest pending one leave the queue via a single sorted-array
       partition (``bisect_right`` + one slice deletion; the heap backend
       pops them one by one with the same grouping rule, so the
@@ -387,15 +564,34 @@ def _list_schedule_event_queue(
     Epochs below :data:`_SMALL_EPOCH` jobs take lean scalar inner paths
     (identical decisions, same column writes) — the batch passes above only
     pay for themselves on mass starts and mass completions.
-    """
-    from bisect import bisect_right
 
+    With ``indexed=True`` only the admission *query* changes: instead of the
+    per-epoch ``need <= idle`` scan over the whole waiting array, candidates
+    come from a :class:`_NeedBucketIndex` maintained across epochs, gathered
+    in rounds of at most ``remaining`` candidates (one round per observed
+    first-fit rejection).  The round structure reproduces the scanning
+    admission exactly: a round's window is the position-prefix of the
+    eligible set, the admitted prefix is the longest whose need prefix-sum
+    fits, and a rejected candidate — whose need provably exceeds the
+    post-round remaining idle count — is excluded from every later round by
+    the tightened ``need <= remaining`` gather cap itself.  Everything
+    downstream of the admission list (span cuts, column writes, event merge,
+    epoch pops) is the shared code path, so the two variants cannot drift.
+    """
     from ..perf.schedule_builder import ArraySchedule
 
     builder = ArraySchedule(m, metadata={"algorithm": "list_scheduling"})
     n = len(sequence)
+    backend_name = "event_queue_indexed" if indexed else "event_queue"
     if stats is not None:
-        stats.update(backend="event_queue", epochs=0, events=0, max_epoch_completions=0)
+        stats.update(
+            backend=backend_name,
+            epochs=0,
+            events=0,
+            max_epoch_completions=0,
+            candidate_scans=0,
+            candidates_visited=0,
+        )
     if n == 0:
         return builder.build()
 
@@ -403,6 +599,7 @@ def _list_schedule_event_queue(
     needs_list = [counts[job] for job in sequence]
     needs = np.array(needs_list, dtype=np.int64)
     durations = _resolve_durations(sequence, needs_list, allotted_times, oracle)
+    index = _NeedBucketIndex(needs_list) if indexed else None
 
     # builder columns, written directly (block mode)
     (
@@ -435,57 +632,94 @@ def _list_schedule_event_queue(
     events = 0
     max_epoch = 0
 
+    scan_queries = 0
+    scan_visited = 0
+
     while n_waiting or ev_end:
         if n_waiting and idle >= min_waiting_need:
-            # one vectorized candidate scan for the whole epoch
-            cand = (waiting & (needs <= idle)).nonzero()[0]
             remaining = idle
             adm_list: List[int] = []
-            if cand.size <= _SMALL_EPOCH or remaining <= _SMALL_EPOCH:
-                # scalar first-fit pass over the few candidates
-                for ji in map(int, cand):
-                    need = needs_list[ji]
-                    if need <= remaining:
-                        adm_list.append(ji)
-                        remaining -= need
-                        if remaining == 0:
-                            break
+            if index is not None:
+                # incremental candidate index: gather rounds of at most
+                # ``remaining`` candidates (per-bucket prefix walks merged in
+                # list order) — no per-epoch scan of the waiting array.  Each
+                # non-final round ends at a first-fit rejection, whose need
+                # provably exceeds the new remaining idle count, so the next
+                # round's tightened gather cap excludes it exactly like the
+                # scanning path's re-filter does.
+                while remaining >= min_waiting_need:
+                    window = index.gather(remaining, remaining)
+                    if not window:
+                        break
+                    if len(window) <= _SMALL_EPOCH:
+                        taken = 0
+                        k = 0
+                        for ji in window:
+                            need = needs_list[ji]
+                            if taken + need > remaining:
+                                break
+                            taken += need
+                            k += 1
+                    else:
+                        csum = needs[np.asarray(window, dtype=np.int64)].cumsum()
+                        k = int(csum.searchsorted(remaining, side="right"))
+                        taken = int(csum[k - 1])
+                    # k >= 1: the gather cap guarantees the first fits
+                    admitted_now = window[:k]
+                    adm_list.extend(admitted_now)
+                    index.remove_many(admitted_now)
+                    remaining -= taken
             else:
-                # batched first-fit: admit the longest candidate prefix whose
-                # need prefix-sum fits, drop the first rejected candidate
-                # (idle only shrinks within the epoch), repeat on the rest.
-                # Every admitted job takes >= 1 processor, so at most
-                # ``remaining`` candidates can be admitted per round — the
-                # prefix-sum window is sliced accordingly, keeping a round
-                # O(min(|cand|, remaining)) instead of O(|cand|).
-                admitted: List[np.ndarray] = []
-                first_round = True
-                while cand.size:
-                    if first_round:
-                        # the candidate scan already guaranteed need <= idle
-                        first_round = False
-                    else:
-                        fits = needs[cand] <= remaining
-                        if not fits.any():
-                            break
-                        cand = cand[fits]
-                    window = cand[:remaining]
-                    csum = needs[window].cumsum()
-                    k = int(csum.searchsorted(remaining, side="right"))
-                    # k >= 1: the first candidate fits by construction
-                    admitted.append(cand[:k])
-                    remaining -= int(csum[k - 1])
-                    if k < len(window):
-                        # cand[k] is rejected *now* and stays rejected
-                        cand = cand[k + 1 :]
-                    else:
-                        # the window limit cut the prefix short, no rejection
-                        # was observed — continue with the remaining tail
-                        cand = cand[k:]
-                if admitted:
-                    adm_list = (
-                        admitted[0] if len(admitted) == 1 else np.concatenate(admitted)
-                    ).tolist()
+                # one vectorized candidate scan for the whole epoch
+                cand = (waiting & (needs <= idle)).nonzero()[0]
+                scan_queries += 1
+                scan_visited += n
+                if cand.size <= _SMALL_EPOCH or remaining <= _SMALL_EPOCH:
+                    # scalar first-fit pass over the few candidates
+                    for ji in map(int, cand):
+                        need = needs_list[ji]
+                        if need <= remaining:
+                            adm_list.append(ji)
+                            remaining -= need
+                            if remaining == 0:
+                                break
+                else:
+                    # batched first-fit: admit the longest candidate prefix
+                    # whose need prefix-sum fits, drop the first rejected
+                    # candidate (idle only shrinks within the epoch), repeat
+                    # on the rest.  Every admitted job takes >= 1 processor,
+                    # so at most ``remaining`` candidates can be admitted per
+                    # round — the prefix-sum window is sliced accordingly,
+                    # keeping a round O(min(|cand|, remaining)) instead of
+                    # O(|cand|).
+                    admitted: List[np.ndarray] = []
+                    first_round = True
+                    while cand.size:
+                        if first_round:
+                            # the candidate scan already guaranteed need <= idle
+                            first_round = False
+                        else:
+                            fits = needs[cand] <= remaining
+                            if not fits.any():
+                                break
+                            cand = cand[fits]
+                        window = cand[:remaining]
+                        csum = needs[window].cumsum()
+                        k = int(csum.searchsorted(remaining, side="right"))
+                        # k >= 1: the first candidate fits by construction
+                        admitted.append(cand[:k])
+                        remaining -= int(csum[k - 1])
+                        if k < len(window):
+                            # cand[k] is rejected *now* and stays rejected
+                            cand = cand[k + 1 :]
+                        else:
+                            # the window limit cut the prefix short, no
+                            # rejection was observed — continue with the tail
+                            cand = cand[k:]
+                    if admitted:
+                        adm_list = (
+                            admitted[0] if len(admitted) == 1 else np.concatenate(admitted)
+                        ).tolist()
             if adm_list:
                 k = len(adm_list)
                 row_base = len(jobs_col)
@@ -588,9 +822,12 @@ def _list_schedule_event_queue(
                 n_waiting -= k
                 idle = remaining
             elif n_waiting:
-                # fruitless scan: the lower bound was stale — refresh it so
-                # later idle wake-ups can skip the scan in O(1)
-                min_waiting_need = int(needs[waiting].min())
+                # fruitless query: the lower bound was stale — refresh it so
+                # later idle wake-ups can skip the query in O(1)
+                if index is not None:
+                    min_waiting_need = index.min_need()
+                else:
+                    min_waiting_need = int(needs[waiting].min())
         if not ev_end:
             if n_waiting:  # pragma: no cover - cannot happen: every job fits on m >= a_j machines
                 raise RuntimeError("deadlock in list scheduling")
@@ -598,7 +835,7 @@ def _list_schedule_event_queue(
         # epoch pop: one sorted-array partition takes every completion
         # within tolerance of the earliest one out of the queue at once
         now = ev_end[0]
-        cut = bisect_right(ev_end, now + EPOCH_TOLERANCE)
+        cut = bisect_right(ev_end, now + epoch_tolerance(now))
         for s in ev_seq[:cut]:
             for p in range(pieces_lo[s], pieces_hi[s]):
                 idle_spans.append((span_first_col[p], span_count_col[p]))
@@ -611,5 +848,9 @@ def _list_schedule_event_queue(
             max_epoch = cut
 
     if stats is not None:
+        if index is not None:
+            stats.update(candidate_scans=index.gathers, candidates_visited=index.visits)
+        else:
+            stats.update(candidate_scans=scan_queries, candidates_visited=scan_visited)
         stats.update(epochs=epochs, events=events, max_epoch_completions=max_epoch)
     return builder.build()

@@ -71,7 +71,9 @@ def two_approximation(
     ``list_backend`` overrides the list-scheduling phase's backend (defaults
     to the batched ``"event_queue"`` on the vectorized path and the scalar
     ``"heap"`` loop otherwise; ``"wakeup"`` selects the columnar per-wake-up
-    loop — all bit-identical).
+    loop, ``"event_queue_indexed"`` the event-queue variant with the
+    incremental need-bucket candidate index, the better fit for no-tie
+    deep-queue workloads — all bit-identical).
     """
     jobs = list(jobs)
     backend, oracle = resolve_backend(jobs, m, backend, oracle)

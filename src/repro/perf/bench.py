@@ -23,8 +23,12 @@ the per-shard rows are merged back in configuration order.
 run still touches every requested family.  ``--check`` compares against a
 checked-in baseline: the gate fails when an algorithm's *speedup* drops below
 ``baseline / regression_factor`` (speedups, unlike absolute seconds, transfer
-across machines), when the backends disagree on any makespan, or when the
-fptas/two_approx geomean falls under the floor.
+across machines), when the baseline lacks an aggregate the run produces
+(a stale baseline is a named failure, not a silent pass), when the backends
+disagree on any makespan, or when an absolute floor is undershot (the
+fptas/two_approx geomean, the list_schedule geomean, the
+list_schedule_indexed scan-vs-index geomean on the no-tie ``chain`` family,
+or the candidate-visit reduction the index must deliver).
 """
 
 from __future__ import annotations
@@ -47,6 +51,7 @@ from ..core.two_approx import two_approximation
 from ..knapsack.compressible import _geom_cached
 from ..workloads.generators import (
     random_bimodal_instance,
+    random_chain_instance,
     random_communication_instance,
     random_mixed_instance,
     random_power_work_instance,
@@ -63,28 +68,43 @@ TABLE1_ALGORITHMS = ("mrt", "compressible", "bounded_heap", "bounded_bucket")
 PROBE_ALGORITHMS = ("fptas", "two_approx")
 
 #: All timed algorithms: the Table-1 set, the columnar-assembly headliners,
-#: and the isolated list-scheduling phase (scalar heap loop vs batched
-#: event-queue backend on a fixed estimator allotment).
-ALL_ALGORITHMS = TABLE1_ALGORITHMS + ("fptas", "two_approx", "list_schedule")
+#: the isolated list-scheduling phase (scalar heap loop vs batched
+#: event-queue backend on a fixed estimator allotment), and the candidate
+#: index ablation (event-queue scan vs need-bucket index, same allotment).
+ALL_ALGORITHMS = TABLE1_ALGORITHMS + (
+    "fptas",
+    "two_approx",
+    "list_schedule",
+    "list_schedule_indexed",
+)
 
 SCHEDULE_EPS = 0.1
 FPTAS_EPS = 0.5
 
 #: Instance families of the sweep.  ``tiny_n_huge_m`` reuses the mixed
 #: generator but with a config shape (n=64, m=2^22) that drives every
-#: algorithm through its large-m dispatch (FPTAS regime).
+#: algorithm through its large-m dispatch (FPTAS regime); ``chain`` (run
+#: with n >> m) is the no-tie single-completion regime that sweeps only the
+#: candidate-index ablation rows.
 FAMILIES: Dict[str, Callable] = {
     "mixed": random_mixed_instance,
     "powerwork": random_power_work_instance,
     "comm": random_communication_instance,
     "bimodal": random_bimodal_instance,
     "tiny_n_huge_m": random_mixed_instance,
+    "chain": random_chain_instance,
 }
 
 DEFAULT_FAMILIES = tuple(FAMILIES)
 
 _TINY_N = 64
 _TINY_M = 1 << 22
+
+
+def _chain_m(n: int) -> int:
+    """Machine count of the chain family: n >> m forces a deep waiting queue
+    (the single-completion no-tie regime the candidate index targets)."""
+    return max(64, n // 16)
 
 
 @dataclass
@@ -104,6 +124,11 @@ class BenchRow:
     #: off (0 for algorithms without probe instrumentation).
     gamma_probes_warm: int = 0
     gamma_probes_cold: int = 0
+    #: Admission-query job-slot visits of the candidate-index ablation rows:
+    #: the per-epoch O(n) scan vs the need-bucket index on the identical
+    #: instance (0 for rows without the instrumentation).
+    candidate_visits_scan: int = 0
+    candidate_visits_indexed: int = 0
 
 
 @dataclass
@@ -194,14 +219,17 @@ def _configs(mode: str, families: Sequence[str]) -> List[dict]:
             family = families[i % len(families)]
             if family == "tiny_n_huge_m":
                 configs.append(dict(algorithm=alg, family=family, n=_TINY_N, m=_TINY_M))
+            elif family == "chain":
+                configs.append(dict(algorithm=alg, family=family, n=120, m=_chain_m(120)))
             else:
                 configs.append(dict(algorithm=alg, family=family, n=120, m=960))
         # fptas / two_approx run at n >= 1000 so the columnar-assembly floor
         # (--min-fptas-two-approx) is measured on meaningful instances.  Only
         # requested families are ever swept: a tiny_n_huge_m-only run gets
         # tiny-shaped coverage rows instead (and therefore no n>=1000 floor
-        # measurement — there is nothing honest to measure there).
-        gate_families = [f for f in families if f != "tiny_n_huge_m"]
+        # measurement — there is nothing honest to measure there); the chain
+        # family only ever sweeps the candidate-index ablation shard below.
+        gate_families = [f for f in families if f not in ("tiny_n_huge_m", "chain")]
         if gate_families:
             configs.append(
                 dict(algorithm="fptas", family=gate_families[0], n=2000, m=_fptas_m(2000))
@@ -212,7 +240,7 @@ def _configs(mode: str, families: Sequence[str]) -> List[dict]:
             configs.append(
                 dict(algorithm="list_schedule", family=gate_families[0], n=2000, m=16000)
             )
-        else:
+        elif "tiny_n_huge_m" in families:
             configs.append(
                 dict(algorithm="fptas", family="tiny_n_huge_m", n=_TINY_N, m=_TINY_M)
             )
@@ -221,6 +249,17 @@ def _configs(mode: str, families: Sequence[str]) -> List[dict]:
             )
             configs.append(
                 dict(algorithm="list_schedule", family="tiny_n_huge_m", n=_TINY_N, m=_TINY_M)
+            )
+        if "chain" in families:
+            # the candidate-index floor (--min-list-schedule-indexed) is
+            # measured on the no-tie regime at gate size
+            configs.append(
+                dict(
+                    algorithm="list_schedule_indexed",
+                    family="chain",
+                    n=2000,
+                    m=_chain_m(2000),
+                )
             )
         # families the round-robin did not reach still get one cheap shard
         covered = {c["family"] for c in configs}
@@ -236,6 +275,15 @@ def _configs(mode: str, families: Sequence[str]) -> List[dict]:
             configs += [
                 dict(algorithm=alg, family=family, n=_TINY_N, m=_TINY_M)
                 for alg in ALL_ALGORITHMS
+            ]
+            continue
+        if family == "chain":
+            # deep-queue no-tie regime: only the candidate-index ablation is
+            # meaningful here (n >> m starves every other algorithm's
+            # vectorized machinery of work, so their ratios would be noise)
+            configs += [
+                dict(algorithm="list_schedule_indexed", family=family, n=n, m=_chain_m(n))
+                for n in (1000, 2000)
             ]
             continue
         table1_sizes = (1000, 2000) if family == "mixed" else (1000,)
@@ -260,14 +308,14 @@ def _configs(mode: str, families: Sequence[str]) -> List[dict]:
     return configs
 
 
-def _list_schedule_shard(instance, m: int, repeat: int) -> tuple:
-    """Time the isolated list-scheduling phase: scalar heap loop vs batched
-    event-queue backend on the *same* estimator allotment and LPT order (the
-    allotment is prepared once, untimed, with the batched estimator)."""
+def _estimator_allotment(instance, m: int) -> tuple:
+    """The shared untimed setup of the list-scheduling shards: the batched
+    estimator allotment, the LPT order and the precomputed durations — one
+    definition, so the ablation shards cannot drift apart in what they feed
+    the timed backends."""
     import numpy as np
 
     from ..core.bounds import ludwig_tiwari_estimator
-    from ..core.list_scheduling import list_schedule
     from ..perf.oracle import BatchedOracle
 
     oracle = BatchedOracle(instance.jobs, m)
@@ -276,9 +324,19 @@ def _list_schedule_shard(instance, m: int, repeat: int) -> tuple:
     times = oracle.times_at(np.array([counts[j] for j in instance.jobs], dtype=np.float64))
     order = [instance.jobs[i] for i in np.argsort(-times, kind="stable").tolist()]
     allotted = dict(zip(instance.jobs, times.tolist()))
+    return estimate.allotment, order, allotted
+
+
+def _list_schedule_shard(instance, m: int, repeat: int) -> tuple:
+    """Time the isolated list-scheduling phase: scalar heap loop vs batched
+    event-queue backend on the *same* estimator allotment and LPT order (the
+    allotment is prepared once, untimed, with the batched estimator)."""
+    from ..core.list_scheduling import list_schedule
+
+    allotment, order, allotted = _estimator_allotment(instance, m)
     scalar_seconds, scalar_result = _timed(
         lambda: list_schedule(
-            instance.jobs, estimate.allotment, m, order=order, backend="heap"
+            instance.jobs, allotment, m, order=order, backend="heap"
         ),
         repeat,
         instance.jobs,
@@ -286,7 +344,7 @@ def _list_schedule_shard(instance, m: int, repeat: int) -> tuple:
     vec_seconds, vec_result = _timed(
         lambda: list_schedule(
             instance.jobs,
-            estimate.allotment,
+            allotment,
             m,
             order=order,
             backend="event_queue",
@@ -296,6 +354,54 @@ def _list_schedule_shard(instance, m: int, repeat: int) -> tuple:
         instance.jobs,
     )
     return scalar_seconds, scalar_result, vec_seconds, vec_result
+
+
+def _list_schedule_indexed_shard(instance, m: int, repeat: int) -> tuple:
+    """Time the candidate-index ablation: the PR-4 event-queue backend
+    (per-epoch ``need <= idle`` scan) vs the need-bucket indexed backend on
+    the *same* estimator allotment, LPT order and precomputed durations —
+    the only difference between the timed runs is the admission query.
+    Returns the timings, results and the per-run candidate-visit counters
+    (``stats=`` instrumentation of the respective last timed repeat)."""
+    from ..core.list_scheduling import list_schedule
+
+    allotment, order, allotted = _estimator_allotment(instance, m)
+    scan_stats: dict = {}
+    indexed_stats: dict = {}
+    scan_seconds, scan_result = _timed(
+        lambda: list_schedule(
+            instance.jobs,
+            allotment,
+            m,
+            order=order,
+            backend="event_queue",
+            allotted_times=allotted,
+            stats=scan_stats,
+        ),
+        repeat,
+        instance.jobs,
+    )
+    indexed_seconds, indexed_result = _timed(
+        lambda: list_schedule(
+            instance.jobs,
+            allotment,
+            m,
+            order=order,
+            backend="event_queue_indexed",
+            allotted_times=allotted,
+            stats=indexed_stats,
+        ),
+        repeat,
+        instance.jobs,
+    )
+    return (
+        scan_seconds,
+        scan_result,
+        indexed_seconds,
+        indexed_result,
+        int(scan_stats.get("candidates_visited", 0)),
+        int(indexed_stats.get("candidates_visited", 0)),
+    )
 
 
 def _probe_counts(instance, m: int, algorithm: str) -> tuple:
@@ -330,10 +436,20 @@ def _bench_shard(task: tuple) -> BenchRow:
     algorithm = config["algorithm"]
     n, m, family = config["n"], config["m"], config["family"]
     instance = FAMILIES[family](n, m, seed=seed)
+    visits_scan = visits_indexed = 0
     if algorithm == "list_schedule":
         scalar_seconds, scalar_result, vec_seconds, vec_result = _list_schedule_shard(
             instance, m, repeat
         )
+    elif algorithm == "list_schedule_indexed":
+        (
+            scalar_seconds,
+            scalar_result,
+            vec_seconds,
+            vec_result,
+            visits_scan,
+            visits_indexed,
+        ) = _list_schedule_indexed_shard(instance, m, repeat)
     else:
         runner = _runner_for(algorithm)
         scalar_seconds, scalar_result = _timed(
@@ -359,6 +475,8 @@ def _bench_shard(task: tuple) -> BenchRow:
         makespans_identical=scalar_result.makespan == vec_result.makespan,
         gamma_probes_warm=probes_warm,
         gamma_probes_cold=probes_cold,
+        candidate_visits_scan=visits_scan,
+        candidate_visits_indexed=visits_indexed,
     )
 
 
@@ -465,6 +583,16 @@ def _aggregate(rows: Sequence[BenchRow]) -> Dict[str, float]:
         aggregates["gamma_probes_warm_total"] = float(warm_total)
         aggregates["gamma_probes_cold_total"] = float(cold_total)
         aggregates["gamma_probe_reduction"] = 1.0 - warm_total / cold_total
+    # Candidate-index accounting over the instrumented (list_schedule_indexed)
+    # rows: total admission-query job-slot visits of the per-epoch scan vs
+    # the need-bucket index, and the relative reduction the index buys.
+    instrumented = [row for row in rows if row.candidate_visits_scan > 0]
+    visits_scan = sum(row.candidate_visits_scan for row in instrumented)
+    visits_indexed = sum(row.candidate_visits_indexed for row in instrumented)
+    if visits_scan > 0:
+        aggregates["candidate_visits_scan_total"] = float(visits_scan)
+        aggregates["candidate_visits_indexed_total"] = float(visits_indexed)
+        aggregates["candidate_visit_reduction"] = 1.0 - visits_indexed / visits_scan
     aggregates["speedup_geomean_all"] = _geomean([row.speedup for row in rows])
     return aggregates
 
@@ -498,6 +626,8 @@ def check_regression(
     regression_factor: float = 2.0,
     min_fptas_two_approx: Optional[float] = 8.0,
     min_list_schedule: Optional[float] = 2.0,
+    min_list_schedule_indexed: Optional[float] = 1.3,
+    min_visit_reduction: Optional[float] = 0.5,
 ) -> List[str]:
     """Compare per-algorithm speedups against a baseline report.
 
@@ -506,32 +636,67 @@ def check_regression(
     slowest first, so a red gate points at the offending configuration
     directly.  Speedup ratios are used rather than absolute seconds so the
     gate is meaningful on hardware other than the machine that recorded the
-    baseline.  In addition to the relative baseline check, two absolute
-    floors are enforced: the fptas/two_approx ``n >= 1000`` geomean
-    (``min_fptas_two_approx``, the columnar schedule-assembly guarantee) and
-    the list_schedule ``n >= 1000`` geomean (``min_list_schedule``, the
-    event-queue backend guarantee); pass ``None`` to skip either.
+    baseline.  A per-algorithm speedup aggregate the current run produced
+    but the baseline lacks is itself a *named* failure (the baseline is
+    stale — e.g. freshly added rows vs an old ``BENCH_perf_baseline.json``)
+    rather than a silent skip or a ``KeyError``.  In addition to the
+    relative baseline check, absolute floors are enforced: the
+    fptas/two_approx ``n >= 1000`` geomean (``min_fptas_two_approx``, the
+    columnar schedule-assembly guarantee), the list_schedule ``n >= 1000``
+    geomean (``min_list_schedule``, the event-queue backend guarantee), the
+    list_schedule_indexed ``n >= 1000`` geomean
+    (``min_list_schedule_indexed``, the candidate-index-vs-scan guarantee on
+    the no-tie chain regime) and the candidate-visit reduction
+    (``min_visit_reduction``, the index's admission-query work guarantee);
+    pass ``None`` to skip any of them.
     """
     with open(baseline_path) as fh:
         baseline = json.load(fh)
     failures: List[str] = []
     baseline_aggregates = baseline.get("aggregates", {})
+    # a baseline with no speedup aggregates at all records no reference run
+    # (floors-only checking); one with *some* is stale when keys are missing
+    baseline_has_speedups = any(k.startswith("speedup_") for k in baseline_aggregates)
+
+    def _algorithm_rows(algorithm: str) -> str:
+        return ", ".join(
+            f"{_row_label(r)}: {r.speedup:.2f}x"
+            for r in sorted(
+                (r for r in report.rows if r.algorithm == algorithm),
+                key=lambda r: r.speedup,
+            )
+        )
+
     for key, current in report.aggregates.items():
         if not key.startswith("speedup_"):
             continue
+        algorithm = key[len("speedup_") :].removesuffix("_n1000")
         reference = baseline_aggregates.get(key)
-        if reference is None or not math.isfinite(reference):
+        if reference is None:
+            # the baseline predates rows the current run produces: name the
+            # missing aggregate and its rows instead of silently passing.
+            # Only the bare per-algorithm keys are required — every mode
+            # records one for each algorithm it sweeps, so a missing one
+            # genuinely means the baseline predates the algorithm's rows;
+            # the ``_n1000`` refinements and the all-row geomean depend on
+            # the recording mode's instance sizes and stay a silent skip.
+            if (
+                baseline_has_speedups
+                and key != "speedup_geomean_all"
+                and not key.endswith("_n1000")
+            ):
+                detail = _algorithm_rows(algorithm)
+                failures.append(
+                    f"{key}: baseline {baseline_path!r} has no reference for "
+                    f"this aggregate — re-record the baseline to cover the "
+                    f"new rows" + (f" — rows: {detail}" if detail else "")
+                )
+            continue
+        if not math.isfinite(reference):
             continue
         floor = reference / regression_factor
         if current < floor:
-            algorithm = key[len("speedup_") :].removesuffix("_n1000")
-            detail = ", ".join(
-                f"{_row_label(r)}: {r.speedup:.2f}x"
-                for r in sorted(
-                    (r for r in report.rows if r.algorithm == algorithm),
-                    key=lambda r: r.speedup,
-                )
-            )
+            detail = _algorithm_rows(algorithm)
             failures.append(
                 f"{key}: speedup {current:.2f}x fell below {floor:.2f}x "
                 f"(baseline {reference:.2f}x / factor {regression_factor})"
@@ -567,6 +732,36 @@ def check_regression(
             failures.append(
                 f"speedup_list_schedule_n1000: {ls:.2f}x fell below the "
                 f"event-queue floor {min_list_schedule:.2f}x — rows: {detail}"
+            )
+    if min_list_schedule_indexed is not None:
+        lsi = report.aggregates.get("speedup_list_schedule_indexed_n1000")
+        if lsi is not None and lsi < min_list_schedule_indexed:
+            detail = ", ".join(
+                f"{_row_label(r)}: {r.speedup:.2f}x "
+                f"(visits scan {r.candidate_visits_scan} vs indexed "
+                f"{r.candidate_visits_indexed})"
+                for r in _contributing_rows(report.rows, ("list_schedule_indexed",))
+            )
+            failures.append(
+                f"speedup_list_schedule_indexed_n1000: {lsi:.2f}x fell below "
+                f"the candidate-index floor {min_list_schedule_indexed:.2f}x "
+                f"— rows: {detail}"
+            )
+    if min_visit_reduction is not None:
+        reduction = report.aggregates.get("candidate_visit_reduction")
+        if reduction is not None and reduction < min_visit_reduction:
+            detail = ", ".join(
+                f"{_row_label(r)}: scan {r.candidate_visits_scan} vs indexed "
+                f"{r.candidate_visits_indexed}"
+                for r in sorted(
+                    (r for r in report.rows if r.candidate_visits_scan > 0),
+                    key=lambda r: r.candidate_visits_scan - r.candidate_visits_indexed,
+                )
+            )
+            failures.append(
+                f"candidate_visit_reduction: {100.0 * reduction:.1f}% fell "
+                f"below the index admission-query floor "
+                f"{100.0 * min_visit_reduction:.1f}% — rows: {detail}"
             )
     if not report.identical_makespans:
         mismatched = ", ".join(
@@ -624,6 +819,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(scalar heap loop vs batched event-queue backend), enforced by "
         "--check (0 disables)",
     )
+    parser.add_argument(
+        "--min-list-schedule-indexed",
+        type=float,
+        default=1.3,
+        help="absolute floor for the list_schedule_indexed n>=1000 speedup "
+        "geomean (event-queue per-epoch scan vs need-bucket candidate index "
+        "on the no-tie chain family), enforced by --check (0 disables)",
+    )
+    parser.add_argument(
+        "--min-visit-reduction",
+        type=float,
+        default=0.5,
+        help="absolute floor for candidate_visit_reduction (relative "
+        "admission-query work the candidate index saves over the per-epoch "
+        "scan), enforced by --check (0 disables)",
+    )
     args = parser.parse_args(argv)
 
     families = [f.strip() for f in args.families.split(",") if f.strip()] if args.families else None
@@ -641,9 +852,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"wrote {args.output}")
     for key in sorted(report.aggregates):
         value = report.aggregates[key]
-        if key == "gamma_probe_reduction":
+        if key in ("gamma_probe_reduction", "candidate_visit_reduction"):
             print(f"  {key}: {100.0 * value:.1f}%")
-        elif key.startswith("gamma_probes_"):
+        elif key.startswith(("gamma_probes_", "candidate_visits_")):
             print(f"  {key}: {value:.0f}")
         else:
             print(f"  {key}: {value:.2f}x")
@@ -657,6 +868,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 regression_factor=args.regression_factor,
                 min_fptas_two_approx=args.min_fptas_two_approx or None,
                 min_list_schedule=args.min_list_schedule or None,
+                min_list_schedule_indexed=args.min_list_schedule_indexed or None,
+                min_visit_reduction=args.min_visit_reduction or None,
             )
         except (OSError, json.JSONDecodeError) as exc:
             print(f"cannot read baseline {args.check!r}: {exc}", file=sys.stderr)

@@ -28,6 +28,7 @@ __all__ = [
     "random_bimodal_instance",
     "random_monotone_tabulated_instance",
     "random_quantized_instance",
+    "random_chain_instance",
     "planted_partition_instance",
     "scenario",
     "SCENARIOS",
@@ -249,6 +250,43 @@ def random_quantized_instance(
         jobs.append(TabulatedJob(f"quantized-{i}", times))
     spec = InstanceSpec(
         "quantized", n, m, params={"grid_lo": float(min(grid)), "grid_hi": float(max(grid))}
+    )
+    return WorkloadInstance(jobs, m, spec)
+
+
+def random_chain_instance(
+    n: int,
+    m: int,
+    *,
+    seed: SeedLike = None,
+    t1_range: tuple[float, float] = (8.0, 64.0),
+    serial_range: tuple[float, float] = (0.5, 0.95),
+) -> WorkloadInstance:
+    """Single-completion chains: a no-tie, deep-queue list-scheduling regime.
+
+    Strongly serial Amdahl jobs (serial fractions drawn from
+    ``serial_range``) with continuous-uniform base times: useful parallelism
+    is capped by the serial fraction, so allotments stay tiny and — run with
+    ``n`` well above ``m`` — far more jobs queue behind the running set than
+    machines exist.  Completion instants are then distinct with probability
+    one, so the list scheduler's event queue degenerates to one completion
+    per epoch: the adversarial workload for any per-epoch O(n) candidate
+    scan (n epochs × O(n) = O(n²) scans), and the showcase for the
+    incremental candidate index
+    (``list_schedule(backend="event_queue_indexed")``), which answers each
+    epoch's admission query from its need buckets instead.
+    """
+    rng = _rng(seed)
+    jobs: List[MoldableJob] = []
+    for i in range(n):
+        t1 = float(rng.uniform(*t1_range))
+        f = float(rng.uniform(*serial_range))
+        jobs.append(AmdahlJob(f"chain-{i}", t1=t1, serial_fraction=f))
+    spec = InstanceSpec(
+        "chain",
+        n,
+        m,
+        params={"serial_lo": serial_range[0], "serial_hi": serial_range[1]},
     )
     return WorkloadInstance(jobs, m, spec)
 

@@ -1,12 +1,14 @@
 """Event-epoch grouping semantics of the batched event-queue list scheduler.
 
-The scalar heap loop groups completions within ``EPOCH_TOLERANCE`` (1e-15,
-absolute) of the earliest pending completion into one wake-up; the
-event-queue backend must reproduce that grouping *exactly* — near-tie floats
-one ulp apart (at magnitudes where one ulp exceeds the tolerance) must NOT
-merge epochs, bit-identical times MUST, and the tolerance window is anchored
-at the earliest completion only (no chaining), following the PR-3 near-tie
-sweep conventions of pinning both sides of every tolerance boundary.
+The scalar heap loop groups completions within :func:`epoch_tolerance` of
+the earliest pending completion into one wake-up — ``max(1e-15 absolute,
+two ulp relative)``, so grouping keeps working at magnitudes where float64
+resolution has outgrown the historical absolute ``1e-15`` — and the
+event-queue backends must reproduce that grouping *exactly*: near-tie
+floats just past the window (at every magnitude) must NOT merge epochs,
+ties inside it MUST, and the tolerance window is anchored at the earliest
+completion only (no chaining), following the PR-3 near-tie sweep
+conventions of pinning both sides of every tolerance boundary.
 
 All pins assert *both* the epoch instrumentation and bit-identity of the
 resulting schedule against the heap reference, so a grouping regression
@@ -20,8 +22,10 @@ from hypothesis import given, settings, strategies as st
 from repro.core.allotment import Allotment
 from repro.core.job import TabulatedJob
 from repro.core.list_scheduling import (
+    EPOCH_REL_TOLERANCE,
     EPOCH_TOLERANCE,
     LIST_BACKENDS,
+    epoch_tolerance,
     list_schedule,
 )
 from repro.core.schedule import MAX_COLUMNAR_M
@@ -29,6 +33,8 @@ from repro.core.validation import validate_schedule
 
 ULP16 = np.nextafter(16.0, 32.0) - 16.0  # 3.55e-15 > EPOCH_TOLERANCE
 ULP1 = np.nextafter(1.0, 2.0) - 1.0  # 2.22e-16 < EPOCH_TOLERANCE
+M20 = 2.0 ** 20  # a magnitude where one ulp dwarfs the old absolute 1e-15
+ULP20 = np.nextafter(M20, 2 * M20) - M20  # 2^-32 ~ 2.33e-10
 
 
 def _jobs_with_durations(durations, need=1):
@@ -50,9 +56,9 @@ def _assert_identical(a, b, ctx=""):
         assert np.array_equal(getattr(ca, f), getattr(cb, f)), (ctx, f)
 
 
-def _run(jobs, allot, m, **kw):
+def _run(jobs, allot, m, backend="event_queue", **kw):
     stats = {}
-    schedule = list_schedule(jobs, allot, m, backend="event_queue", stats=stats, **kw)
+    schedule = list_schedule(jobs, allot, m, backend=backend, stats=stats, **kw)
     return schedule, stats
 
 
@@ -65,15 +71,63 @@ class TestEpochGroupingPins:
         assert stats["max_epoch_completions"] == 4
         _assert_identical(list_schedule(jobs, allot, 4, backend="heap"), schedule)
 
-    def test_one_ulp_apart_does_not_merge(self):
-        """At magnitude 16 one ulp (3.55e-15) exceeds the 1e-15 tolerance:
+    def test_three_ulp_apart_at_16_does_not_merge(self):
+        """At magnitude 16 the relative window is exactly two ulp
+        (16 * 2^-51 = 2 * 2^-48): a three-ulp separation sits outside it, so
         the two completions are distinct epochs, exactly as the heap pops
         them."""
-        assert ULP16 > EPOCH_TOLERANCE
-        jobs, allot = _jobs_with_durations([16.0, 16.0 + ULP16])
+        assert ULP16 > EPOCH_TOLERANCE  # the absolute floor alone would split even 1 ulp
+        assert 3 * ULP16 > epoch_tolerance(16.0)
+        jobs, allot = _jobs_with_durations([16.0, 16.0 + 3 * ULP16])
         schedule, stats = _run(jobs, allot, 2)
         assert stats["epochs"] == 2
         assert stats["max_epoch_completions"] == 1
+        _assert_identical(list_schedule(jobs, allot, 2, backend="heap"), schedule)
+
+    def test_two_ulp_apart_at_16_merges(self):
+        """Both sides of the relative boundary at magnitude 16: two ulp is
+        *exactly* the window (16 * EPOCH_REL_TOLERANCE == 2 ulp, and the
+        grouping comparison is inclusive), so the completions share one
+        epoch — under the old absolute-only 1e-15 tolerance they were
+        (wrongly) split, degrading grouping to exact-ties-only past
+        magnitude ~1."""
+        assert 2 * ULP16 == epoch_tolerance(16.0) > EPOCH_TOLERANCE
+        jobs, allot = _jobs_with_durations([16.0, 16.0 + 2 * ULP16])
+        schedule, stats = _run(jobs, allot, 2)
+        assert stats["epochs"] == 1
+        assert stats["max_epoch_completions"] == 2
+        _assert_identical(list_schedule(jobs, allot, 2, backend="heap"), schedule)
+
+    def test_relative_window_scales_to_large_magnitudes(self):
+        """At magnitude 2^20 the window is 2^20 * 2^-51 = still exactly two
+        ulp (the relative tolerance is scale-free at power-of-two anchors):
+        a two-ulp separation merges, three ulp does not — pinned on both
+        sides (the absolute 1e-15 floor is five orders of magnitude below
+        one ulp here, so only the relative term can group anything)."""
+        assert ULP20 > 100.0 * EPOCH_TOLERANCE
+        assert 2 * ULP20 == epoch_tolerance(M20)
+        jobs, allot = _jobs_with_durations([M20, M20 + 2 * ULP20])
+        schedule, stats = _run(jobs, allot, 2)
+        assert stats["epochs"] == 1
+        assert stats["max_epoch_completions"] == 2
+        _assert_identical(list_schedule(jobs, allot, 2, backend="heap"), schedule)
+
+        jobs, allot = _jobs_with_durations([M20, M20 + 3 * ULP20])
+        schedule, stats = _run(jobs, allot, 2)
+        assert stats["epochs"] == 2
+        assert stats["max_epoch_completions"] == 1
+        _assert_identical(list_schedule(jobs, allot, 2, backend="heap"), schedule)
+
+    def test_absolute_floor_governs_below_magnitude_two(self):
+        """Below EPOCH_TOLERANCE / EPOCH_REL_TOLERANCE (~2.25) the absolute
+        1e-15 floor is the window — the historical semantics are unchanged
+        there (see the magnitude-1 pins): four ulp of 1.0 (8.9e-16) still
+        merges although it exceeds the relative term."""
+        assert epoch_tolerance(1.0) == EPOCH_TOLERANCE > 1.0 * EPOCH_REL_TOLERANCE
+        assert 4 * ULP1 > 1.0 * EPOCH_REL_TOLERANCE
+        jobs, allot = _jobs_with_durations([1.0, 1.0 + 4 * ULP1])
+        schedule, stats = _run(jobs, allot, 2)
+        assert stats["epochs"] == 1
         _assert_identical(list_schedule(jobs, allot, 2, backend="heap"), schedule)
 
     def test_one_ulp_apart_below_tolerance_merges(self):
@@ -155,7 +209,12 @@ class TestBackendSelection:
             list_schedule(jobs, allot, 1, backend="quantum")
 
     def test_backends_registry(self):
-        assert LIST_BACKENDS == ("heap", "wakeup", "event_queue")
+        assert LIST_BACKENDS == (
+            "heap",
+            "wakeup",
+            "event_queue",
+            "event_queue_indexed",
+        )
 
     def test_columnar_flag_still_selects_wakeup(self):
         jobs, allot = _jobs_with_durations([2.0, 1.0], need=1)
@@ -190,6 +249,39 @@ class TestBackendSelection:
         assert schedule.makespan == 200.0
         assert "epochs" not in stats  # the heap path ran
 
+    def test_indexed_astronomical_m_falls_back_to_heap(self):
+        """The indexed backend must take the same silent heap fallback as
+        the scanning one beyond the int64 span range — no behaviour fork
+        between the event-queue variants at astronomical m."""
+        m = MAX_COLUMNAR_M * 4
+        jobs = [TabulatedJob("big", [3.0, 3.0])]
+        allot = Allotment({jobs[0]: 2})
+        stats = {}
+        schedule = list_schedule(
+            jobs, allot, m, backend="event_queue_indexed", stats=stats
+        )
+        assert schedule.makespan == 3.0
+        assert "epochs" not in stats  # the heap path ran, not the event queue
+
+    def test_indexed_huge_total_need_falls_back_to_heap(self):
+        """Mirror of the int64-overflow regression for the indexed backend:
+        prefix sums of 40 x 2^61 needs on m = 2^62 must divert to the heap
+        reference identically to ``backend="event_queue"``."""
+        m = MAX_COLUMNAR_M
+        need = 1 << 61
+        jobs = [TabulatedJob(f"h{i}", [10.0]) for i in range(40)]
+        allot = Allotment({j: need for j in jobs})
+        stats = {}
+        schedule = list_schedule(
+            jobs, allot, m, backend="event_queue_indexed", stats=stats
+        )
+        assert schedule.makespan == 200.0
+        assert "epochs" not in stats  # the heap path ran
+        # and both variants produce the bit-identical (heap) schedule
+        _assert_identical(
+            list_schedule(jobs, allot, m, backend="event_queue"), schedule
+        )
+
     def test_stats_contract(self):
         jobs, allot = _jobs_with_durations([1.0, 2.0, 3.0])
         _, stats = _run(jobs, allot, 2)
@@ -197,6 +289,18 @@ class TestBackendSelection:
         assert stats["events"] == 3
         assert stats["epochs"] >= 1
         assert 1 <= stats["max_epoch_completions"] <= 3
+        # the scanning backend examines every job slot per admission query
+        assert stats["candidate_scans"] >= 1
+        assert stats["candidates_visited"] == stats["candidate_scans"] * len(jobs)
+
+    def test_stats_contract_indexed(self):
+        jobs, allot = _jobs_with_durations([1.0, 2.0, 3.0])
+        _, stats = _run(jobs, allot, 2, backend="event_queue_indexed")
+        assert stats["backend"] == "event_queue_indexed"
+        assert stats["events"] == 3
+        assert stats["epochs"] >= 1
+        assert stats["candidate_scans"] >= 1
+        assert stats["candidates_visited"] >= 1
 
 
 @st.composite
@@ -228,8 +332,13 @@ class TestEpochGroupingProperties:
         wakeup = list_schedule(jobs, allot, m, backend="wakeup")
         stats = {}
         event = list_schedule(jobs, allot, m, backend="event_queue", stats=stats)
+        indexed_stats = {}
+        indexed = list_schedule(
+            jobs, allot, m, backend="event_queue_indexed", stats=indexed_stats
+        )
         _assert_identical(heap, wakeup, (m, durations, needs))
         _assert_identical(heap, event, (m, durations, needs))
+        _assert_identical(heap, indexed, (m, durations, needs))
         # every completion is seen exactly once, and epochs are bounded by
         # the number of *distinct* end values (an epoch consumes at least
         # one distinct completion instant, possibly several within the
@@ -237,3 +346,95 @@ class TestEpochGroupingProperties:
         assert stats["events"] == len(jobs)
         distinct_ends = len({float(e) for e in heap.columns().end.tolist()})
         assert 1 <= stats["epochs"] <= distinct_ends
+        # the admission decisions being identical, the *epoch structure* of
+        # the indexed run must coincide with the scanning run exactly
+        for key in ("epochs", "events", "max_epoch_completions"):
+            assert indexed_stats[key] == stats[key], (m, durations, needs, key)
+
+
+@st.composite
+def _chain_case(draw):
+    """Adversarial single-completion chains: distinct durations (no two
+    completions ever share an epoch window), n far above m, and small needs
+    so nearly every epoch admits exactly one successor from a deep waiting
+    queue — the regime where the scanning backend pays O(n) per epoch."""
+    m = draw(st.sampled_from([1, 2, 3, 5, 8]))
+    n = draw(st.integers(min_value=1, max_value=70))
+    # strictly increasing integer-spaced durations: separations are >= 1,
+    # astronomically beyond every tolerance window at these magnitudes
+    base = draw(st.integers(min_value=1, max_value=50))
+    durations = [float(base + 3 * i) for i in range(n)]
+    perm = draw(st.permutations(range(n)))
+    durations = [durations[i] for i in perm]
+    needs = [draw(st.integers(min_value=1, max_value=m)) for _ in range(n)]
+    return m, durations, needs
+
+
+class TestCandidateIndexProperties:
+    @given(_chain_case())
+    @settings(max_examples=120, deadline=None)
+    def test_index_matches_scan_on_single_completion_chains(self, case):
+        """Index-vs-scan identical admission order (hence bit-identical
+        schedules) on no-tie chains; the index must also agree epoch for
+        epoch with the scanning backend's instrumentation."""
+        m, durations, needs = case
+        jobs = [
+            TabulatedJob(f"c{i}", [float(d)] * k)
+            for i, (d, k) in enumerate(zip(durations, needs))
+        ]
+        allot = Allotment({job: k for job, k in zip(jobs, needs)})
+        heap = list_schedule(jobs, allot, m, backend="heap")
+        scan_stats = {}
+        scan = list_schedule(jobs, allot, m, backend="event_queue", stats=scan_stats)
+        index_stats = {}
+        indexed = list_schedule(
+            jobs, allot, m, backend="event_queue_indexed", stats=index_stats
+        )
+        _assert_identical(heap, scan, (m, durations, needs))
+        _assert_identical(heap, indexed, (m, durations, needs))
+        for key in ("epochs", "events", "max_epoch_completions"):
+            assert index_stats[key] == scan_stats[key], (m, durations, needs, key)
+
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.sampled_from([1, 2, 3, 8, 24, 48]),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_index_matches_scan_on_quantized_family(self, n, m, seed):
+        """Index-vs-scan identical admission order on the tie-heavy
+        ``quantized`` generator itself (exact duration ties → mass
+        simultaneous-completion epochs → mass admissions exercising the
+        batched gather/remove paths of the index)."""
+        from repro.workloads.generators import random_quantized_instance
+
+        instance = random_quantized_instance(n, m, seed=seed)
+        rng = np.random.default_rng(seed)
+        needs = [int(k) for k in rng.integers(1, m + 1, size=n)]
+        allot = Allotment({job: k for job, k in zip(instance.jobs, needs)})
+        heap = list_schedule(instance.jobs, allot, m, backend="heap")
+        scan_stats = {}
+        scan = list_schedule(
+            instance.jobs, allot, m, backend="event_queue", stats=scan_stats
+        )
+        index_stats = {}
+        indexed = list_schedule(
+            instance.jobs, allot, m, backend="event_queue_indexed", stats=index_stats
+        )
+        _assert_identical(heap, scan, (n, m, seed))
+        _assert_identical(heap, indexed, (n, m, seed))
+        assert index_stats["epochs"] == scan_stats["epochs"], (n, m, seed)
+
+    def test_index_visits_collapse_on_deep_queues(self):
+        """The counters must *demonstrate* the index: on a deterministic
+        1-wide chain (every epoch admits one of many unit-need waiters) the
+        scanning backend examines every job slot per epoch while the index
+        touches each waiting job once overall."""
+        n = 200
+        jobs, allot = _jobs_with_durations([float(3 + i) for i in range(n)])
+        _, scan_stats = _run(jobs, allot, 1)
+        _, index_stats = _run(jobs, allot, 1, backend="event_queue_indexed")
+        assert scan_stats["candidates_visited"] == scan_stats["candidate_scans"] * n
+        assert scan_stats["candidates_visited"] > 10 * index_stats["candidates_visited"]
+        # every admission gathers exactly the one admissible candidate
+        assert index_stats["candidates_visited"] == n

@@ -15,7 +15,12 @@ one of them, no oracle needed.  Since PR 4 the comparison is **N-way**
   distinct third implementation, so it is compared for ``two_approx`` (the
   one driver with a list-scheduling phase) and skipped for the others —
   re-running their unchanged vectorized path would double the fuzz budget
-  without exercising any new code.
+  without exercising any new code;
+* ``"event_queue_indexed"`` — the event-queue list scheduler with the
+  incremental need-bucket candidate index (its admission queries come from
+  bucket prefix walks instead of per-epoch scans): a genuinely distinct
+  fourth implementation, compared for ``two_approx`` and skipped for the
+  other drivers exactly like ``"event_queue"``.
 
 A *case* is a small JSON-able dict ``{driver, family, n, m, eps, seed}``:
 the instance is regenerated from the family generator and the seed, so a
@@ -59,6 +64,7 @@ from repro.core.validation import validate_schedule
 from repro.simulator.engine import SimulationError, simulate_schedule
 from repro.workloads.generators import (
     random_bimodal_instance,
+    random_chain_instance,
     random_communication_instance,
     random_mixed_instance,
     random_power_work_instance,
@@ -72,7 +78,9 @@ CORPUS_DIR = Path(__file__).parent / "corpus"
 #: large-m dispatch) plus the differential-only ``quantized`` family, whose
 #: discrete duration grid makes exact completion-time ties — the fuel of the
 #: event-queue backend's simultaneous-completion epochs — common instead of
-#: measure-zero.
+#: measure-zero, and the ``chain`` family (strongly serial jobs, no ties:
+#: the single-completion regime whose admission queries the candidate index
+#: answers from bucket prefix walks).
 FAMILIES: Dict[str, Callable] = {
     "mixed": random_mixed_instance,
     "powerwork": random_power_work_instance,
@@ -80,6 +88,7 @@ FAMILIES: Dict[str, Callable] = {
     "bimodal": random_bimodal_instance,
     "tiny_n_huge_m": random_mixed_instance,
     "quantized": random_quantized_instance,
+    "chain": random_chain_instance,
 }
 
 TINY_N_HUGE_M = 1 << 20
@@ -88,7 +97,11 @@ DRIVERS = ("mrt", "compressible", "bounded", "fptas", "two_approx")
 
 #: The N-way comparison: the scalar reference plus every non-scalar
 #: implementation, compared pairwise against the reference.
-BACKENDS = ("scalar", "vectorized", "event_queue")
+BACKENDS = ("scalar", "vectorized", "event_queue", "event_queue_indexed")
+
+#: Backends that only differ inside the list-scheduling phase — compared
+#: for ``two_approx`` (the one driver with such a phase), skipped elsewhere.
+LIST_ONLY_BACKENDS = ("event_queue", "event_queue_indexed")
 
 
 def effective_m(case: dict) -> int:
@@ -118,16 +131,16 @@ def run_driver(case: dict, backend: str, jobs=None) -> Schedule:
     eps = float(case["eps"])
     driver = case["driver"]
     if driver == "two_approx":
-        # the three genuinely distinct list-scheduling implementations
+        # the four genuinely distinct list-scheduling implementations
         if backend == "scalar":
             return two_approximation(jobs, m, backend="scalar").schedule
-        list_backend = "wakeup" if backend == "vectorized" else "event_queue"
+        list_backend = "wakeup" if backend == "vectorized" else backend
         return two_approximation(
             jobs, m, backend="vectorized", list_backend=list_backend
         ).schedule
-    # the remaining drivers have no list-scheduling phase; "event_queue"
-    # maps to their vectorized path (run_case skips it for them)
-    effective = "vectorized" if backend == "event_queue" else backend
+    # the remaining drivers have no list-scheduling phase; the list-only
+    # backends map to their vectorized path (run_case skips them there)
+    effective = "vectorized" if backend in LIST_ONLY_BACKENDS else backend
     if driver == "mrt":
         return mrt_schedule(jobs, m, eps, backend=effective).schedule
     if driver == "compressible":
@@ -186,7 +199,7 @@ def run_case(case: dict) -> None:
     _assert_validator_verdicts_agree(scalar, scalar_jobs, case)
 
     for backend in BACKENDS[1:]:
-        if backend == "event_queue" and case["driver"] != "two_approx":
+        if backend in LIST_ONLY_BACKENDS and case["driver"] != "two_approx":
             # identical to the vectorized run for drivers without a
             # list-scheduling phase — skip the duplicate work
             continue

@@ -1,11 +1,13 @@
 """Hypothesis-driven cross-backend parity fuzzing.
 
 Draws random (driver, family, n, m, eps, seed) cases across all five
-algorithm drivers and all five bench instance families, runs each driver
-under every backend of the N-way comparison (scalar heap reference,
-vectorized drivers, batched event-queue list scheduler), and asserts
-identical schedules, makespans and validator verdicts (see
-``tests/differential/harness.py`` for the exact checks).
+algorithm drivers and all seven instance families (the bench sweep plus the
+tie-heavy ``quantized`` and the no-tie ``chain`` families), runs each
+driver under every backend of the N-way comparison (scalar heap reference,
+vectorized drivers, batched event-queue list scheduler, candidate-indexed
+event-queue list scheduler), and asserts identical schedules, makespans and
+validator verdicts (see ``tests/differential/harness.py`` for the exact
+checks).
 
 Any failing case is serialised into ``tests/differential/corpus/`` before
 the assertion propagates, so it is replayed forever after as a
@@ -81,14 +83,17 @@ class TestHarnessSelfChecks:
             "bimodal",
             "tiny_n_huge_m",
             "quantized",
+            "chain",
         }
 
     def test_comparison_is_n_way(self):
         """The harness must compare the scalar reference against *every*
-        non-scalar implementation, including the event-queue backend."""
+        non-scalar implementation, including both event-queue backends
+        (scanning and candidate-indexed)."""
         assert BACKENDS[0] == "scalar"
         assert "vectorized" in BACKENDS and "event_queue" in BACKENDS
-        assert len(BACKENDS) >= 3
+        assert "event_queue_indexed" in BACKENDS
+        assert len(BACKENDS) >= 4
 
     def test_profile_defaults(self):
         """Tier-1 CI must keep the fast profile unless told otherwise."""
