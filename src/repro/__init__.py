@@ -42,6 +42,16 @@ from .core import (
     two_approximation,
     validate_schedule,
 )
+from .resilience import (
+    DegradationReport,
+    FaultPlan,
+    JobKill,
+    MachineFailure,
+    RecoveryResult,
+    execute_with_faults,
+    random_fault_plan,
+    recover_with_faults,
+)
 
 __version__ = "1.0.0"
 
@@ -72,4 +82,12 @@ __all__ = [
     "schedule_moldable",
     "SchedulingResult",
     "ALGORITHMS",
+    "FaultPlan",
+    "MachineFailure",
+    "JobKill",
+    "random_fault_plan",
+    "execute_with_faults",
+    "recover_with_faults",
+    "RecoveryResult",
+    "DegradationReport",
 ]

@@ -70,6 +70,8 @@ def schedule_moldable(
     algorithm: str = "auto",
     validate: bool = True,
     backend: str = "vectorized",
+    oracle=None,
+    list_backend: Optional[str] = None,
 ) -> SchedulingResult:
     """Schedule monotone moldable jobs on ``m`` machines.
 
@@ -104,6 +106,18 @@ def schedule_moldable(
         ``"vectorized"`` (default) runs γ-allotments and knapsack DPs on the
         NumPy fast path, ``"scalar"`` on the bit-identical pure-Python
         reference (see :mod:`repro.perf`).  Ignored by ``"exact"``.
+    oracle:
+        Optional pre-built :class:`repro.perf.oracle.BatchedOracle` for
+        exactly ``(jobs, m)``.  Threaded to the drivers that accept one
+        (``"two_approx"`` and ``"fptas"``) so callers issuing *consecutive*
+        solves — the fault-recovery loop re-planning survivors epoch after
+        epoch — can carry γ-caches across calls (see
+        ``BatchedOracle.prime_from``).  The remaining drivers build their own
+        oracles internally and ignore this argument.
+    list_backend:
+        Optional list-scheduling backend override for ``"two_approx"``
+        (``"heap"``, ``"wakeup"``, ``"event_queue"``,
+        ``"event_queue_indexed"``); ignored by the other algorithms.
     """
     jobs = list(jobs)
     if m < 1:
@@ -119,7 +133,9 @@ def schedule_moldable(
         chosen = "fptas" if m >= fptas_machine_threshold(len(jobs), eps) else "bounded"
 
     if chosen == "two_approx":
-        res = two_approximation(jobs, m, validate=validate, backend=backend)
+        res = two_approximation(
+            jobs, m, validate=validate, backend=backend, oracle=oracle, list_backend=list_backend
+        )
         schedule = res.schedule
         guarantee: Optional[float] = 2.0
     elif chosen == "mrt":
@@ -135,7 +151,9 @@ def schedule_moldable(
         schedule = bounded_schedule(jobs, m, eps, transform="bucket", validate=validate, backend=backend).schedule
         guarantee = 1.5 + eps
     elif chosen == "fptas":
-        schedule = fptas_schedule(jobs, m, eps, validate=validate, backend=backend).schedule
+        schedule = fptas_schedule(
+            jobs, m, eps, validate=validate, backend=backend, oracle=oracle
+        ).schedule
         guarantee = 1.0 + eps
     elif chosen == "ptas":
         result = ptas_schedule(jobs, m, eps, validate=validate, backend=backend)

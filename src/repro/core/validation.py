@@ -39,6 +39,15 @@ from .schedule import Schedule, ScheduledJob
 __all__ = [
     "ValidationError",
     "ValidationReport",
+    "Violation",
+    "CONFLICT",
+    "BAD_SPAN",
+    "BAD_PROCS",
+    "BAD_DURATION",
+    "MISSING_JOB",
+    "DUPLICATE_JOB",
+    "FOREIGN_JOB",
+    "MAKESPAN_EXCEEDED",
     "validate_schedule",
     "assert_valid_schedule",
     "is_nonincreasing_time",
@@ -56,6 +65,36 @@ class ValidationError(AssertionError):
     """Raised by :func:`assert_valid_schedule` when a schedule is infeasible."""
 
 
+# Machine-readable violation codes (``Violation.code`` values).
+CONFLICT = "CONFLICT"
+BAD_SPAN = "BAD_SPAN"
+BAD_PROCS = "BAD_PROCS"
+BAD_DURATION = "BAD_DURATION"
+MISSING_JOB = "MISSING_JOB"
+DUPLICATE_JOB = "DUPLICATE_JOB"
+FOREIGN_JOB = "FOREIGN_JOB"
+MAKESPAN_EXCEEDED = "MAKESPAN_EXCEEDED"
+
+
+class Violation(str):
+    """A violation message carrying a machine-readable ``code``.
+
+    A ``str`` subclass: everything that treated violations as plain messages
+    (substring checks, ``"; ".join(...)``, equality between the scalar and
+    columnar validation backends) keeps working unchanged, while tests can
+    assert on ``violation.code`` instead of brittle message substrings.
+    """
+
+    __slots__ = ("code",)
+
+    code: str
+
+    def __new__(cls, code: str, message: str) -> "Violation":
+        obj = super().__new__(cls, message)
+        obj.code = code
+        return obj
+
+
 @dataclass
 class ValidationReport:
     """Result of :func:`validate_schedule`."""
@@ -67,6 +106,15 @@ class ValidationReport:
 
     def __bool__(self) -> bool:
         return self.ok
+
+    @property
+    def codes(self) -> List[str]:
+        """Machine-readable codes of the violations, in report order."""
+        return [getattr(v, "code", "UNKNOWN") for v in self.violations]
+
+    def has(self, code: str) -> bool:
+        """Whether any violation carries the given code."""
+        return code in self.codes
 
 
 def _approx_le(a: float, b: float) -> bool:
@@ -129,9 +177,12 @@ def _machine_conflicts(entries: Sequence[ScheduledJob]) -> List[str]:
                     if key not in reported:
                         reported.add(key)
                         violations.append(
-                            f"machine conflict on machines [{seg_start}, {cuts[ci + 1]}): "
-                            f"job {a.job.name!r} [{a.start:.6g}, {a.end:.6g}) overlaps "
-                            f"job {b.job.name!r} [{b.start:.6g}, {b.end:.6g})"
+                            Violation(
+                                CONFLICT,
+                                f"machine conflict on machines [{seg_start}, {cuts[ci + 1]}): "
+                                f"job {a.job.name!r} [{a.start:.6g}, {a.end:.6g}) overlaps "
+                                f"job {b.job.name!r} [{b.start:.6g}, {b.end:.6g})",
+                            )
                         )
     return violations
 
@@ -142,20 +193,27 @@ def _bounds_violations(entries: Sequence[ScheduledJob], m: int) -> List[str]:
         for first, count in entry.spans:
             if first + count > m:
                 violations.append(
-                    f"job {entry.job.name!r}: span ({first}, {count}) exceeds machine count m={m}"
+                    Violation(
+                        BAD_SPAN,
+                        f"job {entry.job.name!r}: span ({first}, {count}) exceeds machine count m={m}",
+                    )
                 )
         if entry.processors > m:
             violations.append(
-                f"job {entry.job.name!r}: uses {entry.processors} > m={m} processors"
+                Violation(
+                    BAD_PROCS,
+                    f"job {entry.job.name!r}: uses {entry.processors} > m={m} processors",
+                )
             )
     return violations
 
 
 def _duration_violation(entry: ScheduledJob, oracle: float) -> Optional[str]:
     if entry.duration_override is not None and entry.duration_override + ABS_TOL < oracle * (1 - REL_TOL):
-        return (
+        return Violation(
+            BAD_DURATION,
             f"job {entry.job.name!r}: recorded duration {entry.duration_override:.6g} understates "
-            f"oracle time {oracle:.6g} on {entry.processors} processors"
+            f"oracle time {oracle:.6g} on {entry.processors} processors",
         )
     return None
 
@@ -171,13 +229,22 @@ def _completeness_violations(
     for job in wanted:
         cnt = scheduled_ids.get(id(job), 0)
         if cnt == 0:
-            violations.append(f"job {job.name!r} is missing from the schedule")
+            violations.append(
+                Violation(MISSING_JOB, f"job {job.name!r} is missing from the schedule")
+            )
         elif cnt > 1:
-            violations.append(f"job {job.name!r} is scheduled {cnt} times")
+            violations.append(
+                Violation(DUPLICATE_JOB, f"job {job.name!r} is scheduled {cnt} times")
+            )
     wanted_ids = {id(job) for job in wanted}
     for job in scheduled:
         if id(job) not in wanted_ids:
-            violations.append(f"job {job.name!r} was scheduled but is not part of the instance")
+            violations.append(
+                Violation(
+                    FOREIGN_JOB,
+                    f"job {job.name!r} was scheduled but is not part of the instance",
+                )
+            )
     return violations
 
 
@@ -207,7 +274,9 @@ def _validate_scalar(
 
     ms = schedule.makespan
     if max_makespan is not None and not _approx_le(ms, max_makespan):
-        violations.append(f"makespan {ms:.6g} exceeds bound {max_makespan:.6g}")
+        violations.append(
+            Violation(MAKESPAN_EXCEEDED, f"makespan {ms:.6g} exceeds bound {max_makespan:.6g}")
+        )
 
     return ValidationReport(
         ok=not violations,
@@ -284,7 +353,9 @@ def _validate_columnar(
 
     ms = float(cols.end.max()) if cols.n else 0.0
     if max_makespan is not None and not _approx_le(ms, max_makespan):
-        violations.append(f"makespan {ms:.6g} exceeds bound {max_makespan:.6g}")
+        violations.append(
+            Violation(MAKESPAN_EXCEEDED, f"makespan {ms:.6g} exceeds bound {max_makespan:.6g}")
+        )
 
     # peak busy machines: the shared event sort + prefix sum
     if cols.fits_int64_sweep():

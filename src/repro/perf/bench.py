@@ -28,7 +28,10 @@ across machines), when the baseline lacks an aggregate the run produces
 disagree on any makespan, or when an absolute floor is undershot (the
 fptas/two_approx geomean, the list_schedule geomean, the
 list_schedule_indexed scan-vs-index geomean on the no-tie ``chain`` family,
-or the candidate-visit reduction the index must deliver).
+the candidate-visit reduction the index must deliver, or the re-plan
+γ-probe reduction the fault-recovery warm start must deliver on the
+``recovery`` rows — cold vs warm ``recover_with_faults`` on a seeded
+fault plan, ``--min-recovery``).
 """
 
 from __future__ import annotations
@@ -71,6 +74,9 @@ PROBE_ALGORITHMS = ("fptas", "two_approx")
 #: the isolated list-scheduling phase (scalar heap loop vs batched
 #: event-queue backend on a fixed estimator allotment), and the candidate
 #: index ablation (event-queue scan vs need-bucket index, same allotment).
+#: The ``recovery`` shard (fault-driven survivor re-planning, warm vs cold
+#: γ-cache) is swept separately — it is an end-to-end loop, not a
+#: backend-vs-backend ratio, so it stays out of the tiny_n_huge_m sweep.
 ALL_ALGORITHMS = TABLE1_ALGORITHMS + (
     "fptas",
     "two_approx",
@@ -129,6 +135,9 @@ class BenchRow:
     #: instance (0 for rows without the instrumentation).
     candidate_visits_scan: int = 0
     candidate_visits_indexed: int = 0
+    #: Fault-epoch re-plans of the ``recovery`` rows (0 for every other
+    #: algorithm) — with the row's warm seconds this yields re-plans/sec.
+    replans: int = 0
 
 
 @dataclass
@@ -240,6 +249,11 @@ def _configs(mode: str, families: Sequence[str]) -> List[dict]:
             configs.append(
                 dict(algorithm="list_schedule", family=gate_families[0], n=2000, m=16000)
             )
+            # the recovery floor (--min-recovery) is measured on a moderate
+            # cluster: the seeded fault plan forces several re-plan epochs
+            configs.append(
+                dict(algorithm="recovery", family=gate_families[0], n=80, m=64)
+            )
         elif "tiny_n_huge_m" in families:
             configs.append(
                 dict(algorithm="fptas", family="tiny_n_huge_m", n=_TINY_N, m=_TINY_M)
@@ -305,6 +319,8 @@ def _configs(mode: str, families: Sequence[str]) -> List[dict]:
             dict(algorithm="list_schedule", family=family, n=n, m=8 * n)
             for n in gate_sizes
         ]
+        # fault-recovery loop: warm vs cold γ-cache across re-plan epochs
+        configs.append(dict(algorithm="recovery", family=family, n=200, m=256))
     return configs
 
 
@@ -423,6 +439,55 @@ def _probe_counts(instance, m: int, algorithm: str) -> tuple:
     return counts[0], counts[1]
 
 
+def _recovery_shard(instance, m: int, repeat: int, seed: int) -> tuple:
+    """Time the fault-recovery loop cold vs warm on the *same* fault plan.
+
+    Both runs drain-and-replan through the identical seeded
+    :func:`random_fault_plan`; the only difference is the γ-cache policy of
+    the per-epoch re-plan oracles (``warm_start`` + cross-epoch priming on
+    vs cold full bisection).  The stitched schedules are bit-identical, so
+    the cold run fills the row's ``scalar_seconds`` slot and the warm run
+    its ``vectorized_seconds`` slot; the probe counters come from each
+    run's :class:`DegradationReport`.
+    """
+    from ..core.bounds import trivial_lower_bound
+    from ..resilience import random_fault_plan, recover_with_faults
+
+    horizon = 1.5 * trivial_lower_bound(instance.jobs, m)
+    plan = random_fault_plan(
+        [job.name for job in instance.jobs],
+        m,
+        seed=seed ^ 0x5EED,
+        failures=3,
+        kills=2,
+        horizon=max(horizon, 1.0),
+    )
+    cold_seconds, cold_result = _timed(
+        lambda: recover_with_faults(
+            instance.jobs, m, plan, eps=SCHEDULE_EPS,
+            algorithm="two_approx", warm_start=False,
+        ),
+        repeat,
+        instance.jobs,
+    )
+    warm_seconds, warm_result = _timed(
+        lambda: recover_with_faults(
+            instance.jobs, m, plan, eps=SCHEDULE_EPS, algorithm="two_approx"
+        ),
+        repeat,
+        instance.jobs,
+    )
+    return (
+        cold_seconds,
+        cold_result,
+        warm_seconds,
+        warm_result,
+        int(warm_result.report.gamma_probes or 0),
+        int(cold_result.report.gamma_probes or 0),
+        int(warm_result.report.replans),
+    )
+
+
 def _bench_shard(task: tuple) -> BenchRow:
     """Time one (algorithm, family, n, m) shard under both backends.
 
@@ -437,7 +502,18 @@ def _bench_shard(task: tuple) -> BenchRow:
     n, m, family = config["n"], config["m"], config["family"]
     instance = FAMILIES[family](n, m, seed=seed)
     visits_scan = visits_indexed = 0
-    if algorithm == "list_schedule":
+    probes_warm = probes_cold = replans = 0
+    if algorithm == "recovery":
+        (
+            scalar_seconds,
+            scalar_result,
+            vec_seconds,
+            vec_result,
+            probes_warm,
+            probes_cold,
+            replans,
+        ) = _recovery_shard(instance, m, repeat, seed)
+    elif algorithm == "list_schedule":
         scalar_seconds, scalar_result, vec_seconds, vec_result = _list_schedule_shard(
             instance, m, repeat
         )
@@ -458,7 +534,6 @@ def _bench_shard(task: tuple) -> BenchRow:
         vec_seconds, vec_result = _timed(
             lambda: runner(instance.jobs, m, "vectorized"), repeat, instance.jobs
         )
-    probes_warm = probes_cold = 0
     if algorithm in PROBE_ALGORITHMS:
         probes_warm, probes_cold = _probe_counts(instance, m, algorithm)
     return BenchRow(
@@ -477,6 +552,7 @@ def _bench_shard(task: tuple) -> BenchRow:
         gamma_probes_cold=probes_cold,
         candidate_visits_scan=visits_scan,
         candidate_visits_indexed=visits_indexed,
+        replans=replans,
     )
 
 
@@ -576,13 +652,31 @@ def _aggregate(rows: Sequence[BenchRow]) -> Dict[str, float]:
         aggregates["fptas_two_approx_table1_geomean_n1000"] = _geomean(assembly_table1)
     # γ-probe warm-start accounting over the instrumented (fptas/two_approx)
     # rows: total probes with the warm-start policy on vs off, and the
-    # relative reduction the policy buys.
-    warm_total = sum(row.gamma_probes_warm for row in rows)
-    cold_total = sum(row.gamma_probes_cold for row in rows)
+    # relative reduction the policy buys.  Recovery rows carry the same
+    # counters but measure a different policy (cross-epoch priming), so they
+    # are aggregated separately below rather than folded in here.
+    warm_total = sum(row.gamma_probes_warm for row in rows if row.algorithm in PROBE_ALGORITHMS)
+    cold_total = sum(row.gamma_probes_cold for row in rows if row.algorithm in PROBE_ALGORITHMS)
     if cold_total > 0:
         aggregates["gamma_probes_warm_total"] = float(warm_total)
         aggregates["gamma_probes_cold_total"] = float(cold_total)
         aggregates["gamma_probe_reduction"] = 1.0 - warm_total / cold_total
+    # Fault-recovery accounting over the ``recovery`` rows: total re-plan
+    # γ-probes warm (cross-epoch priming + bracket narrowing) vs cold, the
+    # relative reduction, and the warm loop's re-planning throughput.
+    recovery_rows = [row for row in rows if row.algorithm == "recovery"]
+    if recovery_rows:
+        rec_warm = sum(row.gamma_probes_warm for row in recovery_rows)
+        rec_cold = sum(row.gamma_probes_cold for row in recovery_rows)
+        rec_replans = sum(row.replans for row in recovery_rows)
+        rec_seconds = sum(row.vectorized_seconds for row in recovery_rows)
+        if rec_cold > 0:
+            aggregates["recovery_probes_warm_total"] = float(rec_warm)
+            aggregates["recovery_probes_cold_total"] = float(rec_cold)
+            aggregates["recovery_probe_reduction"] = 1.0 - rec_warm / rec_cold
+        aggregates["recovery_replans_total"] = float(rec_replans)
+        if rec_seconds > 0:
+            aggregates["recovery_replans_per_sec"] = rec_replans / rec_seconds
     # Candidate-index accounting over the instrumented (list_schedule_indexed)
     # rows: total admission-query job-slot visits of the per-epoch scan vs
     # the need-bucket index, and the relative reduction the index buys.
@@ -628,6 +722,7 @@ def check_regression(
     min_list_schedule: Optional[float] = 2.0,
     min_list_schedule_indexed: Optional[float] = 1.3,
     min_visit_reduction: Optional[float] = 0.5,
+    min_recovery: Optional[float] = 0.5,
 ) -> List[str]:
     """Compare per-algorithm speedups against a baseline report.
 
@@ -646,9 +741,11 @@ def check_regression(
     geomean (``min_list_schedule``, the event-queue backend guarantee), the
     list_schedule_indexed ``n >= 1000`` geomean
     (``min_list_schedule_indexed``, the candidate-index-vs-scan guarantee on
-    the no-tie chain regime) and the candidate-visit reduction
-    (``min_visit_reduction``, the index's admission-query work guarantee);
-    pass ``None`` to skip any of them.
+    the no-tie chain regime), the candidate-visit reduction
+    (``min_visit_reduction``, the index's admission-query work guarantee)
+    and the recovery probe reduction (``min_recovery``, the γ-probes the
+    cross-epoch warm start must save the fault-recovery re-plans over cold
+    bisection); pass ``None`` to skip any of them.
     """
     with open(baseline_path) as fh:
         baseline = json.load(fh)
@@ -763,6 +860,22 @@ def check_regression(
                 f"below the index admission-query floor "
                 f"{100.0 * min_visit_reduction:.1f}% — rows: {detail}"
             )
+    if min_recovery is not None:
+        reduction = report.aggregates.get("recovery_probe_reduction")
+        if reduction is not None and reduction < min_recovery:
+            detail = ", ".join(
+                f"{_row_label(r)}: warm {r.gamma_probes_warm} vs cold "
+                f"{r.gamma_probes_cold} over {r.replans} re-plans"
+                for r in sorted(
+                    (r for r in report.rows if r.algorithm == "recovery"),
+                    key=lambda r: r.gamma_probes_cold - r.gamma_probes_warm,
+                )
+            )
+            failures.append(
+                f"recovery_probe_reduction: {100.0 * reduction:.1f}% fell "
+                f"below the re-plan warm-start floor "
+                f"{100.0 * min_recovery:.1f}% — rows: {detail}"
+            )
     if not report.identical_makespans:
         mismatched = ", ".join(
             f"{_row_label(r)}: scalar {r.scalar_makespan!r} != "
@@ -835,6 +948,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "admission-query work the candidate index saves over the per-epoch "
         "scan), enforced by --check (0 disables)",
     )
+    parser.add_argument(
+        "--min-recovery",
+        type=float,
+        default=0.5,
+        help="absolute floor for recovery_probe_reduction (relative γ-probe "
+        "work the cross-epoch warm start saves the fault-recovery re-plans "
+        "over cold bisection), enforced by --check (0 disables)",
+    )
     args = parser.parse_args(argv)
 
     families = [f.strip() for f in args.families.split(",") if f.strip()] if args.families else None
@@ -852,9 +973,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"wrote {args.output}")
     for key in sorted(report.aggregates):
         value = report.aggregates[key]
-        if key in ("gamma_probe_reduction", "candidate_visit_reduction"):
+        if key in (
+            "gamma_probe_reduction",
+            "candidate_visit_reduction",
+            "recovery_probe_reduction",
+        ):
             print(f"  {key}: {100.0 * value:.1f}%")
-        elif key.startswith(("gamma_probes_", "candidate_visits_")):
+        elif key == "recovery_replans_per_sec":
+            print(f"  {key}: {value:.1f}/s")
+        elif key.startswith(("gamma_probes_", "candidate_visits_", "recovery_")):
             print(f"  {key}: {value:.0f}")
         else:
             print(f"  {key}: {value:.2f}x")
@@ -870,6 +997,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 min_list_schedule=args.min_list_schedule or None,
                 min_list_schedule_indexed=args.min_list_schedule_indexed or None,
                 min_visit_reduction=args.min_visit_reduction or None,
+                min_recovery=args.min_recovery or None,
             )
         except (OSError, json.JSONDecodeError) as exc:
             print(f"cannot read baseline {args.check!r}: {exc}", file=sys.stderr)

@@ -141,6 +141,55 @@ class BatchedOracle:
         """Positional index of ``job`` in this oracle's job list."""
         return self._index[id(job)]
 
+    # ---------------------------------------------------------- cache priming
+    def prime_from(self, other: "BatchedOracle") -> int:
+        """Transfer ``other``'s cached γ-thresholds to this oracle.
+
+        The recovery loop re-plans a shrinking pending set on a changing
+        machine count; each re-plan builds a fresh oracle (γ-arrays are
+        positional over a fixed ``(jobs, m)``), which would discard the
+        previous epoch's γ-searches.  Priming transfers them *exactly*:
+
+        * rows are remapped by job identity (a no-op returning 0 if any of
+          this oracle's jobs is unknown to ``other``);
+        * for ``m_new <= m_old``, ``gamma(t)`` on fewer machines is the old
+          value when it still fits and the sentinel ``m_new + 1`` otherwise —
+          an exact rewrite, every threshold transfers;
+        * for ``m_new > m_old``, old non-sentinel values are still exact
+          (``gamma <= m_old < m_new`` is unchanged by adding machines), but a
+          sentinel row is unknown on the larger machine set, so thresholds
+          containing one are skipped.
+
+        Transferred thresholds join ``_sorted_thresholds`` and therefore feed
+        the bracket/interpolation warm start of every subsequent
+        :meth:`gamma_array` call.  Returns the number of thresholds
+        transferred.
+        """
+        if self.n == 0:
+            return 0
+        try:
+            rows = np.fromiter(
+                (other._index[id(job)] for job in self.jobs),
+                dtype=np.int64,
+                count=self.n,
+            )
+        except KeyError:
+            return 0
+        transferred = 0
+        for threshold, arr in other._gamma_cache.items():
+            if threshold in self._gamma_cache:
+                continue
+            vals = arr[rows]  # fancy indexing copies
+            if self.m < other.m:
+                np.minimum(vals, np.int64(self.m + 1), out=vals)
+            elif self.m > other.m and (vals > other.m).any():
+                continue
+            vals.setflags(write=False)
+            self._gamma_cache[threshold] = vals
+            insort(self._sorted_thresholds, threshold)
+            transferred += 1
+        return transferred
+
     # ------------------------------------------------------------ gamma batch
     def gamma_array(self, threshold: float) -> np.ndarray:
         """``gamma_j(threshold)`` for all jobs as a read-only int64 array.

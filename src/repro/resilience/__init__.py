@@ -1,0 +1,53 @@
+"""Fault injection and recovery: machine failures & job kills as
+first-class events, with warm-started survivor re-planning.
+
+* :mod:`repro.resilience.faults` — declarative :class:`FaultPlan`
+  (transient/permanent machine failures, job kills), seeded-random plans;
+* :mod:`repro.resilience.executor` — fault-aware replay of a fixed
+  schedule (no re-planning): per-epoch job fates, preserved completed work,
+  truncated partial-run traces;
+* :mod:`repro.resilience.recovery` — drain-and-replan recovery loop
+  emitting a stitched validator-clean :class:`~repro.core.schedule.Schedule`
+  plus a :class:`DegradationReport`.
+"""
+
+from .executor import (
+    FATE_CONTINUING,
+    FATE_FINISHED,
+    FATE_KILLED,
+    FATE_LOST,
+    FATE_QUEUED,
+    EpochReport,
+    FaultyExecution,
+    LostRun,
+    execute_with_faults,
+)
+from .faults import FaultPlan, JobKill, MachineFailure, random_fault_plan
+from .recovery import (
+    DegradationReport,
+    EpochRecord,
+    RecoveryError,
+    RecoveryResult,
+    recover_with_faults,
+)
+
+__all__ = [
+    "FaultPlan",
+    "JobKill",
+    "MachineFailure",
+    "random_fault_plan",
+    "execute_with_faults",
+    "FaultyExecution",
+    "EpochReport",
+    "LostRun",
+    "FATE_FINISHED",
+    "FATE_CONTINUING",
+    "FATE_LOST",
+    "FATE_KILLED",
+    "FATE_QUEUED",
+    "recover_with_faults",
+    "RecoveryResult",
+    "RecoveryError",
+    "DegradationReport",
+    "EpochRecord",
+]

@@ -1,0 +1,302 @@
+"""Declarative fault plans: machine failures and job kills.
+
+A :class:`FaultPlan` is a serialisable description of everything that goes
+wrong during the execution of a schedule:
+
+* :class:`MachineFailure` — a contiguous span of machines goes down at
+  ``time``.  A *transient* failure (``repair_time`` set) brings the machines
+  back at ``time + repair_time``; a *permanent* one (``repair_time=None``)
+  never does.
+* :class:`JobKill` — a job (identified by name) is cancelled at ``time``:
+  if it is running its partial work is discarded, if it is still queued it
+  simply never runs.  Kills of already-finished jobs are no-ops.
+
+The plan is pure data — it does not know about schedules.  The fault-aware
+replay (:mod:`repro.resilience.executor`) and the recovery loop
+(:mod:`repro.resilience.recovery`) interpret it.  Machine availability is
+answered as *interval* arithmetic over ``[0, m)`` (``available_intervals``),
+so plans work unchanged for astronomically large machine counts (the
+compact-encoding regime) without ever materialising per-machine state.
+
+:func:`random_fault_plan` draws a seeded-random plan whose failures are
+guaranteed to leave at least ``min_alive`` machines up at every instant, so
+recovery always has somewhere to re-plan the survivors.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "MachineFailure",
+    "JobKill",
+    "FaultPlan",
+    "random_fault_plan",
+]
+
+Interval = Tuple[int, int]
+"""A half-open machine interval ``(first, end)``."""
+
+
+@dataclass(frozen=True)
+class MachineFailure:
+    """``count`` machines starting at ``first`` go down at ``time``.
+
+    ``repair_time=None`` marks the failure permanent; otherwise the machines
+    come back up at ``time + repair_time`` (the repair instant itself counts
+    as *up*, matching the half-open down window ``[time, time+repair_time)``).
+    """
+
+    time: float
+    first: int
+    count: int = 1
+    repair_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"failure time must be non-negative, got {self.time}")
+        if self.count < 1:
+            raise ValueError(f"failure span count must be >= 1, got {self.count}")
+        if self.first < 0:
+            raise ValueError(f"failure span start must be >= 0, got {self.first}")
+        if self.repair_time is not None and self.repair_time <= 0:
+            raise ValueError(f"repair_time must be positive, got {self.repair_time}")
+
+    @property
+    def permanent(self) -> bool:
+        return self.repair_time is None
+
+    @property
+    def down_until(self) -> float:
+        """End of the down window (``inf`` for permanent failures)."""
+        if self.repair_time is None:
+            return float("inf")
+        return self.time + self.repair_time
+
+    @property
+    def span(self) -> Interval:
+        return (self.first, self.first + self.count)
+
+
+@dataclass(frozen=True)
+class JobKill:
+    """Job ``job`` (by name) is cancelled at ``time``."""
+
+    time: float
+    job: str
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"kill time must be non-negative, got {self.time}")
+
+
+def _merge_intervals(intervals: Sequence[Interval]) -> List[Interval]:
+    """Union of half-open intervals as a sorted disjoint list."""
+    merged: List[Interval] = []
+    for first, end in sorted(i for i in intervals if i[1] > i[0]):
+        if merged and first <= merged[-1][1]:
+            prev_first, prev_end = merged[-1]
+            merged[-1] = (prev_first, max(prev_end, end))
+        else:
+            merged.append((first, end))
+    return merged
+
+
+def _complement(intervals: Sequence[Interval], m: int) -> List[Interval]:
+    """``[0, m)`` minus a sorted disjoint interval list."""
+    out: List[Interval] = []
+    cursor = 0
+    for first, end in intervals:
+        if first > cursor:
+            out.append((cursor, min(first, m)))
+        cursor = max(cursor, end)
+        if cursor >= m:
+            break
+    if cursor < m:
+        out.append((cursor, m))
+    return out
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete fault scenario for ``m`` machines.
+
+    ``failures`` and ``kills`` are stored sorted by time; availability
+    queries are answered from the failure windows directly (O(F log F) per
+    query with F failures — fault plans are small), so no incremental
+    per-machine state exists to go stale.
+    """
+
+    m: int
+    failures: Tuple[MachineFailure, ...] = field(default_factory=tuple)
+    kills: Tuple[JobKill, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise ValueError("m must be >= 1")
+        for f in self.failures:
+            if f.first + f.count > self.m:
+                raise ValueError(
+                    f"failure span ({f.first}, {f.count}) exceeds machine count m={self.m}"
+                )
+        object.__setattr__(
+            self, "failures", tuple(sorted(self.failures, key=lambda f: (f.time, f.first)))
+        )
+        object.__setattr__(
+            self, "kills", tuple(sorted(self.kills, key=lambda k: (k.time, k.job)))
+        )
+
+    def __len__(self) -> int:
+        return len(self.failures) + len(self.kills)
+
+    # ------------------------------------------------------------ timeline
+    def epochs(self) -> List[float]:
+        """Sorted distinct instants at which the fault state changes:
+        failure onsets, repair completions and kill times."""
+        times = {f.time for f in self.failures}
+        times.update(f.down_until for f in self.failures if not f.permanent)
+        times.update(k.time for k in self.kills)
+        return sorted(times)
+
+    def events_at(self, t: float) -> Dict[str, list]:
+        """The events firing exactly at instant ``t``."""
+        return {
+            "failures": [f for f in self.failures if f.time == t],
+            "repairs": [f for f in self.failures if not f.permanent and f.down_until == t],
+            "kills": [k for k in self.kills if k.time == t],
+        }
+
+    # --------------------------------------------------------- availability
+    def down_intervals(self, t: float) -> List[Interval]:
+        """Machines down at instant ``t`` (merged, sorted).  A machine is down
+        during the half-open window ``[time, time + repair_time)``."""
+        return _merge_intervals(
+            [f.span for f in self.failures if f.time <= t < f.down_until]
+        )
+
+    def available_intervals(self, t: float) -> List[Interval]:
+        """Machines up at instant ``t`` as sorted disjoint intervals."""
+        return _complement(self.down_intervals(t), self.m)
+
+    def available_count(self, t: float) -> int:
+        return sum(end - first for first, end in self.available_intervals(t))
+
+    def machines_lost_forever(self) -> int:
+        """Number of machines permanently down once every event has fired."""
+        return sum(
+            end - first
+            for first, end in _merge_intervals(
+                [f.span for f in self.failures if f.permanent]
+            )
+        )
+
+    # -------------------------------------------------------- serialisation
+    def to_dict(self) -> dict:
+        return {
+            "m": int(self.m),
+            "failures": [
+                {
+                    "time": f.time,
+                    "first": f.first,
+                    "count": f.count,
+                    "repair_time": f.repair_time,
+                }
+                for f in self.failures
+            ],
+            "kills": [{"time": k.time, "job": k.job} for k in self.kills],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        return cls(
+            m=int(payload["m"]),
+            failures=tuple(
+                MachineFailure(
+                    time=float(f["time"]),
+                    first=int(f["first"]),
+                    count=int(f["count"]),
+                    repair_time=(
+                        None if f.get("repair_time") is None else float(f["repair_time"])
+                    ),
+                )
+                for f in payload.get("failures", ())
+            ),
+            kills=tuple(
+                JobKill(time=float(k["time"]), job=str(k["job"]))
+                for k in payload.get("kills", ())
+            ),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def random_fault_plan(
+    job_names: Sequence[str],
+    m: int,
+    *,
+    seed: SeedLike = None,
+    failures: Optional[int] = None,
+    kills: Optional[int] = None,
+    horizon: float = 1.0,
+    transient_fraction: float = 0.5,
+    max_fraction: float = 0.5,
+    min_alive: int = 1,
+) -> FaultPlan:
+    """Draw a seeded-random fault plan.
+
+    ``failures``/``kills`` default to small random counts.  Failure spans are
+    drawn up to ``max_fraction * m`` machines wide; each candidate failure is
+    accepted only if, together with the already accepted ones, at least
+    ``min_alive`` machines stay up at every instant (checked at the finitely
+    many availability change points), so recovery always has machines left.
+    Candidates violating the invariant are re-drawn a bounded number of times
+    and then dropped — a plan may therefore contain fewer failures than
+    requested, never more.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if min_alive < 1 or min_alive > m:
+        raise ValueError(f"min_alive must lie in [1, {m}]")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    n_fail = int(rng.integers(1, 4)) if failures is None else int(failures)
+    n_kill = int(rng.integers(0, 2)) if kills is None else int(kills)
+
+    accepted: List[MachineFailure] = []
+    max_count = max(1, int(m * max_fraction))
+    for _ in range(n_fail):
+        for _attempt in range(32):
+            time = float(rng.uniform(0.0, horizon))
+            count = int(rng.integers(1, max_count + 1))
+            if count > m:
+                count = m
+            first = int(rng.integers(0, m - count + 1))
+            transient = bool(rng.uniform() < transient_fraction)
+            repair = float(rng.uniform(horizon * 0.1, horizon * 0.6)) if transient else None
+            candidate = MachineFailure(time=time, first=first, count=count, repair_time=repair)
+            trial = FaultPlan(m=m, failures=tuple(accepted) + (candidate,))
+            if all(
+                trial.available_count(f.time) >= min_alive for f in trial.failures
+            ):
+                accepted.append(candidate)
+                break
+
+    kill_events: List[JobKill] = []
+    names = list(job_names)
+    if names and n_kill > 0:
+        chosen = rng.choice(len(names), size=min(n_kill, len(names)), replace=False)
+        for i in np.atleast_1d(chosen).tolist():
+            kill_events.append(JobKill(time=float(rng.uniform(0.0, horizon)), job=names[i]))
+
+    return FaultPlan(m=m, failures=tuple(accepted), kills=tuple(kill_events))

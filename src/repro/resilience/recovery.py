@@ -1,0 +1,510 @@
+"""Failure-driven re-planning: drain-and-replan recovery with γ warm starts.
+
+:func:`recover_with_faults` executes an instance against a
+:class:`~repro.resilience.faults.FaultPlan` *with* re-scheduling: whenever
+the fault state changes (a failure fires, a repair completes, a kill lands),
+the loop
+
+1. commits every entry that already finished (completed work is preserved),
+2. discards the runs hit by the new failures (casualties restart from
+   scratch — moldable jobs do not checkpoint) and drops killed jobs,
+3. lets unaffected running entries *drain* to completion, and
+4. re-plans every pending job on the machines available at the epoch via
+   :func:`~repro.core.scheduler.schedule_moldable`, starting the new segment
+   at the drain barrier (the latest end among the surviving running
+   entries).
+
+Segment schedules are solved on an *abstract* contiguous machine set
+``[0, m_avail)`` — every driver assumes contiguous machines — and then
+remapped span-by-span onto the physical surviving intervals (order
+preserving, so disjoint abstract spans stay disjoint physically; the
+remapping is plain integer arithmetic and works unchanged for
+astronomically large machine counts).  Because each segment starts at or
+after the drain barrier and all earlier work ends at or before it, the
+stitched end-to-end schedule is conflict-free *by construction* and passes
+the unmodified :func:`~repro.core.validation.validate_schedule` (with the
+killed jobs removed from the expected set).
+
+Consecutive re-plans reuse γ-search work two ways: the per-epoch
+:class:`~repro.perf.oracle.BatchedOracle` is built with ``warm_start=True``
+*and* primed from the previous epoch's oracle
+(:meth:`~repro.perf.oracle.BatchedOracle.prime_from`), so each epoch's dual
+search starts from the cached γ-thresholds of the epoch before it — the
+pending set only shrinks and the estimator's target thresholds barely move
+between epochs, which is exactly the regime the bracket/interpolation warm
+start exploits.
+
+The loop is deterministic: identical inputs produce identical stitched
+schedules under every backend (the differential harness's ``faulty`` family
+pins the scalar reference against the vectorized drivers and both
+event-queue list-scheduler backends, bit for bit).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.backend import MAX_VECTORIZED_M
+from repro.core.fptas import fptas_machine_threshold
+from repro.core.job import MoldableJob
+from repro.core.schedule import Schedule, ScheduledJob
+from repro.core.scheduler import SchedulingResult, schedule_moldable
+from repro.core.validation import validate_schedule
+from repro.perf.oracle import BatchedOracle
+
+from .executor import LostRun, spans_hit
+from .faults import FaultPlan, Interval
+
+__all__ = [
+    "RecoveryError",
+    "EpochRecord",
+    "DegradationReport",
+    "RecoveryResult",
+    "recover_with_faults",
+]
+
+_EPS = 1e-9
+
+
+class RecoveryError(RuntimeError):
+    """Recovery is impossible (e.g. no machine left) or produced an
+    internally inconsistent schedule."""
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """What one fault epoch did to the running plan."""
+
+    time: float
+    machines_failed: int
+    machines_repaired: int
+    machines_available: int
+    finished: int
+    continuing: int
+    lost: int
+    killed: int
+    requeued: int
+    replanned: int
+    barrier: float
+    replan_latency: float
+    replan_algorithm: Optional[str]
+
+
+@dataclass
+class DegradationReport:
+    """How much the faults cost, relative to the fault-free plan."""
+
+    fault_free_makespan: float
+    recovered_makespan: float
+    machines_lost: int
+    jobs_killed: int
+    jobs_restarted: int
+    work_completed: float
+    work_lost: float
+    replans: int
+    replan_latencies: List[float] = field(default_factory=list)
+    gamma_probes: Optional[int] = None
+    epochs: List[EpochRecord] = field(default_factory=list)
+
+    @property
+    def makespan_regret(self) -> float:
+        """Absolute makespan increase caused by the faults (can be negative
+        only through kills removing work)."""
+        return self.recovered_makespan - self.fault_free_makespan
+
+    @property
+    def regret_ratio(self) -> float:
+        if self.fault_free_makespan <= 0:
+            return 1.0
+        return self.recovered_makespan / self.fault_free_makespan
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"fault-free makespan   {self.fault_free_makespan:.4f}",
+            f"recovered makespan    {self.recovered_makespan:.4f}"
+            f"  (regret {self.makespan_regret:+.4f}, x{self.regret_ratio:.3f})",
+            f"machines lost         {self.machines_lost}",
+            f"jobs killed           {self.jobs_killed}",
+            f"jobs restarted        {self.jobs_restarted}",
+            f"work completed/lost   {self.work_completed:.2f} / {self.work_lost:.2f}",
+            f"re-plans              {self.replans}"
+            + (
+                f"  (max latency {max(self.replan_latencies) * 1e3:.1f} ms)"
+                if self.replan_latencies
+                else ""
+            ),
+        ]
+        if self.gamma_probes is not None:
+            lines.append(f"gamma probes          {self.gamma_probes}")
+        return lines
+
+
+@dataclass
+class RecoveryResult:
+    """Stitched fault-tolerant schedule plus its degradation report."""
+
+    schedule: Schedule
+    report: DegradationReport
+    plan: FaultPlan
+    fault_free: SchedulingResult
+    killed: List[str]
+    lost: List[LostRun]
+
+    @property
+    def makespan(self) -> float:
+        return self.schedule.makespan
+
+    @property
+    def survivors(self) -> List[MoldableJob]:
+        killed = set(self.killed)
+        return [j for j in self.fault_free.schedule.jobs() if j.name not in killed]
+
+
+@dataclass
+class _Placed:
+    """An absolutely-placed entry awaiting completion."""
+
+    job: MoldableJob
+    start: float
+    spans: List[Interval]
+    duration: float
+    duration_override: Optional[float]
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def processors(self) -> int:
+        return sum(count for _, count in self.spans)
+
+
+def _remap_spans(
+    spans: Sequence[Interval], available: Sequence[Interval], prefix: Sequence[int]
+) -> List[Interval]:
+    """Map abstract contiguous-machine spans onto the physical surviving
+    intervals.
+
+    ``available`` is the sorted disjoint interval list of up machines;
+    ``prefix[i]`` is the number of available machines before interval ``i``.
+    The mapping is the order-preserving bijection from abstract position
+    ``p`` to the ``p``-th available physical machine, so disjoint abstract
+    spans map to disjoint physical machine sets (possibly split into several
+    physical spans each).
+    """
+    out: List[Interval] = []
+    for first, count in spans:
+        pos = first
+        remaining = count
+        i = bisect_right(prefix, pos) - 1
+        while remaining > 0:
+            base, end = available[i]
+            offset = pos - prefix[i]
+            width = (end - base) - offset
+            if width <= 0:
+                raise RecoveryError(
+                    f"abstract span ({first}, {count}) exceeds the available machines"
+                )
+            take = min(remaining, width)
+            out.append((base + offset, base + offset + take))
+            remaining -= take
+            pos += take
+            i += 1
+    # Schedule spans are (first, count) pairs; merge adjacency for stability.
+    merged: List[Interval] = []
+    for a, b in out:
+        if merged and merged[-1][1] == a:
+            merged[-1] = (merged[-1][0], b)
+        else:
+            merged.append((a, b))
+    return [(a, b - a) for a, b in merged]
+
+
+def _segment_algorithm(algorithm: str, n: int, m_avail: int, eps: float) -> str:
+    """Per-epoch algorithm choice: respect the caller's pick where it stays
+    applicable on the shrunken machine set, fall back deterministically
+    otherwise (identically across backends, preserving bit-equality)."""
+    if algorithm == "auto":
+        return "auto"  # schedule_moldable re-derives the regime per segment
+    if algorithm == "fptas" and m_avail < fptas_machine_threshold(n, eps):
+        return "bounded"
+    if algorithm == "exact" and (n > 7 or m_avail > 8):
+        return "bounded"
+    return algorithm
+
+
+def recover_with_faults(
+    jobs: Sequence[MoldableJob],
+    m: int,
+    plan: FaultPlan,
+    *,
+    eps: float = 0.1,
+    algorithm: str = "auto",
+    backend: str = "vectorized",
+    list_backend: Optional[str] = None,
+    warm_start: bool = True,
+    validate: bool = True,
+) -> RecoveryResult:
+    """Execute ``jobs`` on ``m`` machines under ``plan`` with re-planning.
+
+    Parameters mirror :func:`~repro.core.scheduler.schedule_moldable`;
+    ``warm_start`` additionally controls whether consecutive re-plans share
+    γ-caches (``BatchedOracle(warm_start=...)`` plus cross-epoch
+    :meth:`~repro.perf.oracle.BatchedOracle.prime_from` priming) — the bench
+    suite's recovery rows measure exactly this toggle.  With ``validate``
+    the stitched schedule is checked against the surviving (non-killed) job
+    set and a failure raises :class:`RecoveryError` (it would be a bug in
+    the stitching, not in the caller's input).
+    """
+    jobs = list(jobs)
+    if plan.m != m:
+        raise ValueError(f"fault plan is for m={plan.m} machines, scheduler called with m={m}")
+    names = [j.name for j in jobs]
+    by_name: Dict[str, MoldableJob] = {j.name: j for j in jobs}
+    if plan.kills:
+        if len(set(names)) != len(names):
+            raise ValueError("job names must be unique when the fault plan contains kills")
+        for k in plan.kills:
+            if k.job not in by_name:
+                raise ValueError(f"fault plan kills unknown job {k.job!r}")
+
+    fault_free = schedule_moldable(
+        jobs, m, eps, algorithm=algorithm, validate=False, backend=backend,
+        list_backend=list_backend,
+    )
+
+    if not jobs:
+        report = DegradationReport(
+            fault_free_makespan=0.0,
+            recovered_makespan=0.0,
+            machines_lost=plan.machines_lost_forever(),
+            jobs_killed=0,
+            jobs_restarted=0,
+            work_completed=0.0,
+            work_lost=0.0,
+            replans=0,
+        )
+        return RecoveryResult(
+            schedule=Schedule(m=m),
+            report=report,
+            plan=plan,
+            fault_free=fault_free,
+            killed=[],
+            lost=[],
+        )
+
+    # --- mutable state -----------------------------------------------------
+    pending: Dict[int, MoldableJob] = {id(j): j for j in jobs}  # not done, not killed
+    committed: List[_Placed] = []
+    killed: List[str] = []
+    lost: List[LostRun] = []
+    epochs: List[EpochRecord] = []
+    replan_latencies: List[float] = []
+    gamma_probes = 0 if backend == "vectorized" else None
+    prev_oracle: Optional[BatchedOracle] = None
+
+    current: List[_Placed] = [
+        _Placed(
+            job=e.job,
+            start=e.start,
+            spans=list(e.spans),
+            duration=e.duration,
+            duration_override=e.duration_override,
+        )
+        for e in fault_free.schedule.entries
+    ]
+
+    for tau in plan.epochs():
+        events = plan.events_at(tau)
+        new_failures = events["failures"]
+        kill_names = {k.job for k in events["kills"]}
+
+        finished = [p for p in current if p.end <= tau + _EPS]
+        for p in finished:
+            committed.append(p)
+            pending.pop(id(p.job), None)
+
+        live = [p for p in current if p.end > tau + _EPS]
+        running = [p for p in live if p.start < tau - _EPS]
+        queued = [p for p in live if p.start >= tau - _EPS]
+
+        # casualties: running entries whose machines just went down
+        continuing: List[_Placed] = []
+        n_lost = 0
+        for p in running:
+            hit = next((f for f in new_failures if spans_hit(p.spans, f)), None)
+            if hit is not None:
+                n_lost += 1
+                lost.append(
+                    LostRun(
+                        job_name=p.job.name,
+                        start=p.start,
+                        cut=tau,
+                        processors=p.processors,
+                        scheduled_end=p.end,
+                        cause="failure",
+                        cause_time=tau,
+                    )
+                )
+            else:
+                continuing.append(p)
+
+        # kills: running partials are lost, pending jobs simply leave the pool
+        n_killed = 0
+        if kill_names:
+            still: List[_Placed] = []
+            for p in continuing:
+                if p.job.name in kill_names:
+                    lost.append(
+                        LostRun(
+                            job_name=p.job.name,
+                            start=p.start,
+                            cut=tau,
+                            processors=p.processors,
+                            scheduled_end=p.end,
+                            cause="kill",
+                            cause_time=tau,
+                        )
+                    )
+                else:
+                    still.append(p)
+            continuing = still
+            for name in kill_names:
+                job = by_name[name]
+                if id(job) in pending:
+                    pending.pop(id(job))
+                    killed.append(name)
+                    n_killed += 1
+
+        # re-plan everything pending that is not currently draining
+        draining = {id(p.job) for p in continuing}
+        to_plan = [j for j in jobs if id(j) in pending and id(j) not in draining]
+        replanned = 0
+        latency = 0.0
+        seg_algorithm: Optional[str] = None
+        available = plan.available_intervals(tau)
+        m_avail = sum(end - first for first, end in available)
+        if to_plan:
+            if m_avail < 1:
+                raise RecoveryError(
+                    f"no machines available at epoch {tau} but {len(to_plan)} jobs are pending"
+                )
+            barrier = max([tau] + [p.end for p in continuing])
+            seg_algorithm = _segment_algorithm(algorithm, len(to_plan), m_avail, eps)
+            oracle: Optional[BatchedOracle] = None
+            # only two_approx / fptas (and auto, which may resolve to fptas)
+            # accept an external oracle — don't build one the driver ignores
+            if (
+                backend == "vectorized"
+                and m_avail <= MAX_VECTORIZED_M
+                and seg_algorithm in ("two_approx", "fptas", "auto")
+            ):
+                oracle = BatchedOracle(to_plan, m_avail, warm_start=warm_start)
+                if warm_start and prev_oracle is not None:
+                    oracle.prime_from(prev_oracle)
+            t0 = perf_counter()
+            segment = schedule_moldable(
+                to_plan,
+                m_avail,
+                eps,
+                algorithm=seg_algorithm,
+                validate=False,
+                backend=backend,
+                oracle=oracle,
+                list_backend=list_backend,
+            )
+            latency = perf_counter() - t0
+            replan_latencies.append(latency)
+            if oracle is not None:
+                gamma_probes = (gamma_probes or 0) + oracle.gamma_probes
+                prev_oracle = oracle
+            replanned = len(to_plan)
+            prefix = [0]
+            for first, end in available:
+                prefix.append(prefix[-1] + (end - first))
+            placed: List[_Placed] = []
+            for e in segment.schedule.entries:
+                placed.append(
+                    _Placed(
+                        job=e.job,
+                        start=barrier + e.start,
+                        spans=_remap_spans(e.spans, available, prefix),
+                        duration=e.duration,
+                        duration_override=e.duration_override,
+                    )
+                )
+            current = continuing + placed
+        else:
+            barrier = tau
+            current = continuing
+
+        epochs.append(
+            EpochRecord(
+                time=tau,
+                machines_failed=sum(f.count for f in new_failures),
+                machines_repaired=sum(f.count for f in events["repairs"]),
+                machines_available=m_avail,
+                finished=len(finished),
+                continuing=len(continuing),
+                lost=n_lost,
+                killed=n_killed,
+                requeued=len(queued),
+                replanned=replanned,
+                barrier=barrier,
+                replan_latency=latency,
+                replan_algorithm=seg_algorithm,
+            )
+        )
+
+    # everything still placed after the last event runs to completion
+    for p in current:
+        committed.append(p)
+        pending.pop(id(p.job), None)
+
+    if pending:  # pragma: no cover - internal invariant
+        raise RecoveryError(f"jobs left unplanned after all epochs: {sorted(j.name for j in pending.values())}")
+
+    stitched = Schedule(
+        m=m,
+        metadata={
+            "algorithm": f"recovery[{algorithm}]",
+            "fault_events": len(plan),
+            "replans": len(replan_latencies),
+        },
+    )
+    for p in committed:
+        stitched.add(p.job, p.start, p.spans, duration_override=p.duration_override)
+
+    survivors = [j for j in jobs if j.name not in set(killed)]
+    if validate:
+        verdict = validate_schedule(stitched, survivors)
+        if not verdict.ok:
+            raise RecoveryError(
+                "stitched recovery schedule failed validation: "
+                + "; ".join(verdict.violations[:5])
+            )
+
+    report = DegradationReport(
+        fault_free_makespan=fault_free.schedule.makespan,
+        recovered_makespan=stitched.makespan,
+        machines_lost=plan.machines_lost_forever(),
+        jobs_killed=len(killed),
+        jobs_restarted=len({r.job_name for r in lost if r.job_name not in set(killed)}),
+        work_completed=stitched.total_work,
+        work_lost=sum(r.work_lost for r in lost),
+        replans=len(replan_latencies),
+        replan_latencies=replan_latencies,
+        gamma_probes=gamma_probes,
+        epochs=epochs,
+    )
+    return RecoveryResult(
+        schedule=stitched,
+        report=report,
+        plan=plan,
+        fault_free=fault_free,
+        killed=killed,
+        lost=lost,
+    )

@@ -55,12 +55,14 @@ from typing import Callable, Dict
 import numpy as np
 
 from repro.core.bounded_algorithm import bounded_schedule
+from repro.core.bounds import trivial_lower_bound
 from repro.core.compressible_algorithm import compressible_schedule
 from repro.core.fptas import fptas_schedule
 from repro.core.mrt import mrt_schedule
 from repro.core.schedule import Schedule
 from repro.core.two_approx import two_approximation
 from repro.core.validation import validate_schedule
+from repro.resilience import FaultPlan, RecoveryResult, random_fault_plan, recover_with_faults
 from repro.simulator.engine import SimulationError, simulate_schedule
 from repro.workloads.generators import (
     random_bimodal_instance,
@@ -89,6 +91,10 @@ FAMILIES: Dict[str, Callable] = {
     "tiny_n_huge_m": random_mixed_instance,
     "quantized": random_quantized_instance,
     "chain": random_chain_instance,
+    # fault-recovery family: mixed instances executed through the
+    # drain-and-replan recovery loop against a seed-derived FaultPlan; the
+    # comparison pins the *stitched* schedules bit-identical across backends
+    "faulty": random_mixed_instance,
 }
 
 TINY_N_HUGE_M = 1 << 20
@@ -184,14 +190,96 @@ def _assert_validator_verdicts_agree(schedule: Schedule, jobs, case: dict) -> No
     assert columnar.ok, f"{context}: {columnar.violations}"
 
 
+def fault_plan_for(case: dict, jobs) -> FaultPlan:
+    """Seed-derived fault plan for a ``faulty``-family case.
+
+    Deterministic in the case alone (the horizon comes from the instance's
+    trivial lower bound, itself seed-deterministic), so every backend of the
+    comparison regenerates the identical plan.
+    """
+    m = effective_m(case)
+    horizon = 1.5 * trivial_lower_bound(jobs, m)
+    if horizon <= 0:
+        horizon = 1.0
+    return random_fault_plan(
+        [j.name for j in jobs], m, seed=int(case["seed"]) ^ 0x5EED, horizon=horizon
+    )
+
+
+def run_recovery(case: dict, backend: str, jobs, plan: FaultPlan) -> RecoveryResult:
+    """Run the drain-and-replan recovery loop under one backend, mirroring
+    :func:`run_driver`'s backend → (backend, list_backend) mapping."""
+    if backend not in BACKENDS:
+        raise KeyError(backend)
+    m = effective_m(case)
+    eps = float(case["eps"])
+    driver = case["driver"]
+    if backend == "scalar":
+        return recover_with_faults(jobs, m, plan, eps=eps, algorithm=driver, backend="scalar")
+    if driver == "two_approx":
+        list_backend = "wakeup" if backend == "vectorized" else backend
+        return recover_with_faults(
+            jobs, m, plan, eps=eps, algorithm=driver, backend="vectorized",
+            list_backend=list_backend,
+        )
+    return recover_with_faults(jobs, m, plan, eps=eps, algorithm=driver, backend="vectorized")
+
+
+def _run_recovery_case(case: dict) -> None:
+    """The ``faulty``-family differential check: every backend must produce
+    the identical *stitched* recovery schedule, agreeing validator verdicts
+    on the surviving jobs, and matching degradation accounting."""
+    scalar_jobs = build_instance(case).jobs
+    plan = fault_plan_for(case, scalar_jobs)
+    scalar = run_recovery(case, "scalar", scalar_jobs, plan)
+    scalar_survivors = [j for j in scalar_jobs if j.name not in set(scalar.killed)]
+    _assert_validator_verdicts_agree(scalar.schedule, scalar_survivors, case)
+
+    for backend in BACKENDS[1:]:
+        if backend in LIST_ONLY_BACKENDS and case["driver"] != "two_approx":
+            continue
+        jobs = build_instance(case).jobs
+        result = run_recovery(case, backend, jobs, fault_plan_for(case, jobs))
+        context = f"case {case!r}, backend {backend!r} vs scalar (recovery)"
+        assert scalar.killed == result.killed, context
+        assert scalar.makespan == result.makespan, (
+            f"{context}: makespan {scalar.makespan!r} != {result.makespan!r}"
+        )
+        _assert_schedules_identical(scalar.schedule, result.schedule, case, backend)
+        survivors = [j for j in jobs if j.name not in set(result.killed)]
+        _assert_validator_verdicts_agree(result.schedule, survivors, case)
+        # degradation accounting must be backend-independent (latencies and
+        # probe counts legitimately differ; everything else must not)
+        assert scalar.report.replans == result.report.replans, context
+        assert scalar.report.fault_free_makespan == result.report.fault_free_makespan, context
+        assert scalar.report.recovered_makespan == result.report.recovered_makespan, context
+        assert scalar.report.work_lost == result.report.work_lost, context
+        assert scalar.report.jobs_killed == result.report.jobs_killed, context
+        assert scalar.report.jobs_restarted == result.report.jobs_restarted, context
+
+        # independent cross-check: the discrete-event simulator accepts the
+        # stitched schedule and reproduces its makespan
+        try:
+            trace = simulate_schedule(result.schedule, backend="scalar")
+        except SimulationError as exc:  # pragma: no cover - a real finding
+            raise AssertionError(
+                f"simulator rejected a stitched recovery schedule for {context}: {exc}"
+            )
+        assert trace.makespan == result.schedule.makespan, context
+
+
 def run_case(case: dict) -> None:
     """Execute one differential case; raises AssertionError on any mismatch.
 
     N-way: every backend in :data:`BACKENDS` runs on its own regenerated
     instance (the generators are seed-deterministic, and separate job
     objects rule out cross-backend memo pollution hiding a real divergence)
-    and is compared against the scalar reference.
+    and is compared against the scalar reference.  ``faulty``-family cases
+    run the whole fault-recovery loop instead of a single solve.
     """
+    if case["family"] == "faulty":
+        _run_recovery_case(case)
+        return
     scalar_jobs = build_instance(case).jobs
     scalar = run_driver(case, "scalar", scalar_jobs)
     # validator verdicts: columnar and scalar validation backends must agree

@@ -1,8 +1,9 @@
 """Hypothesis-driven cross-backend parity fuzzing.
 
 Draws random (driver, family, n, m, eps, seed) cases across all five
-algorithm drivers and all seven instance families (the bench sweep plus the
-tie-heavy ``quantized`` and the no-tie ``chain`` families), runs each
+algorithm drivers and all eight instance families (the bench sweep plus the
+tie-heavy ``quantized``, the no-tie ``chain``, and the fault-recovery
+``faulty`` families), runs each
 driver under every backend of the N-way comparison (scalar heap reference,
 vectorized drivers, batched event-queue list scheduler, candidate-indexed
 event-queue list scheduler), and asserts identical schedules, makespans and
@@ -84,6 +85,7 @@ class TestHarnessSelfChecks:
             "tiny_n_huge_m",
             "quantized",
             "chain",
+            "faulty",
         }
 
     def test_comparison_is_n_way(self):
@@ -106,6 +108,13 @@ class TestHarnessSelfChecks:
     def test_one_deterministic_case_per_driver(self, driver):
         run_case(
             {"driver": driver, "family": "mixed", "n": 6, "m": 24, "eps": 0.25, "seed": 7}
+        )
+
+    @pytest.mark.parametrize("driver", DRIVERS)
+    def test_one_deterministic_faulty_case_per_driver(self, driver):
+        """The recovery loop itself is part of the N-way comparison."""
+        run_case(
+            {"driver": driver, "family": "faulty", "n": 8, "m": 24, "eps": 0.25, "seed": 11}
         )
 
     def test_save_failure_roundtrip(self, tmp_path, monkeypatch):

@@ -1,0 +1,48 @@
+"""Subprocess smoke tests for the runnable examples/.
+
+Each example is executed exactly the way the README tells a user to run it
+(``python examples/<name>.py`` with ``src`` on ``PYTHONPATH``), so import
+breakage, API drift, or a crash anywhere in the script fails tier-1 —
+docstring-only walkthroughs cannot rot silently.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = [
+    "online_cluster_day.py",
+    "cluster_with_failures.py",
+]
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "examples" / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_clean(name):
+    proc = run_example(name)
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_failure_example_reports_successful_recovery():
+    proc = run_example("cluster_with_failures.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "stitched schedule validates on survivors: True" in proc.stdout
+    assert "simulator replay matches: True" in proc.stdout
+    assert "fault plan JSON roundtrip: True" in proc.stdout
+    assert "re-plans" in proc.stdout

@@ -42,7 +42,8 @@ class TestConfigs:
         families = {c["family"] for c in configs}
         algorithms = {c["algorithm"] for c in configs}
         assert families == set(DEFAULT_FAMILIES)
-        assert algorithms == set(ALL_ALGORITHMS)
+        # recovery rides alongside the backend-vs-backend sweep
+        assert algorithms == set(ALL_ALGORITHMS) | {"recovery"}
         # the tiny family pins every algorithm to the large-m dispatch shape
         tiny = [c for c in configs if c["family"] == "tiny_n_huge_m"]
         assert {c["algorithm"] for c in tiny} == set(ALL_ALGORITHMS)
@@ -98,6 +99,15 @@ class TestConfigs:
             configs = _configs(mode, list(DEFAULT_FAMILIES))
             rows = [c for c in configs if c["algorithm"] == "list_schedule"]
             assert any(c["n"] >= 1000 for c in rows), mode
+
+    def test_recovery_rows_present_in_both_modes(self):
+        for mode in ("smoke", "full"):
+            configs = _configs(mode, list(DEFAULT_FAMILIES))
+            rows = [c for c in configs if c["algorithm"] == "recovery"]
+            assert rows, mode
+            # recovery is an end-to-end loop on a moderate cluster, never
+            # the tiny_n_huge_m / chain coverage shapes
+            assert all(c["family"] not in ("tiny_n_huge_m", "chain") for c in rows)
 
     def test_unknown_family_rejected(self):
         with pytest.raises(ValueError, match="unknown families"):
@@ -287,6 +297,58 @@ class TestAggregatesAndGate:
         message = "\n".join(failures)
         assert "admission-query floor" in message
         assert "scan 100000 vs indexed 80000" in message
+
+    def _recovery_row(self, probes=(120, 1000), replans=4, warm_seconds=0.5):
+        row = _row("recovery", "mixed", 80, 1.0)
+        row.m = 64
+        row.gamma_probes_warm, row.gamma_probes_cold = probes
+        row.replans = replans
+        row.vectorized_seconds = warm_seconds
+        return row
+
+    def test_recovery_aggregates(self):
+        rows = [
+            self._recovery_row(probes=(100, 800), replans=3, warm_seconds=0.5),
+            self._recovery_row(probes=(100, 200), replans=5, warm_seconds=1.5),
+            # fptas probes must stay out of the recovery aggregate (and the
+            # recovery probes out of gamma_probe_reduction)
+            _row("fptas", "mixed", 2000, 10.0, probes=(300, 1000)),
+        ]
+        aggregates = _aggregate(rows)
+        assert aggregates["recovery_probes_warm_total"] == 200.0
+        assert aggregates["recovery_probes_cold_total"] == 1000.0
+        assert aggregates["recovery_probe_reduction"] == pytest.approx(0.8)
+        assert aggregates["recovery_replans_total"] == 8.0
+        assert aggregates["recovery_replans_per_sec"] == pytest.approx(4.0)
+        assert aggregates["gamma_probes_warm_total"] == 300.0
+        assert aggregates["gamma_probes_cold_total"] == 1000.0
+        assert "recovery_probe_reduction" not in _aggregate(rows[-1:])
+
+    def test_recovery_floor_gate_names_rows_and_counters(self, tmp_path):
+        report = self._report([self._recovery_row(probes=(700, 1000))])
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"aggregates": {}}))
+        failures = check_regression(
+            report, str(baseline), min_fptas_two_approx=None, min_list_schedule=None
+        )
+        message = "\n".join(failures)
+        assert "re-plan warm-start floor" in message
+        assert "recovery/mixed" in message
+        assert "warm 700 vs cold 1000" in message and "4 re-plans" in message
+        assert not check_regression(
+            report,
+            str(baseline),
+            min_fptas_two_approx=None,
+            min_list_schedule=None,
+            min_recovery=None,
+        )
+        assert not check_regression(
+            report,
+            str(baseline),
+            min_fptas_two_approx=None,
+            min_list_schedule=None,
+            min_recovery=0.25,
+        )
 
     def test_stale_baseline_missing_row_fails_with_named_message(self, tmp_path):
         """A baseline that predates freshly added rows must fail the gate

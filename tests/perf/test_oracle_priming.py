@@ -1,0 +1,117 @@
+"""Cross-oracle γ-cache priming (``BatchedOracle.prime_from``).
+
+The recovery loop re-plans a shrinking job subset on a changing machine
+count every fault epoch; ``prime_from`` carries the previous epoch's cached
+γ-thresholds into the fresh oracle.  The transfers must be *exact* — a
+primed oracle's ``gamma_array`` answers must be bit-identical to a cold
+oracle's — because the warm-start bracket narrowing trusts cached arrays
+unconditionally.
+"""
+
+import numpy as np
+
+from repro.core.job import AmdahlJob
+from repro.perf.oracle import BatchedOracle
+
+
+def make_jobs(n=12):
+    return [AmdahlJob(f"j{i}", 20.0 + 3.0 * i, 0.05 + 0.01 * i) for i in range(n)]
+
+
+THRESHOLDS = [2.0, 3.5, 5.0, 8.0, 21.0, 40.0]
+
+
+class TestPrimeFrom:
+    def test_same_m_transfers_everything_exactly(self):
+        jobs = make_jobs()
+        src = BatchedOracle(jobs, 64)
+        for t in THRESHOLDS:
+            src.gamma_array(t)
+
+        primed = BatchedOracle(jobs, 64)
+        assert primed.prime_from(src) == len(THRESHOLDS)
+        cold = BatchedOracle(jobs, 64, warm_start=False)
+        for t in THRESHOLDS:
+            before = primed.stats["gamma_batches"]
+            assert np.array_equal(primed.gamma_array(t), cold.gamma_array(t))
+            # cache hit, no new lockstep search
+            assert primed.stats["gamma_batches"] == before
+
+    def test_subset_of_jobs_remaps_rows(self):
+        jobs = make_jobs()
+        src = BatchedOracle(jobs, 64)
+        for t in THRESHOLDS:
+            src.gamma_array(t)
+        subset = [jobs[i] for i in (7, 1, 10, 4)]  # permuted subset
+        primed = BatchedOracle(subset, 64)
+        assert primed.prime_from(src) == len(THRESHOLDS)
+        cold = BatchedOracle(subset, 64, warm_start=False)
+        for t in THRESHOLDS:
+            assert np.array_equal(primed.gamma_array(t), cold.gamma_array(t))
+
+    def test_shrinking_m_clamps_to_sentinel_exactly(self):
+        jobs = make_jobs()
+        src = BatchedOracle(jobs, 64)
+        for t in THRESHOLDS:
+            src.gamma_array(t)
+        primed = BatchedOracle(jobs, 5)
+        assert primed.prime_from(src) == len(THRESHOLDS)
+        cold = BatchedOracle(jobs, 5, warm_start=False)
+        for t in THRESHOLDS:
+            assert np.array_equal(primed.gamma_array(t), cold.gamma_array(t))
+
+    def test_growing_m_skips_sentinel_thresholds(self):
+        jobs = make_jobs()
+        src = BatchedOracle(jobs, 4)  # tight: low thresholds are infeasible
+        for t in THRESHOLDS:
+            src.gamma_array(t)
+        sentinel_thresholds = [
+            t for t in THRESHOLDS if (src.gamma_array(t) > 4).any()
+        ]
+        assert sentinel_thresholds, "fixture must exercise the skip path"
+
+        primed = BatchedOracle(jobs, 64)
+        transferred = primed.prime_from(src)
+        assert transferred == len(THRESHOLDS) - len(sentinel_thresholds)
+        cold = BatchedOracle(jobs, 64, warm_start=False)
+        for t in THRESHOLDS:
+            assert np.array_equal(primed.gamma_array(t), cold.gamma_array(t))
+
+    def test_unknown_jobs_are_a_noop(self):
+        src = BatchedOracle(make_jobs(), 64)
+        src.gamma_array(5.0)
+        other = BatchedOracle(make_jobs(), 64)  # fresh objects, unknown ids
+        assert other.prime_from(src) == 0
+        assert other._sorted_thresholds == []
+
+    def test_empty_oracle_is_a_noop(self):
+        src = BatchedOracle(make_jobs(), 64)
+        src.gamma_array(5.0)
+        empty = BatchedOracle([], 64)
+        assert empty.prime_from(src) == 0
+
+    def test_existing_thresholds_not_overwritten(self):
+        jobs = make_jobs()
+        src = BatchedOracle(jobs, 64)
+        src.gamma_array(5.0)
+        primed = BatchedOracle(jobs, 64)
+        own = primed.gamma_array(5.0)
+        assert primed.prime_from(src) == 0
+        assert primed.gamma_array(5.0) is own
+
+    def test_primed_thresholds_feed_the_warm_start(self):
+        """A primed oracle must spend fewer probes on a nearby threshold
+        than a completely cold oracle — the recovery loop's win."""
+        jobs = make_jobs(64)
+        src = BatchedOracle(jobs, 1 << 14)
+        src.gamma_array(4.9)
+        src.gamma_array(5.1)
+
+        primed = BatchedOracle(jobs, 1 << 14)
+        primed.prime_from(src)
+        primed.gamma_array(5.0)
+        primed_evals = primed.stats["oracle_evals"]
+
+        cold = BatchedOracle(jobs, 1 << 14)
+        cold.gamma_array(5.0)
+        assert primed_evals < cold.stats["oracle_evals"]

@@ -10,7 +10,15 @@ import pytest
 
 from repro.core.schedule import Schedule
 from repro.core.scheduler import schedule_moldable
-from repro.core.validation import validate_schedule
+from repro.core.validation import (
+    BAD_DURATION,
+    BAD_SPAN,
+    CONFLICT,
+    DUPLICATE_JOB,
+    MISSING_JOB,
+    Violation,
+    validate_schedule,
+)
 from repro.simulator.engine import SimulationError, simulate_schedule
 from repro.workloads.generators import random_mixed_instance
 
@@ -35,20 +43,23 @@ def rebuild(schedule: Schedule, mutate) -> Schedule:
 class TestValidatorCatchesCorruption:
     def test_shifting_a_job_into_another_is_caught(self, good_schedule):
         instance, schedule = good_schedule
-        # find a job that starts strictly after another on the same machines
-        target = max(range(len(schedule.entries)), key=lambda i: schedule.entries[i].start)
-        if schedule.entries[target].start == 0:
-            pytest.skip("all jobs start at 0 in this schedule")
+        # guaranteed conflict: give one entry another entry's start *and*
+        # machine spans — both run for a positive duration from the same
+        # instant on the same machines, so they must overlap
+        entries = schedule.entries
+        assert len(entries) >= 2
+        victim, mover = entries[0], entries[-1]
+        assert victim is not mover
 
         corrupted = rebuild(
             schedule,
-            lambda i, e: (0.0 if i == target else e.start, e.spans, e.duration_override),
+            lambda i, e: (
+                (victim.start, victim.spans, None) if e is mover else (e.start, e.spans, e.duration_override)
+            ),
         )
         report = validate_schedule(corrupted, instance.jobs)
-        # moving the last job to time 0 either conflicts or (rarely) still fits;
-        # ensure the validator at least still terminates and flags conflicts when present
-        if not report.ok:
-            assert any("conflict" in v for v in report.violations)
+        assert not report.ok
+        assert report.has(CONFLICT), report.violations
 
     def test_dropping_a_job_is_caught(self, good_schedule):
         instance, schedule = good_schedule
@@ -57,7 +68,7 @@ class TestValidatorCatchesCorruption:
             clone.add(entry.job, entry.start, entry.spans, duration_override=entry.duration_override)
         report = validate_schedule(clone, instance.jobs)
         assert not report.ok
-        assert any("missing" in v for v in report.violations)
+        assert report.has(MISSING_JOB), report.codes
 
     def test_duplicating_a_job_is_caught(self, good_schedule):
         instance, schedule = good_schedule
@@ -68,7 +79,7 @@ class TestValidatorCatchesCorruption:
         clone.add(first.job, schedule.makespan + 1.0, first.spans)
         report = validate_schedule(clone, instance.jobs)
         assert not report.ok
-        assert any("times" in v for v in report.violations)
+        assert report.has(DUPLICATE_JOB), report.codes
 
     def test_out_of_range_span_is_caught(self, good_schedule):
         instance, schedule = good_schedule
@@ -78,7 +89,7 @@ class TestValidatorCatchesCorruption:
         )
         report = validate_schedule(corrupted, instance.jobs)
         assert not report.ok
-        assert any("exceeds machine count" in v for v in report.violations)
+        assert report.has(BAD_SPAN), report.codes
 
     def test_understating_duration_is_caught(self, good_schedule):
         instance, schedule = good_schedule
@@ -88,7 +99,7 @@ class TestValidatorCatchesCorruption:
         )
         report = validate_schedule(corrupted, instance.jobs)
         assert not report.ok
-        assert any("understates" in v for v in report.violations)
+        assert report.has(BAD_DURATION), report.codes
 
     def test_overlapping_spans_between_jobs_caught_by_simulator_too(self, good_schedule):
         instance, schedule = good_schedule
@@ -113,8 +124,24 @@ class TestValidatorCatchesCorruption:
                 clone.add(entry.job, entry.start, entry.spans, duration_override=entry.duration_override)
         report = validate_schedule(clone, instance.jobs)
         assert not report.ok
+        assert report.has(CONFLICT), report.codes
         with pytest.raises(SimulationError):
             simulate_schedule(clone)
+
+    def test_violations_are_strings_with_codes(self, good_schedule):
+        """Violations stay plain strings (messages) while carrying codes."""
+        instance, schedule = good_schedule
+        clone = Schedule(m=schedule.m)
+        for entry in schedule.entries[:-1]:
+            clone.add(entry.job, entry.start, entry.spans, duration_override=entry.duration_override)
+        report = validate_schedule(clone, instance.jobs)
+        assert not report.ok
+        for v in report.violations:
+            assert isinstance(v, str)
+            assert isinstance(v, Violation)
+            assert v.code == MISSING_JOB
+            assert "missing" in v  # the human-readable message is intact
+        assert report.codes == [MISSING_JOB]
 
     def test_uncorrupted_schedule_still_passes(self, good_schedule):
         instance, schedule = good_schedule

@@ -1,0 +1,124 @@
+"""FaultPlan: interval arithmetic, serialisation, random generation."""
+
+import pytest
+
+from repro.resilience.faults import FaultPlan, JobKill, MachineFailure, random_fault_plan
+
+
+class TestMachineFailure:
+    def test_permanent_vs_transient(self):
+        perm = MachineFailure(time=5.0, first=0, count=2)
+        assert perm.permanent and perm.down_until == float("inf")
+        trans = MachineFailure(time=5.0, first=0, count=2, repair_time=3.0)
+        assert not trans.permanent and trans.down_until == 8.0
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            MachineFailure(time=-1.0, first=0)
+        with pytest.raises(ValueError):
+            MachineFailure(time=0.0, first=0, count=0)
+        with pytest.raises(ValueError):
+            MachineFailure(time=0.0, first=-1)
+        with pytest.raises(ValueError):
+            MachineFailure(time=0.0, first=0, repair_time=0.0)
+        with pytest.raises(ValueError):
+            JobKill(time=-0.5, job="a")
+
+    def test_span_must_fit_machine_count(self):
+        with pytest.raises(ValueError):
+            FaultPlan(m=4, failures=(MachineFailure(time=1.0, first=3, count=2),))
+
+
+class TestAvailability:
+    def test_down_window_is_half_open(self):
+        plan = FaultPlan(m=4, failures=(MachineFailure(time=2.0, first=1, count=2, repair_time=3.0),))
+        assert plan.available_count(1.9) == 4
+        assert plan.available_count(2.0) == 2  # failure instant counts as down
+        assert plan.available_count(4.9) == 2
+        assert plan.available_count(5.0) == 4  # repair instant counts as up
+
+    def test_overlapping_failures_union(self):
+        plan = FaultPlan(
+            m=10,
+            failures=(
+                MachineFailure(time=1.0, first=2, count=4),
+                MachineFailure(time=2.0, first=4, count=4),
+            ),
+        )
+        assert plan.down_intervals(3.0) == [(2, 8)]
+        assert plan.available_intervals(3.0) == [(0, 2), (8, 10)]
+        assert plan.available_count(3.0) == 4
+        assert plan.machines_lost_forever() == 6
+
+    def test_epochs_include_repairs(self):
+        plan = FaultPlan(
+            m=4,
+            failures=(MachineFailure(time=2.0, first=0, count=1, repair_time=3.0),),
+            kills=(JobKill(time=7.0, job="x"),),
+        )
+        assert plan.epochs() == [2.0, 5.0, 7.0]
+        at2 = plan.events_at(2.0)
+        assert len(at2["failures"]) == 1 and not at2["repairs"] and not at2["kills"]
+        at5 = plan.events_at(5.0)
+        assert len(at5["repairs"]) == 1 and not at5["failures"]
+        assert plan.events_at(7.0)["kills"][0].job == "x"
+
+    def test_huge_machine_counts_stay_exact(self):
+        m = (1 << 62) + 12345
+        plan = FaultPlan(m=m, failures=(MachineFailure(time=1.0, first=m - 10, count=10),))
+        assert plan.available_count(2.0) == m - 10
+        assert plan.available_intervals(2.0) == [(0, m - 10)]
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        plan = FaultPlan(
+            m=8,
+            failures=(
+                MachineFailure(time=1.5, first=0, count=3, repair_time=2.0),
+                MachineFailure(time=4.0, first=5, count=2),
+            ),
+            kills=(JobKill(time=2.5, job="job-3"),),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_sorted_on_construction(self):
+        plan = FaultPlan(
+            m=8,
+            failures=(
+                MachineFailure(time=4.0, first=0),
+                MachineFailure(time=1.0, first=2),
+            ),
+            kills=(JobKill(time=9.0, job="b"), JobKill(time=3.0, job="a")),
+        )
+        assert [f.time for f in plan.failures] == [1.0, 4.0]
+        assert [k.time for k in plan.kills] == [3.0, 9.0]
+
+
+class TestRandomFaultPlan:
+    def test_deterministic_in_seed(self):
+        names = [f"j{i}" for i in range(20)]
+        a = random_fault_plan(names, 16, seed=5, horizon=100.0)
+        b = random_fault_plan(names, 16, seed=5, horizon=100.0)
+        assert a == b
+        c = random_fault_plan(names, 16, seed=6, horizon=100.0)
+        assert a != c  # overwhelmingly likely
+
+    @pytest.mark.parametrize("m", [1, 2, 7, 64])
+    def test_min_alive_guarantee(self, m):
+        names = [f"j{i}" for i in range(10)]
+        for seed in range(30):
+            plan = random_fault_plan(names, m, seed=seed, failures=4, kills=1, horizon=50.0)
+            for t in plan.epochs():
+                assert plan.available_count(t) >= 1, (m, seed, t)
+
+    def test_kills_reference_real_jobs(self):
+        names = ["a", "b", "c"]
+        plan = random_fault_plan(names, 8, seed=3, failures=1, kills=2, horizon=10.0)
+        assert all(k.job in names for k in plan.kills)
+        assert len({k.job for k in plan.kills}) == len(plan.kills)
+
+    def test_no_kills_without_jobs(self):
+        plan = random_fault_plan([], 8, seed=3, failures=1, kills=2, horizon=10.0)
+        assert plan.kills == ()
