@@ -52,6 +52,15 @@ from .resilience import (
     random_fault_plan,
     recover_with_faults,
 )
+from .serve import (
+    ChaosPolicy,
+    FleetInstance,
+    FleetReport,
+    FleetScheduler,
+    InstanceOutcome,
+    ServePolicy,
+    schedule_many,
+)
 
 __version__ = "1.0.0"
 
@@ -90,4 +99,11 @@ __all__ = [
     "recover_with_faults",
     "RecoveryResult",
     "DegradationReport",
+    "schedule_many",
+    "FleetScheduler",
+    "FleetInstance",
+    "FleetReport",
+    "InstanceOutcome",
+    "ServePolicy",
+    "ChaosPolicy",
 ]

@@ -45,6 +45,14 @@ __all__ = [
     "schedule_from_dict",
     "save_schedule",
     "load_schedule",
+    "fault_plan_to_dict",
+    "fault_plan_from_dict",
+    "save_fault_plan",
+    "load_fault_plan",
+    "fleet_report_to_dict",
+    "fleet_report_from_dict",
+    "save_fleet_report",
+    "load_fleet_report",
 ]
 
 FORMAT_VERSION = 1
@@ -214,6 +222,68 @@ def save_schedule(path: PathLike, schedule: Schedule) -> None:
 
 def load_schedule(path: PathLike, jobs: Iterable[MoldableJob], *, validate: bool = True) -> Schedule:
     return schedule_from_dict(json.loads(Path(path).read_text()), jobs, validate=validate)
+
+
+# --------------------------------------------------------------------------
+# Fault plans
+# --------------------------------------------------------------------------
+
+def fault_plan_to_dict(plan) -> Dict[str, Any]:
+    """Serialise a :class:`repro.resilience.FaultPlan` with the standard
+    format/version header (the bare ``FaultPlan.to_dict`` payload is kept
+    under the same keys, so older consumers keep working)."""
+    payload = plan.to_dict()
+    payload["format"] = "repro-fault-plan"
+    payload["version"] = FORMAT_VERSION
+    return payload
+
+
+def fault_plan_from_dict(data: Dict[str, Any]):
+    """Rebuild a :class:`repro.resilience.FaultPlan` from
+    :func:`fault_plan_to_dict` output (header checked)."""
+    from .resilience.faults import FaultPlan
+
+    _check_header(data, "repro-fault-plan")
+    return FaultPlan.from_dict(data)
+
+
+def save_fault_plan(path: PathLike, plan) -> None:
+    Path(path).write_text(json.dumps(fault_plan_to_dict(plan), indent=2, sort_keys=True))
+
+
+def load_fault_plan(path: PathLike):
+    return fault_plan_from_dict(json.loads(Path(path).read_text()))
+
+
+# --------------------------------------------------------------------------
+# Fleet reports
+# --------------------------------------------------------------------------
+
+def fleet_report_to_dict(report) -> Dict[str, Any]:
+    """Serialise a :class:`repro.serve.FleetReport` (schedules travel as
+    :func:`schedule_to_dict` payloads inside each outcome)."""
+    payload = report.to_dict()
+    payload["format"] = "repro-fleet-report"
+    payload["version"] = FORMAT_VERSION
+    return payload
+
+
+def fleet_report_from_dict(data: Dict[str, Any]):
+    """Rebuild a :class:`repro.serve.FleetReport` (header checked).  Job
+    objects are not part of the payload; re-attach schedules per outcome via
+    :meth:`repro.serve.InstanceOutcome.schedule`."""
+    from .serve.fleet import FleetReport
+
+    _check_header(data, "repro-fleet-report")
+    return FleetReport.from_dict(data)
+
+
+def save_fleet_report(path: PathLike, report) -> None:
+    Path(path).write_text(json.dumps(fleet_report_to_dict(report), indent=2, sort_keys=True))
+
+
+def load_fleet_report(path: PathLike):
+    return fleet_report_from_dict(json.loads(Path(path).read_text()))
 
 
 # --------------------------------------------------------------------------

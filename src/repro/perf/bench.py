@@ -31,7 +31,17 @@ list_schedule_indexed scan-vs-index geomean on the no-tie ``chain`` family,
 the candidate-visit reduction the index must deliver, or the re-plan
 γ-probe reduction the fault-recovery warm start must deliver on the
 ``recovery`` rows — cold vs warm ``recover_with_faults`` on a seeded
-fault plan, ``--min-recovery``).
+fault plan, ``--min-recovery`` — or the fleet-serving throughput floor on
+the ``serve`` rows, ``--min-serve-throughput``).
+
+``serve`` rows time :func:`repro.serve.schedule_many` over a small fleet
+twice — once healthy and once under seeded 10% kill/hang/raise chaos — and
+reuse the scalar/vectorized column pair for the healthy/chaos wall clocks;
+because the fleet spawns worker processes of its own, serve shards always
+run in the bench parent rather than the (daemonic) ``--processes`` pool.
+Pooled shards are collected with a per-shard ``--shard-timeout`` deadline so
+one hung configuration fails loudly with its row named instead of stalling
+the whole run.
 """
 
 from __future__ import annotations
@@ -138,6 +148,15 @@ class BenchRow:
     #: Fault-epoch re-plans of the ``recovery`` rows (0 for every other
     #: algorithm) — with the row's warm seconds this yields re-plans/sec.
     replans: int = 0
+    #: Fleet size of the ``serve`` rows (0 for every other algorithm): the
+    #: row's scalar slot times the healthy fleet, the vectorized slot the
+    #: same fleet under ~10% injected kill/hang/raise chaos, so
+    #: ``serve_instances / seconds`` is the instances/sec throughput either
+    #: way.  ``serve_degraded``/``serve_quarantined`` count the chaos run's
+    #: non-clean outcomes (the report must still be complete).
+    serve_instances: int = 0
+    serve_degraded: int = 0
+    serve_quarantined: int = 0
 
 
 @dataclass
@@ -254,6 +273,11 @@ def _configs(mode: str, families: Sequence[str]) -> List[dict]:
             configs.append(
                 dict(algorithm="recovery", family=gate_families[0], n=80, m=64)
             )
+            # the serve floor (--min-serve-throughput) is measured on a small
+            # fleet of independent instances (healthy vs 10%-chaos legs)
+            configs.append(
+                dict(algorithm="serve", family=gate_families[0], n=40, m=64)
+            )
         elif "tiny_n_huge_m" in families:
             configs.append(
                 dict(algorithm="fptas", family="tiny_n_huge_m", n=_TINY_N, m=_TINY_M)
@@ -321,6 +345,8 @@ def _configs(mode: str, families: Sequence[str]) -> List[dict]:
         ]
         # fault-recovery loop: warm vs cold γ-cache across re-plan epochs
         configs.append(dict(algorithm="recovery", family=family, n=200, m=256))
+        # fleet serving throughput: healthy vs 10%-chaos instances/sec
+        configs.append(dict(algorithm="serve", family=family, n=60, m=96))
     return configs
 
 
@@ -488,6 +514,93 @@ def _recovery_shard(instance, m: int, repeat: int, seed: int) -> tuple:
     )
 
 
+#: Fleet shape of the ``serve`` shards: instances per fleet and worker count.
+_SERVE_FLEET = 12
+_SERVE_WORKERS = 4
+#: Injected failure probability of the chaos leg (split kill/hang/raise).
+_SERVE_CHAOS = 0.10
+
+
+def _serve_shard(family: str, n: int, m: int, repeat: int, seed: int) -> tuple:
+    """Time the fleet scheduler healthy vs under ~10% injected chaos.
+
+    One fleet of ``_SERVE_FLEET`` seeded instances is built once; the healthy
+    leg fills the row's ``scalar_seconds`` slot, the chaos leg (seeded 10%
+    kill/hang/raise, deadlines + retries live) its ``vectorized_seconds``
+    slot.  The makespan identity check compares the healthy fleet's summed
+    makespans against solo ``two_approximation`` runs of the same instances —
+    the isolation layer must be bit-transparent.  Both legs must return a
+    *complete* report; an unaccounted instance fails the shard loudly.
+    """
+    from ..serve import ChaosPolicy, FleetInstance, ServePolicy, schedule_many
+
+    generator = FAMILIES[family]
+    instances = [
+        FleetInstance(
+            name=f"serve-{family}-{i}",
+            jobs=generator(n, m, seed=seed * 1000 + i).jobs,
+            m=m,
+            algorithm="two_approx",
+        )
+        for i in range(_SERVE_FLEET)
+    ]
+    solo_total = 0.0
+    for inst in instances:
+        for job in inst.jobs:
+            job._cache.clear()
+        solo_total += two_approximation(inst.jobs, m).makespan
+    # generous healthy deadline (no false timeouts on slow CI runners); the
+    # chaos leg runs a tight one so injected hangs cost ~2s, not an hour
+    healthy_policy = ServePolicy(timeout=60.0, backoff_base=0.0, seed=seed)
+    chaos_policy = ServePolicy(timeout=2.0, backoff_base=0.0, seed=seed)
+    chaos = ChaosPolicy(
+        seed=seed,
+        kill_prob=_SERVE_CHAOS / 3,
+        hang_prob=_SERVE_CHAOS / 3,
+        raise_prob=_SERVE_CHAOS / 3,
+        hang_seconds=30.0,
+    )
+
+    def _fleet(policy, chaos_policy):
+        return schedule_many(
+            instances,
+            policy=policy,
+            chaos=chaos_policy,
+            max_workers=_SERVE_WORKERS,
+            mp_context="fork",
+        )
+
+    healthy_seconds, healthy_report = _timed(
+        lambda: _fleet(healthy_policy, None), repeat, []
+    )
+    chaos_seconds, chaos_report = _timed(
+        lambda: _fleet(chaos_policy, chaos), repeat, []
+    )
+    for label, report in (("healthy", healthy_report), ("chaos", chaos_report)):
+        if not report.complete:
+            accounted = {o.instance for o in report.outcomes}
+            missing = sorted(set(report.instances) - accounted)
+            raise RuntimeError(
+                f"serve/{family} (n={n}, m={m}): {label} fleet report is "
+                f"incomplete — unaccounted instances {missing}"
+            )
+    if healthy_report.quarantined or healthy_report.degraded:
+        raise RuntimeError(
+            f"serve/{family} (n={n}, m={m}): healthy fleet run was not clean "
+            f"({len(healthy_report.degraded)} degraded, "
+            f"{len(healthy_report.quarantined)} quarantined)"
+        )
+    healthy_total = sum(o.makespan for o in healthy_report.outcomes)
+    return (
+        healthy_seconds,
+        solo_total,
+        chaos_seconds,
+        healthy_total,
+        len(chaos_report.degraded),
+        len(chaos_report.quarantined),
+    )
+
+
 def _bench_shard(task: tuple) -> BenchRow:
     """Time one (algorithm, family, n, m) shard under both backends.
 
@@ -500,9 +613,34 @@ def _bench_shard(task: tuple) -> BenchRow:
     config, seed, repeat = task
     algorithm = config["algorithm"]
     n, m, family = config["n"], config["m"], config["family"]
-    instance = FAMILIES[family](n, m, seed=seed)
     visits_scan = visits_indexed = 0
     probes_warm = probes_cold = replans = 0
+    if algorithm == "serve":
+        (
+            healthy_seconds,
+            solo_total,
+            chaos_seconds,
+            healthy_total,
+            degraded,
+            quarantined,
+        ) = _serve_shard(family, n, m, repeat, seed)
+        return BenchRow(
+            algorithm=algorithm,
+            family=family,
+            n=n,
+            m=m,
+            eps=SCHEDULE_EPS,
+            scalar_seconds=healthy_seconds,
+            vectorized_seconds=chaos_seconds,
+            speedup=healthy_seconds / chaos_seconds if chaos_seconds > 0 else math.inf,
+            scalar_makespan=solo_total,
+            vectorized_makespan=healthy_total,
+            makespans_identical=solo_total == healthy_total,
+            serve_instances=_SERVE_FLEET,
+            serve_degraded=degraded,
+            serve_quarantined=quarantined,
+        )
+    instance = FAMILIES[family](n, m, seed=seed)
     if algorithm == "recovery":
         (
             scalar_seconds,
@@ -556,6 +694,45 @@ def _bench_shard(task: tuple) -> BenchRow:
     )
 
 
+class BenchShardTimeout(RuntimeError):
+    """A pooled bench shard exceeded ``--shard-timeout`` (names the rows)."""
+
+
+def _task_label(task: tuple) -> str:
+    config = task[0]
+    return f"{config['algorithm']}/{config['family']} (n={config['n']}, m={config['m']})"
+
+
+def _collect_pool_rows(
+    handles: Sequence[tuple], shard_timeout: Optional[float]
+) -> List[BenchRow]:
+    """Collect ``(task, AsyncResult)`` pairs with a per-shard deadline.
+
+    One hung shard must fail *that shard* with a named-row message instead of
+    stalling the whole run until a job-level CI kill: every shard whose
+    result does not arrive within its own :class:`~repro.serve.deadlines.Deadline`
+    is recorded, and after the sweep a :class:`BenchShardTimeout` names them
+    all (slower-finishing healthy shards collected meanwhile are unaffected).
+    """
+    from ..serve.deadlines import Deadline
+
+    rows: List[BenchRow] = []
+    hung: List[str] = []
+    for task, handle in handles:
+        deadline = Deadline(shard_timeout)
+        try:
+            remaining = None if shard_timeout is None else deadline.remaining()
+            rows.append(handle.get(remaining))
+        except multiprocessing.TimeoutError:
+            hung.append(_task_label(task))
+    if hung:
+        raise BenchShardTimeout(
+            f"bench shard(s) exceeded the per-shard timeout of {shard_timeout}s "
+            f"and were abandoned (pool terminated) — rows: {', '.join(hung)}"
+        )
+    return rows
+
+
 def run_suite(
     mode: str = "full",
     *,
@@ -564,12 +741,15 @@ def run_suite(
     verbose: bool = True,
     families: Optional[Sequence[str]] = None,
     processes: int = 1,
+    shard_timeout: Optional[float] = 900.0,
 ) -> BenchReport:
     """Run the scalar-vs-vectorized suite and return the report.
 
     ``families`` selects the instance families (default: all).  ``processes``
     > 1 fans the shards across a ``multiprocessing`` pool; per-shard rows are
-    merged back in configuration order either way.
+    merged back in configuration order either way, and each pooled shard must
+    deliver its row within ``shard_timeout`` seconds (``None`` disables) or
+    the run fails with a :class:`BenchShardTimeout` naming the hung rows.
     """
     if mode not in ("full", "smoke"):
         raise ValueError(f"unknown mode {mode!r}")
@@ -585,8 +765,17 @@ def run_suite(
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
             ctx = multiprocessing.get_context("spawn")
+        # serve shards spawn worker fleets of their own, which daemonic pool
+        # workers may not do — they run in the parent after the pool drains
+        pool_tasks = [t for t in tasks if t[0]["algorithm"] != "serve"]
         with ctx.Pool(processes) as pool:
-            rows = pool.map(_bench_shard, tasks)
+            handles = [(t, pool.apply_async(_bench_shard, (t,))) for t in pool_tasks]
+            pool_rows = _collect_pool_rows(handles, shard_timeout)
+        pooled = iter(pool_rows)
+        rows = [
+            _bench_shard(task) if task[0]["algorithm"] == "serve" else next(pooled)
+            for task in tasks
+        ]
     else:
         rows = []
         for task in tasks:
@@ -605,6 +794,15 @@ def run_suite(
 
 
 def _print_row(row: BenchRow) -> None:
+    if row.algorithm == "serve":
+        print(
+            f"  {row.algorithm:15s} {row.family:13s} n={row.n:<5d} m={row.m:<8d} "
+            f"healthy {row.scalar_seconds:7.3f}s  chaos {row.vectorized_seconds:7.3f}s  "
+            f"{row.serve_instances} instances "
+            f"({row.serve_degraded} degraded, {row.serve_quarantined} quarantined)  "
+            f"makespans {'identical' if row.makespans_identical else 'DIFFER'}"
+        )
+        return
     print(
         f"  {row.algorithm:15s} {row.family:13s} n={row.n:<5d} m={row.m:<8d} "
         f"scalar {row.scalar_seconds:7.3f}s  vectorized {row.vectorized_seconds:7.3f}s  "
@@ -618,6 +816,10 @@ def _aggregate(rows: Sequence[BenchRow]) -> Dict[str, float]:
     by_algorithm: Dict[str, List[float]] = {}
     by_algorithm_n1000: Dict[str, List[float]] = {}
     for row in rows:
+        if row.algorithm == "serve":
+            # serve rows time healthy-vs-chaos fleet legs, not a backend
+            # ratio — they feed the throughput aggregates below instead
+            continue
         by_algorithm.setdefault(row.algorithm, []).append(row.speedup)
         if row.n >= 1000:
             by_algorithm_n1000.setdefault(row.algorithm, []).append(row.speedup)
@@ -687,7 +889,28 @@ def _aggregate(rows: Sequence[BenchRow]) -> Dict[str, float]:
         aggregates["candidate_visits_scan_total"] = float(visits_scan)
         aggregates["candidate_visits_indexed_total"] = float(visits_indexed)
         aggregates["candidate_visit_reduction"] = 1.0 - visits_indexed / visits_scan
-    aggregates["speedup_geomean_all"] = _geomean([row.speedup for row in rows])
+    # Fleet-serving accounting over the ``serve`` rows: instances solved per
+    # second with a healthy fleet vs the same fleet under seeded 10% chaos
+    # (retries, kills and deadline recycling included in the wall clock).
+    serve_rows = [row for row in rows if row.algorithm == "serve"]
+    if serve_rows:
+        serve_total = sum(row.serve_instances for row in serve_rows)
+        healthy_seconds = sum(row.scalar_seconds for row in serve_rows)
+        chaos_seconds = sum(row.vectorized_seconds for row in serve_rows)
+        if healthy_seconds > 0:
+            aggregates["serve_throughput_healthy"] = serve_total / healthy_seconds
+        if chaos_seconds > 0:
+            aggregates["serve_throughput_chaos"] = serve_total / chaos_seconds
+        aggregates["serve_instances_total"] = float(serve_total)
+        aggregates["serve_degraded_total"] = float(
+            sum(row.serve_degraded for row in serve_rows)
+        )
+        aggregates["serve_quarantined_total"] = float(
+            sum(row.serve_quarantined for row in serve_rows)
+        )
+    aggregates["speedup_geomean_all"] = _geomean(
+        [row.speedup for row in rows if row.algorithm != "serve"]
+    )
     return aggregates
 
 
@@ -723,6 +946,7 @@ def check_regression(
     min_list_schedule_indexed: Optional[float] = 1.3,
     min_visit_reduction: Optional[float] = 0.5,
     min_recovery: Optional[float] = 0.5,
+    min_serve_throughput: Optional[float] = 0.5,
 ) -> List[str]:
     """Compare per-algorithm speedups against a baseline report.
 
@@ -745,7 +969,10 @@ def check_regression(
     (``min_visit_reduction``, the index's admission-query work guarantee)
     and the recovery probe reduction (``min_recovery``, the γ-probes the
     cross-epoch warm start must save the fault-recovery re-plans over cold
-    bisection); pass ``None`` to skip any of them.
+    bisection) and the fleet-serving throughputs (``min_serve_throughput``,
+    instances/sec both healthy and under seeded 10% chaos — the chaos leg
+    includes kills, hangs-to-deadline and retries in its wall clock); pass
+    ``None`` to skip any of them.
     """
     with open(baseline_path) as fh:
         baseline = json.load(fh)
@@ -876,6 +1103,29 @@ def check_regression(
                 f"below the re-plan warm-start floor "
                 f"{100.0 * min_recovery:.1f}% — rows: {detail}"
             )
+    if min_serve_throughput is not None:
+        serve_rows = sorted(
+            (r for r in report.rows if r.algorithm == "serve"),
+            key=lambda r: r.serve_instances / r.scalar_seconds if r.scalar_seconds else 0.0,
+        )
+        for key, leg in (
+            ("serve_throughput_healthy", "healthy"),
+            ("serve_throughput_chaos", "chaos"),
+        ):
+            throughput = report.aggregates.get(key)
+            if throughput is None or throughput >= min_serve_throughput:
+                continue
+            detail = ", ".join(
+                f"{_row_label(r)}: {r.serve_instances} instances in healthy "
+                f"{r.scalar_seconds:.2f}s / chaos {r.vectorized_seconds:.2f}s "
+                f"({r.serve_degraded} degraded, {r.serve_quarantined} quarantined)"
+                for r in serve_rows
+            )
+            failures.append(
+                f"{key}: {throughput:.2f} instances/s ({leg} fleet) fell below "
+                f"the fleet-serving floor {min_serve_throughput:.2f} — rows: "
+                f"{detail}"
+            )
     if not report.identical_makespans:
         mismatched = ", ".join(
             f"{_row_label(r)}: scalar {r.scalar_makespan!r} != "
@@ -908,7 +1158,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         type=int,
         default=1,
         help="fan the per-configuration shards across a multiprocessing pool "
-        "(default 1: sequential, best for clean timings)",
+        "(default 1: sequential, best for clean timings); serve shards spawn "
+        "worker fleets of their own and always run in the parent",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=900.0,
+        help="per-shard deadline [s] when --processes > 1: a pooled shard "
+        "that does not deliver its row in time fails the run with a named "
+        "BenchShardTimeout instead of stalling it (0 disables)",
     )
     parser.add_argument(
         "--check",
@@ -956,6 +1215,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "work the cross-epoch warm start saves the fault-recovery re-plans "
         "over cold bisection), enforced by --check (0 disables)",
     )
+    parser.add_argument(
+        "--min-serve-throughput",
+        type=float,
+        default=0.5,
+        help="absolute floor for serve_throughput_healthy and "
+        "serve_throughput_chaos (fleet instances/sec, healthy and under "
+        "seeded 10%% chaos), enforced by --check (0 disables)",
+    )
     args = parser.parse_args(argv)
 
     families = [f.strip() for f in args.families.split(",") if f.strip()] if args.families else None
@@ -967,6 +1234,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         repeat=args.repeat,
         families=families,
         processes=args.processes,
+        shard_timeout=args.shard_timeout or None,
     )
     with open(args.output, "w") as fh:
         fh.write(report.to_json() + "\n")
@@ -981,7 +1249,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  {key}: {100.0 * value:.1f}%")
         elif key == "recovery_replans_per_sec":
             print(f"  {key}: {value:.1f}/s")
-        elif key.startswith(("gamma_probes_", "candidate_visits_", "recovery_")):
+        elif key.startswith("serve_throughput_"):
+            print(f"  {key}: {value:.2f}/s")
+        elif key.startswith(("gamma_probes_", "candidate_visits_", "recovery_", "serve_")):
             print(f"  {key}: {value:.0f}")
         else:
             print(f"  {key}: {value:.2f}x")
@@ -998,6 +1268,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 min_list_schedule_indexed=args.min_list_schedule_indexed or None,
                 min_visit_reduction=args.min_visit_reduction or None,
                 min_recovery=args.min_recovery or None,
+                min_serve_throughput=args.min_serve_throughput or None,
             )
         except (OSError, json.JSONDecodeError) as exc:
             print(f"cannot read baseline {args.check!r}: {exc}", file=sys.stderr)

@@ -1,0 +1,44 @@
+"""``repro.serve`` — fault-isolated fleet batch scheduling.
+
+The production-serving layer on top of :func:`repro.core.scheduler.schedule_moldable`:
+:func:`schedule_many` packs many independent instances through a pool of
+subprocess workers with per-attempt deadlines, retry with exponential
+backoff + deterministic jitter, a configurable degradation ladder, poison
+quarantine and a crash-safe resume journal.  :class:`ChaosPolicy` injects
+seeded kills/hangs/raises into workers so every failure path is provable in
+tests.  See the README's "Fleet serving & failure semantics" section.
+"""
+
+from .deadlines import Deadline
+from .fleet import (
+    AttemptRecord,
+    FleetInstance,
+    FleetReport,
+    FleetScheduler,
+    InstanceOutcome,
+    STATUSES,
+    schedule_many,
+)
+from .journal import JournalError, JournalWriter, instance_fingerprint, load_journal
+from .policy import DEFAULT_LADDER, ChaosPolicy, LadderStep, ServePolicy
+from .worker import ChaosError
+
+__all__ = [
+    "schedule_many",
+    "FleetScheduler",
+    "FleetInstance",
+    "FleetReport",
+    "InstanceOutcome",
+    "AttemptRecord",
+    "STATUSES",
+    "ServePolicy",
+    "ChaosPolicy",
+    "LadderStep",
+    "DEFAULT_LADDER",
+    "Deadline",
+    "ChaosError",
+    "JournalWriter",
+    "JournalError",
+    "load_journal",
+    "instance_fingerprint",
+]

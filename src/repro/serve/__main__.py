@@ -1,0 +1,110 @@
+"""Chaos smoke gate: ``python -m repro.serve``.
+
+Runs a seeded fleet under injected kill/hang/raise chaos and verifies the
+robustness contract CI depends on:
+
+* the report is **complete** — every instance accounted for in exactly one
+  of solved / degraded / quarantined, no exception escapes the fleet;
+* every solved/degraded schedule re-validates clean on re-attachment;
+* every non-degraded makespan is bit-identical to a solo
+  ``schedule_moldable`` run of the same instance.
+
+Exit code 0 iff all three hold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..core.scheduler import schedule_moldable
+from ..workloads.generators import random_mixed_instance
+from .fleet import FleetInstance, schedule_many
+from .policy import ChaosPolicy, ServePolicy
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="fleet chaos smoke gate")
+    parser.add_argument("--instances", type=int, default=20)
+    parser.add_argument("--n", type=int, default=24, help="jobs per instance")
+    parser.add_argument("--m", type=int, default=48, help="machines per instance")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--chaos", type=float, default=0.2,
+        help="total injected failure probability per attempt, split across "
+        "kill/hang/raise (0 disables chaos)",
+    )
+    parser.add_argument("--timeout", type=float, default=15.0, help="per-attempt deadline [s]")
+    parser.add_argument("--max-retries", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--mp-context", default="spawn", choices=("spawn", "fork", "forkserver"))
+    parser.add_argument("--algorithm", default="two_approx")
+    parser.add_argument("--journal", default=None, help="JSONL journal path (also enables resume)")
+    args = parser.parse_args(argv)
+
+    instances = [
+        FleetInstance(
+            name=f"smoke-{i}",
+            jobs=random_mixed_instance(args.n, args.m, seed=args.seed + i).jobs,
+            m=args.m,
+            algorithm=args.algorithm,
+        )
+        for i in range(args.instances)
+    ]
+    chaos = None
+    if args.chaos > 0:
+        third = args.chaos / 3.0
+        chaos = ChaosPolicy(
+            seed=args.seed, kill_prob=third, hang_prob=third, raise_prob=third
+        )
+    policy = ServePolicy(
+        timeout=args.timeout, max_retries=args.max_retries, backoff_base=0.0, seed=args.seed
+    )
+    report = schedule_many(
+        instances,
+        policy=policy,
+        chaos=chaos,
+        max_workers=args.workers,
+        mp_context=args.mp_context,
+        journal=args.journal,
+    )
+
+    print(
+        f"fleet of {len(instances)}: {len(report.solved)} solved, "
+        f"{len(report.degraded)} degraded, {len(report.quarantined)} quarantined "
+        f"({len(report.resumed)} resumed) in {report.wall_seconds:.2f}s "
+        f"({report.throughput:.1f} instances/s)"
+    )
+    failures = []
+    if not report.complete:
+        accounted = {o.instance for o in report.outcomes}
+        missing = sorted(set(report.instances) - accounted)
+        failures.append(f"report incomplete: unaccounted instances {missing}")
+    by_name = {inst.name: inst for inst in instances}
+    for outcome in report.outcomes:
+        if not outcome.solved:
+            continue
+        inst = by_name[outcome.instance]
+        try:
+            outcome.schedule(inst.jobs, validate=True)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the gate
+            failures.append(f"{outcome.instance}: schedule failed re-validation: {exc}")
+            continue
+        if not outcome.degraded:
+            solo = schedule_moldable(inst.jobs, inst.m, inst.eps, algorithm=inst.algorithm)
+            if solo.makespan != outcome.makespan:
+                failures.append(
+                    f"{outcome.instance}: fleet makespan {outcome.makespan!r} != "
+                    f"solo {solo.makespan!r}"
+                )
+    for failure in failures:
+        print(f"CHAOS SMOKE FAILURE: {failure}", file=sys.stderr)
+    if not failures:
+        print("chaos smoke gate passed: report complete, schedules validator-clean, "
+              "non-degraded makespans bit-identical to solo runs")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,126 @@
+"""Crash-safe append-only journal of per-instance fleet outcomes.
+
+One JSON object per line (JSONL): ``{"record": "repro-fleet-outcome",
+"instance": ..., "fingerprint": ..., "outcome": {...}}``.  The writer appends
+and flushes one line per *terminal* outcome (solved / degraded /
+quarantined), so after a ``kill -9`` of the parent the journal holds every
+instance completed so far plus at most one truncated trailing line —
+:func:`load_journal` tolerates exactly that: an undecodable *final* line is
+dropped, an undecodable line in the middle of the file is an error (that is
+corruption, not an interrupted append).
+
+Resume keys on the instance *fingerprint* (a content hash of jobs, machine
+count, eps and requested algorithm), not just the name: a journal recorded
+for different instance data silently re-solves rather than serving a stale
+result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Union
+
+from ..core.job import MoldableJob
+from ..io import job_to_dict
+
+__all__ = [
+    "JOURNAL_RECORD",
+    "JournalError",
+    "instance_fingerprint",
+    "JournalWriter",
+    "load_journal",
+]
+
+JOURNAL_RECORD = "repro-fleet-outcome"
+
+PathLike = Union[str, Path]
+
+
+class JournalError(ValueError):
+    """Raised on a corrupt (not merely truncated) journal."""
+
+
+def instance_fingerprint(
+    name: str, jobs: Sequence[MoldableJob], m: int, eps: float, algorithm: str
+) -> str:
+    """Content hash identifying one fleet instance across runs.
+
+    Jobs without a data serialisation (oracle jobs wrapping arbitrary
+    callables) contribute only their type and name — the best stable key
+    available for them.
+    """
+    parts: List[Any] = [int(m), float(eps), str(algorithm), str(name)]
+    for job in jobs:
+        try:
+            parts.append(job_to_dict(job))
+        except Exception:
+            parts.append({"kind": f"opaque:{type(job).__name__}", "name": job.name})
+    blob = json.dumps(parts, sort_keys=True, separators=(",", ":")).encode()
+    return hashlib.sha256(blob).hexdigest()[:32]
+
+
+class JournalWriter:
+    """Append-only JSONL writer; one flushed line per terminal outcome."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self._fh: Optional[TextIO] = self.path.open("a")
+
+    def append(self, instance: str, fingerprint: str, outcome: Dict[str, Any]) -> None:
+        if self._fh is None:
+            raise JournalError(f"journal {self.path} is closed")
+        line = json.dumps(
+            {
+                "record": JOURNAL_RECORD,
+                "instance": instance,
+                "fingerprint": fingerprint,
+                "outcome": outcome,
+            },
+            sort_keys=True,
+        )
+        self._fh.write(line + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def load_journal(path: PathLike) -> Dict[str, Dict[str, Any]]:
+    """Read a journal back as ``{instance name: record}``.
+
+    Later records win (a resumed run may legitimately re-journal an instance
+    whose fingerprint changed).  A truncated *final* line — the signature of
+    a parent killed mid-append — is dropped silently; undecodable content
+    anywhere else raises :class:`JournalError`.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {}
+    records: Dict[str, Dict[str, Any]] = {}
+    lines = path.read_text().split("\n")
+    # trailing "" after a well-terminated final line
+    while lines and lines[-1] == "":
+        lines.pop()
+    for i, line in enumerate(lines):
+        try:
+            data = json.loads(line)
+            if not isinstance(data, dict) or data.get("record") != JOURNAL_RECORD:
+                raise ValueError("not a fleet outcome record")
+        except ValueError as exc:
+            if i == len(lines) - 1:
+                break  # torn tail of an interrupted append
+            raise JournalError(
+                f"journal {path} line {i + 1} is corrupt (not merely truncated): {exc}"
+            ) from exc
+        records[str(data["instance"])] = data
+    return records

@@ -127,3 +127,123 @@ class TestScheduleSerialization:
             # but loading without validation still works for forensics
             loaded = schedule_from_dict(data, instance.jobs, validate=False)
             assert len(loaded) == len(result.schedule)
+
+
+class TestFaultPlanIO:
+    """io-level fault plan persistence (the header-wrapped variant of
+    ``FaultPlan.to_dict``)."""
+
+    def _plan(self):
+        from repro.resilience.faults import FaultPlan, JobKill, MachineFailure
+
+        return FaultPlan(
+            m=16,
+            failures=(
+                MachineFailure(time=5.0, first=0, count=3),  # permanent
+                MachineFailure(time=2.5, first=8, count=2, repair_time=4.0),
+            ),
+            kills=(JobKill(time=3.0, job="job-7"),),
+        )
+
+    def test_header_and_payload(self):
+        from repro.io import fault_plan_to_dict
+
+        data = fault_plan_to_dict(self._plan())
+        assert data["format"] == "repro-fault-plan"
+        assert data["version"] == 1
+        assert len(data["failures"]) == 2 and len(data["kills"]) == 1
+
+    def test_round_trip_equality(self):
+        from repro.io import fault_plan_from_dict, fault_plan_to_dict
+
+        plan = self._plan()
+        assert fault_plan_from_dict(fault_plan_to_dict(plan)) == plan
+
+    def test_save_load_file(self, tmp_path):
+        from repro.io import load_fault_plan, save_fault_plan
+
+        plan = self._plan()
+        path = tmp_path / "plan.json"
+        save_fault_plan(path, plan)
+        assert load_fault_plan(path) == plan
+
+    def test_wrong_format_rejected(self):
+        from repro.io import fault_plan_from_dict
+
+        with pytest.raises(SerializationError):
+            fault_plan_from_dict({"format": "repro-instance", "version": 1, "m": 4})
+
+    def test_property_round_trip(self):
+        """Property: any mix of permanent failures, transient failures and
+        job kills survives dict round-trip exactly (repr-exact floats)."""
+        from hypothesis import given, settings, strategies as st
+
+        from repro.io import fault_plan_from_dict, fault_plan_to_dict
+        from repro.resilience.faults import FaultPlan, JobKill, MachineFailure
+
+        times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+        @st.composite
+        def fault_plans(draw):
+            m = draw(st.integers(min_value=2, max_value=64))
+            failures = []
+            for _ in range(draw(st.integers(min_value=0, max_value=5))):
+                first = draw(st.integers(min_value=0, max_value=m - 1))
+                count = draw(st.integers(min_value=1, max_value=m - first))
+                repair = draw(
+                    st.one_of(st.none(), st.floats(min_value=0.5, max_value=1e4))
+                )
+                failures.append(
+                    MachineFailure(
+                        time=draw(times), first=first, count=count, repair_time=repair
+                    )
+                )
+            kills = [
+                JobKill(time=draw(times), job=f"job-{draw(st.integers(0, 99))}")
+                for _ in range(draw(st.integers(min_value=0, max_value=4)))
+            ]
+            return FaultPlan(m=m, failures=tuple(failures), kills=tuple(kills))
+
+        @given(fault_plans())
+        @settings(max_examples=80, deadline=None)
+        def check(plan):
+            clone = fault_plan_from_dict(fault_plan_to_dict(plan))
+            assert clone == plan
+            # and through actual JSON text, where floats must repr-round-trip
+            rehydrated = fault_plan_from_dict(
+                json.loads(json.dumps(fault_plan_to_dict(plan)))
+            )
+            assert rehydrated == plan
+
+        check()
+
+
+class TestFleetReportIO:
+    def test_save_load_round_trip(self, tmp_path):
+        from repro.io import load_fleet_report, save_fleet_report
+        from repro.serve import FleetInstance, ServePolicy, schedule_many
+
+        instance = random_mixed_instance(8, 16, seed=9)
+        fleet = [
+            FleetInstance(name="io-0", jobs=instance.jobs, m=16, algorithm="two_approx")
+        ]
+        report = schedule_many(
+            fleet,
+            policy=ServePolicy(timeout=60.0, backoff_base=0.0),
+            max_workers=1,
+            mp_context="fork",
+        )
+        path = tmp_path / "report.json"
+        save_fleet_report(path, report)
+        loaded = load_fleet_report(path)
+        assert loaded.comparable_dict() == report.comparable_dict()
+        # schedules survive as data and re-attach to the original jobs
+        outcome = loaded.outcome("io-0")
+        schedule = outcome.schedule(instance.jobs, validate=True)
+        assert schedule.makespan == outcome.makespan
+
+    def test_wrong_format_rejected(self):
+        from repro.io import fleet_report_from_dict
+
+        with pytest.raises(SerializationError):
+            fleet_report_from_dict({"format": "repro-schedule", "version": 1})

@@ -17,6 +17,8 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 EXAMPLES = [
     "online_cluster_day.py",
     "cluster_with_failures.py",
+    "hpc_cluster_campaign.py",
+    "serve_fleet.py",
 ]
 
 
@@ -37,6 +39,23 @@ def run_example(name: str) -> subprocess.CompletedProcess:
 def test_example_runs_clean(name):
     proc = run_example(name)
     assert proc.returncode == 0, proc.stderr
+
+
+def test_campaign_example_reports_complete_fleet():
+    proc = run_example("hpc_cluster_campaign.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "fleet: 5 solved, 0 degraded, 0 quarantined" in proc.stdout
+    assert "best schedule: two_approx" in proc.stdout
+    assert "QUARANTINED" not in proc.stdout
+
+
+def test_serve_fleet_example_reports_resume():
+    proc = run_example("serve_fleet.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "(complete=True)" in proc.stdout
+    assert "12 of 12 resumed from the journal" in proc.stdout
+    assert "journal grew by 0 lines" in proc.stdout
+    assert "resumed outcomes identical to first run: True" in proc.stdout
 
 
 def test_failure_example_reports_successful_recovery():

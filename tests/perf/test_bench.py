@@ -42,8 +42,8 @@ class TestConfigs:
         families = {c["family"] for c in configs}
         algorithms = {c["algorithm"] for c in configs}
         assert families == set(DEFAULT_FAMILIES)
-        # recovery rides alongside the backend-vs-backend sweep
-        assert algorithms == set(ALL_ALGORITHMS) | {"recovery"}
+        # recovery and fleet-serving ride alongside the backend sweep
+        assert algorithms == set(ALL_ALGORITHMS) | {"recovery", "serve"}
         # the tiny family pins every algorithm to the large-m dispatch shape
         tiny = [c for c in configs if c["family"] == "tiny_n_huge_m"]
         assert {c["algorithm"] for c in tiny} == set(ALL_ALGORITHMS)
@@ -415,3 +415,103 @@ class TestSmokeFamilySelection:
         gates = [c for c in configs if c["algorithm"] in ("fptas", "two_approx")]
         assert all(c["family"] == "comm" for c in gates)
         assert any(c["n"] >= 1000 for c in gates)
+
+
+def _serve_bench_row(
+    healthy=1.0, chaos=4.0, instances=12, degraded=1, quarantined=0, identical=True
+):
+    return BenchRow(
+        algorithm="serve",
+        family="mixed",
+        n=40,
+        m=64,
+        eps=0.1,
+        scalar_seconds=healthy,
+        vectorized_seconds=chaos,
+        speedup=healthy / chaos,
+        scalar_makespan=100.0,
+        vectorized_makespan=100.0 if identical else 101.0,
+        makespans_identical=identical,
+        serve_instances=instances,
+        serve_degraded=degraded,
+        serve_quarantined=quarantined,
+    )
+
+
+class TestServeRowsAndPoolTimeout:
+    def _report(self, rows):
+        report = BenchReport(mode="full", seed=1, rows=rows)
+        report.identical_makespans = all(r.makespans_identical for r in rows)
+        report.aggregates = _aggregate(rows)
+        return report
+
+    def test_serve_rows_feed_throughput_not_speedups(self):
+        rows = [_row("fptas", "mixed", 2000, 12.0), _serve_bench_row()]
+        aggregates = _aggregate(rows)
+        # the healthy/chaos wall-clock pair is not a backend ratio: no
+        # speedup aggregate, and the all-row geomean ignores it
+        assert "speedup_serve" not in aggregates
+        assert aggregates["speedup_geomean_all"] == pytest.approx(12.0)
+        assert aggregates["serve_throughput_healthy"] == pytest.approx(12.0)
+        assert aggregates["serve_throughput_chaos"] == pytest.approx(3.0)
+        assert aggregates["serve_instances_total"] == 12.0
+        assert aggregates["serve_degraded_total"] == 1.0
+        assert aggregates["serve_quarantined_total"] == 0.0
+
+    def test_serve_throughput_floor_names_rows(self, tmp_path):
+        rows = [_serve_bench_row(healthy=1.0, chaos=60.0)]
+        report = self._report(rows)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"aggregates": {}}))
+        failures = check_regression(
+            report,
+            str(baseline),
+            min_fptas_two_approx=None,
+            min_serve_throughput=0.5,
+        )
+        message = "\n".join(failures)
+        assert "serve_throughput_chaos" in message
+        assert "serve/mixed" in message
+        assert "1 degraded, 0 quarantined" in message
+        # the healthy leg (12 instances/s) clears the floor
+        assert "serve_throughput_healthy" not in message
+        assert not check_regression(
+            report, str(baseline), min_fptas_two_approx=None, min_serve_throughput=None
+        )
+
+    def test_collect_pool_rows_times_out_with_named_rows(self):
+        from repro.perf.bench import BenchShardTimeout, _collect_pool_rows
+
+        class _Hung:
+            def get(self, timeout=None):
+                import multiprocessing as mp
+
+                raise mp.TimeoutError
+
+        class _Done:
+            def __init__(self, row):
+                self.row = row
+
+            def get(self, timeout=None):
+                return self.row
+
+        fast = ({"algorithm": "mrt", "family": "mixed", "n": 100, "m": 800}, 1, 1)
+        hung = ({"algorithm": "fptas", "family": "comm", "n": 2000, "m": 16000}, 1, 1)
+        handles = [(fast, _Done(_row("mrt", "mixed", 100, 2.0))), (hung, _Hung())]
+        with pytest.raises(BenchShardTimeout) as excinfo:
+            _collect_pool_rows(handles, 0.01)
+        assert "fptas/comm (n=2000, m=16000)" in str(excinfo.value)
+        assert "mrt/mixed" not in str(excinfo.value)
+
+    def test_collect_pool_rows_no_timeout(self):
+        from repro.perf.bench import _collect_pool_rows
+
+        row = _row("mrt", "mixed", 100, 2.0)
+        task = ({"algorithm": "mrt", "family": "mixed", "n": 100, "m": 800}, 1, 1)
+
+        class _Done:
+            def get(self, timeout=None):
+                assert timeout is None  # shard_timeout=None disables the deadline
+                return row
+
+        assert _collect_pool_rows([(task, _Done())], None) == [row]

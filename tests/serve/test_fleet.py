@@ -1,0 +1,192 @@
+"""Acceptance tests for the fault-isolated fleet scheduler.
+
+The contract under test (the robustness tentpole):
+
+* ``schedule_many`` **always** returns a complete :class:`FleetReport` —
+  every instance lands in exactly one of solved / degraded / quarantined,
+  and no per-instance failure ever raises out of the fleet;
+* solved and degraded outcomes re-validate against the paper's validator;
+* outcomes that never left the backend-only ladder rungs reproduce the solo
+  ``schedule_moldable`` makespan **bit-identically**;
+* quarantined outcomes carry the captured failure (kind + traceback).
+"""
+
+import pytest
+
+from repro import schedule_moldable
+from repro.core.job import OracleJob
+from repro.serve import (
+    ChaosPolicy,
+    FleetInstance,
+    FleetReport,
+    ServePolicy,
+    STATUSES,
+    schedule_many,
+)
+from repro.workloads.generators import random_mixed_instance
+
+FAST = ServePolicy(timeout=60.0, backoff_base=0.0, seed=5)
+
+
+def _fleet(count, n=16, m=32, algorithm="two_approx", seed0=100):
+    return [
+        FleetInstance(
+            name=f"inst-{i:02d}",
+            jobs=random_mixed_instance(n, m, seed=seed0 + i).jobs,
+            m=m,
+            algorithm=algorithm,
+        )
+        for i in range(count)
+    ]
+
+
+class TestHealthyFleet:
+    def test_bit_identical_to_solo_and_validator_clean(self):
+        instances = _fleet(6)
+        report = schedule_many(
+            instances, policy=FAST, max_workers=3, mp_context="fork"
+        )
+        assert report.complete
+        assert len(report.solved) == 6 and not report.degraded and not report.quarantined
+        for inst in instances:
+            outcome = report.outcome(inst.name)
+            solo = schedule_moldable(inst.jobs, inst.m, inst.eps, algorithm=inst.algorithm)
+            assert outcome.makespan == solo.makespan  # bit-identical
+            assert outcome.lower_bound == solo.lower_bound
+            # re-attach and re-validate the shipped schedule
+            schedule = outcome.schedule(inst.jobs, validate=True)
+            assert schedule.makespan == solo.makespan
+
+    def test_report_iteration_and_lookup(self):
+        report = schedule_many(_fleet(3), policy=FAST, max_workers=2, mp_context="fork")
+        assert len(report) == 3
+        assert {o.instance for o in report} == {"inst-00", "inst-01", "inst-02"}
+        with pytest.raises(KeyError):
+            report.outcome("no-such-instance")
+
+    def test_report_round_trips_through_dict(self):
+        report = schedule_many(_fleet(2), policy=FAST, max_workers=1, mp_context="fork")
+        clone = FleetReport.from_dict(report.to_dict())
+        assert clone.comparable_dict() == report.comparable_dict()
+        assert clone.complete
+
+
+class TestChaoticFleet:
+    def test_twenty_percent_chaos_report_still_complete(self):
+        """The acceptance gate: seeded 20% kill/hang/raise chaos, and the
+        report still accounts for every instance with a valid status."""
+        instances = _fleet(10)
+        chaos = ChaosPolicy(
+            seed=5, kill_prob=0.07, hang_prob=0.07, raise_prob=0.07, hang_seconds=30.0
+        )
+        policy = ServePolicy(timeout=5.0, max_retries=3, backoff_base=0.0, seed=5)
+        report = schedule_many(
+            instances, policy=policy, chaos=chaos, max_workers=4, mp_context="fork"
+        )
+        assert report.complete
+        statuses = {o.instance: o.status for o in report.outcomes}
+        assert set(statuses.values()) <= set(STATUSES)
+        # exactly-one-status partition
+        assert sorted(statuses) == sorted(i.name for i in instances)
+        assert len(report.solved) + len(report.degraded) + len(report.quarantined) == 10
+        # with 3 retries at 20% chaos nothing should exhaust its attempts
+        assert not report.quarantined
+        for inst in instances:
+            outcome = report.outcome(inst.name)
+            schedule = outcome.schedule(inst.jobs, validate=True)  # validator-clean
+            assert outcome.guarantee >= 1.0
+            assert outcome.makespan <= outcome.guarantee * outcome.lower_bound * (1 + 1e-9)
+            assert schedule.makespan == outcome.makespan
+            if not outcome.degraded:
+                solo = schedule_moldable(
+                    inst.jobs, inst.m, inst.eps, algorithm=inst.algorithm
+                )
+                assert outcome.makespan == solo.makespan
+            else:
+                # degradation is recorded: rung > 0 and a failed attempt trail
+                assert outcome.ladder_step > 0
+                assert any(a.outcome != "ok" for a in outcome.attempts)
+
+    def test_all_kill_chaos_quarantines_with_traceback(self):
+        instances = _fleet(3, n=8, m=16)
+        chaos = ChaosPolicy(seed=1, kill_prob=1.0)
+        policy = ServePolicy(timeout=30.0, max_retries=1, backoff_base=0.0)
+        report = schedule_many(
+            instances, policy=policy, chaos=chaos, max_workers=2, mp_context="fork"
+        )
+        assert report.complete
+        assert len(report.quarantined) == 3
+        for outcome in report.outcomes:
+            assert outcome.status == "quarantined"
+            assert outcome.makespan is None
+            assert "died mid-solve" in outcome.error and "-9" in outcome.error
+            # the full attempt trail is preserved
+            assert [a.outcome for a in outcome.attempts] == ["worker-death"] * 2
+
+    def test_chaos_statuses_reproducible(self):
+        instances = _fleet(6, n=8, m=16)
+        chaos = ChaosPolicy(seed=7, kill_prob=0.2, raise_prob=0.2)
+        policy = ServePolicy(timeout=30.0, max_retries=2, backoff_base=0.0, seed=7)
+        runs = [
+            schedule_many(
+                instances, policy=policy, chaos=chaos, max_workers=2, mp_context="fork"
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].comparable_dict() == runs[1].comparable_dict()
+
+
+class TestQuarantine:
+    def test_unpicklable_instance_quarantined_not_raised(self):
+        """Oracle jobs close over arbitrary callables; a lambda cannot cross
+        the process boundary.  That is a deterministic serialization failure:
+        immediate quarantine, no retries burned, siblings unaffected."""
+        poison = FleetInstance(
+            name="poison",
+            jobs=[OracleJob("opaque", lambda k: 10.0 / k)],
+            m=8,
+            algorithm="two_approx",
+        )
+        healthy = _fleet(2, n=8, m=16)
+        report = schedule_many(
+            [poison] + healthy, policy=FAST, max_workers=2, mp_context="fork"
+        )
+        assert report.complete
+        outcome = report.outcome("poison")
+        assert outcome.status == "quarantined"
+        assert outcome.attempts[0].outcome == "serialization"
+        assert "pickle" in outcome.error
+        assert len(outcome.attempts) == 1  # deterministic: no retry loop
+        assert len(report.solved) == 2
+
+
+class TestNormalization:
+    def test_bare_job_lists_with_shared_m(self):
+        batches = [random_mixed_instance(8, 16, seed=s).jobs for s in (1, 2)]
+        report = schedule_many(
+            batches, 16, algorithm="two_approx", policy=FAST,
+            max_workers=2, mp_context="fork",
+        )
+        assert report.complete and len(report.solved) == 2
+        assert report.instances == ["instance-0", "instance-1"]
+
+    def test_bare_job_lists_without_m_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_many([random_mixed_instance(8, 16, seed=1).jobs], policy=FAST)
+
+    def test_workload_instances_accepted(self):
+        report = schedule_many(
+            [random_mixed_instance(8, 16, seed=1)],
+            algorithm="two_approx", policy=FAST, max_workers=1, mp_context="fork",
+        )
+        assert report.complete and len(report.solved) == 1
+        assert report.instances == ["mixed-0"]
+
+    def test_duplicate_names_rejected(self):
+        inst = _fleet(1)[0]
+        with pytest.raises(ValueError):
+            schedule_many([inst, inst], policy=FAST)
+
+    def test_bad_mp_context_rejected_eagerly(self):
+        with pytest.raises(ValueError):
+            schedule_many(_fleet(1), policy=FAST, mp_context="no-such-context")

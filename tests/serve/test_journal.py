@@ -1,0 +1,148 @@
+"""Units for the append-only outcome journal and its crash-tolerant loader."""
+
+import json
+
+import pytest
+
+from repro.serve import (
+    FleetInstance,
+    JournalError,
+    JournalWriter,
+    ServePolicy,
+    instance_fingerprint,
+    load_journal,
+    schedule_many,
+)
+from repro.workloads.generators import random_mixed_instance
+
+
+def _outcome(name, makespan=1.0):
+    return {
+        "instance": name,
+        "status": "solved",
+        "makespan": makespan,
+        "lower_bound": 0.5,
+        "guarantee": 2.0,
+        "algorithm": "two_approx",
+        "eps": 0.1,
+        "ladder_step": 0,
+        "attempts": [],
+        "error": None,
+        "schedule_data": None,
+    }
+
+
+def _line(name, makespan=1.0):
+    return json.dumps(
+        {
+            "record": "repro-fleet-outcome",
+            "instance": name,
+            "fingerprint": "f" * 32,
+            "outcome": _outcome(name, makespan),
+        }
+    )
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        jobs = random_mixed_instance(6, 8, seed=1).jobs
+        a = instance_fingerprint("x", jobs, 8, 0.1, "auto")
+        b = instance_fingerprint("x", jobs, 8, 0.1, "auto")
+        assert a == b and len(a) == 32
+
+    def test_sensitive_to_every_input(self):
+        jobs = random_mixed_instance(6, 8, seed=1).jobs
+        base = instance_fingerprint("x", jobs, 8, 0.1, "auto")
+        assert instance_fingerprint("y", jobs, 8, 0.1, "auto") != base
+        assert instance_fingerprint("x", jobs, 16, 0.1, "auto") != base
+        assert instance_fingerprint("x", jobs, 8, 0.2, "auto") != base
+        assert instance_fingerprint("x", jobs, 8, 0.1, "fptas") != base
+        other = random_mixed_instance(6, 8, seed=2).jobs
+        assert instance_fingerprint("x", other, 8, 0.1, "auto") != base
+
+
+class TestJournalRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JournalWriter(path) as writer:
+            writer.append("a", "f" * 32, _outcome("a"))
+            writer.append("b", "f" * 32, _outcome("b"))
+        records = load_journal(path)
+        assert set(records) == {"a", "b"}
+        assert records["a"]["outcome"]["status"] == "solved"
+        assert records["b"]["fingerprint"] == "f" * 32
+
+    def test_closed_writer_refuses_appends(self, tmp_path):
+        writer = JournalWriter(tmp_path / "j.jsonl")
+        writer.close()
+        with pytest.raises(JournalError):
+            writer.append("a", "f" * 32, _outcome("a"))
+
+    def test_later_records_win(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JournalWriter(path) as writer:
+            writer.append("a", "f" * 32, _outcome("a", makespan=1.0))
+            writer.append("a", "f" * 32, _outcome("a", makespan=2.0))
+        assert load_journal(path)["a"]["outcome"]["makespan"] == 2.0
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_journal(tmp_path / "absent.jsonl") == {}
+
+    def test_truncated_final_line_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JournalWriter(path) as writer:
+            writer.append("a", "f" * 32, _outcome("a"))
+            writer.append("b", "f" * 32, _outcome("b"))
+        text = path.read_text()
+        path.write_text(text[: len(text) - 25])  # parent killed mid-write
+        records = load_journal(path)
+        assert set(records) == {"a"}
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("\n".join([_line("a"), "{corrupt", _line("b")]) + "\n")
+        with pytest.raises(JournalError):
+            load_journal(path)
+
+    def test_foreign_record_before_the_tail_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        foreign = json.dumps({"record": "something-else"})
+        path.write_text("\n".join([foreign, _line("a")]) + "\n")
+        with pytest.raises(JournalError):
+            load_journal(path)
+
+
+class TestFingerprintGuard:
+    def test_stale_fingerprint_forces_resolve(self, tmp_path):
+        """A journal whose fingerprint no longer matches the instance (the
+        workload changed under the same name) must be ignored, not resumed."""
+        journal = tmp_path / "j.jsonl"
+        policy = ServePolicy(timeout=30.0, backoff_base=0.0)
+        inst_v1 = FleetInstance(
+            name="inst", jobs=random_mixed_instance(6, 8, seed=1).jobs, m=8,
+            algorithm="two_approx",
+        )
+        first = schedule_many(
+            [inst_v1], policy=policy, max_workers=1, mp_context="fork", journal=journal
+        )
+        assert first.outcome("inst").status == "solved"
+        assert not first.resumed
+
+        inst_v2 = FleetInstance(
+            name="inst", jobs=random_mixed_instance(6, 8, seed=2).jobs, m=8,
+            algorithm="two_approx",
+        )
+        second = schedule_many(
+            [inst_v2], policy=policy, max_workers=1, mp_context="fork", journal=journal
+        )
+        outcome = second.outcome("inst")
+        assert outcome.status == "solved"
+        assert not outcome.resumed  # fingerprint mismatch -> solved fresh
+        assert outcome.makespan != first.outcome("inst").makespan
+
+        # same workload again: now it resumes from the journal
+        third = schedule_many(
+            [inst_v2], policy=policy, max_workers=1, mp_context="fork", journal=journal
+        )
+        assert third.outcome("inst").resumed
+        assert third.outcome("inst").makespan == outcome.makespan
