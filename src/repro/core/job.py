@@ -208,7 +208,10 @@ class TabulatedJob(MoldableJob):
 
     def _times_batch(self, ks: np.ndarray) -> np.ndarray:
         table = np.asarray(self.times, dtype=np.float64)
-        idx = np.minimum(ks.astype(np.int64), len(table)) - 1
+        # clamp in float space *before* the int64 cast: a float64 k >= 2**63
+        # (astronomical machine counts round up to exactly 2**63) overflows
+        # ``astype(np.int64)`` into a negative index
+        idx = np.minimum(ks, float(len(table))).astype(np.int64) - 1
         return table[idx]
 
 

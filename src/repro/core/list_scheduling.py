@@ -52,6 +52,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .allotment import Allotment
+from .capacity import capacity_ops
 from .job import MoldableJob
 from .schedule import MAX_COLUMNAR_M, MachineSpan, Schedule
 
@@ -73,6 +74,16 @@ EPOCH_TOLERANCE = 1e-15
 #: completion-time magnitude (``2 * 2**-52``).
 EPOCH_REL_TOLERANCE = 2.0 ** -51
 
+#: Magnitude at which the relative epoch window stops growing.  Without the
+#: cap the two-ulp window reaches ``2**62 * 2**-51 = 2048`` at astronomical
+#: completion times — wide enough to fuse *distinct representable* floats
+#: (ulp near ``2**62`` is 1024) into one epoch, silently changing grouping
+#: semantics exactly where compact-encoding instances live.  Pinning the
+#: anchor at ``2**60`` keeps the window at 512 = half an ulp there, so only
+#: exact ties group beyond the cap; every backend shares the pin through
+#: :func:`epoch_tolerance`.
+EPOCH_REL_MAGNITUDE_CAP = 2.0 ** 60
+
 
 def epoch_tolerance(end: float) -> float:
     """Grouping tolerance of the wake-up epoch anchored at completion ``end``.
@@ -86,11 +97,13 @@ def epoch_tolerance(end: float) -> float:
     ``16.0`` is already ``3.6e-15``, so epoch grouping silently degraded to
     exact-ties-only for any schedule whose completion times exceeded ~1.
     The tolerance is therefore *relative* to the epoch anchor —
-    ``max(EPOCH_TOLERANCE, end * EPOCH_REL_TOLERANCE)``, i.e. two ulp at
-    every magnitude, with the historical absolute floor taking over below
-    magnitude ``EPOCH_TOLERANCE / EPOCH_REL_TOLERANCE`` (~2.25).
+    ``max(EPOCH_TOLERANCE, min(end, 2**60) * EPOCH_REL_TOLERANCE)``, i.e. two
+    ulp at every magnitude up to :data:`EPOCH_REL_MAGNITUDE_CAP` (above which
+    the window is pinned so it can never swallow adjacent representable
+    floats), with the historical absolute floor taking over below magnitude
+    ``EPOCH_TOLERANCE / EPOCH_REL_TOLERANCE`` (~2.25).
     """
-    return max(EPOCH_TOLERANCE, end * EPOCH_REL_TOLERANCE)
+    return max(EPOCH_TOLERANCE, min(end, EPOCH_REL_MAGNITUDE_CAP) * EPOCH_REL_TOLERANCE)
 
 
 def list_schedule_bound(allotment: Allotment, m: int) -> float:
@@ -124,9 +137,10 @@ def list_schedule(
         per-wake-up loop), ``"event_queue"`` (batched event epochs) or
         ``"event_queue_indexed"`` (event epochs with the incremental
         need-bucket candidate index) — all bit-identical; see the module
-        docstring.  Machine counts beyond the int64 span range silently fall
-        back to ``"heap"`` (the only backend that handles
-        arbitrary-precision ``m``).
+        docstring.  Every backend handles arbitrary-precision ``m``: beyond
+        the int64 range the columnar backends switch their capacity columns
+        to the exact wide-limb (then object-dtype) tier of
+        :mod:`repro.core.capacity` instead of falling back to the heap.
     columnar:
         Backwards-compatible alias: ``columnar=True`` selects
         ``backend="wakeup"`` when ``backend`` is not given.
@@ -148,7 +162,10 @@ def list_schedule(
         ``candidate_scans``: admission queries executed,
         ``candidates_visited``: total job slots those queries examined — the
         scanning backend examines every job slot per query, the indexed
-        backend only the bucket entries its prefix walks touch).
+        backend only the bucket entries its prefix walks touch).  Every
+        columnar backend (wakeup included) also records ``capacity_tier``
+        (``"int64"``/``"wide"``/``"object"``), the
+        :mod:`repro.core.capacity` tier its capacity-axis arrays ran on.
 
     Returns
     -------
@@ -161,8 +178,6 @@ def list_schedule(
         backend = "wakeup" if columnar else "heap"
     if backend not in LIST_BACKENDS:
         raise ValueError(f"unknown list scheduling backend {backend!r}; choose from {LIST_BACKENDS}")
-    if backend != "heap" and m > MAX_COLUMNAR_M:
-        backend = "heap"  # int64 span columns cannot represent such m
     sequence = list(order) if order is not None else list(jobs)
     if len(sequence) != len(jobs) or {id(j) for j in sequence} != {id(j) for j in jobs}:
         raise ValueError("order must be a permutation of jobs")
@@ -174,16 +189,18 @@ def list_schedule(
         if k > m:
             raise ValueError(f"job {job.name!r} is allotted {k} > m={m} processors")
         total_need += k
-    if backend in ("event_queue", "event_queue_indexed") and total_need > MAX_COLUMNAR_M - m:
-        # the epoch batch paths prefix-sum needs and popped span capacities
-        # in int64 (bounded by total_need + m); near the int64 edge fall
-        # back to the heap reference, which uses Python ints throughout —
-        # identically for the scanning and the indexed event-queue variants,
-        # so no silent behaviour fork opens between them at astronomical m
-        backend = "heap"
+    # One capacity decision for every columnar backend (wakeup included):
+    # the batch paths prefix-sum needs and popped span capacities (bounded by
+    # total_need + m), so the tier is chosen from both.  Within int64 range
+    # this is the exact historical ``total_need > MAX_COLUMNAR_M - m`` guard;
+    # beyond it the backends keep their batch structure on the wide-limb or
+    # object-dtype tier instead of silently forking to the heap reference.
+    ops = capacity_ops(m, total_need)
 
     if backend == "wakeup":
-        return _list_schedule_columnar(sequence, allotment, m, allotted_times, oracle)
+        if stats is not None:
+            stats["capacity_tier"] = ops.name
+        return _list_schedule_columnar(sequence, allotment, m, allotted_times, oracle, ops)
     if backend in ("event_queue", "event_queue_indexed"):
         return _list_schedule_event_queue(
             sequence,
@@ -193,6 +210,7 @@ def list_schedule(
             oracle,
             stats,
             indexed=backend == "event_queue_indexed",
+            ops=ops,
         )
 
     schedule = Schedule(m=m, metadata={"algorithm": "list_scheduling"})
@@ -277,6 +295,7 @@ def _list_schedule_columnar(
     m: int,
     allotted_times: Optional[Dict[MoldableJob, float]] = None,
     oracle=None,
+    ops=None,
 ) -> Schedule:
     """Columnar twin of the scalar first-fit loop.
 
@@ -303,7 +322,9 @@ def _list_schedule_columnar(
 
     counts = allotment.counts
     needs = [counts[job] for job in sequence]
-    needs_arr = np.array(needs, dtype=np.int64)
+    if ops is None:
+        ops = capacity_ops(m, sum(needs))
+    needs_arr = ops.asarray(needs)
     durations = _resolve_durations(sequence, needs, allotted_times, oracle)
 
     # row columns, written through bound methods in the hot loop
@@ -323,7 +344,7 @@ def _list_schedule_columnar(
     n_waiting = len(sequence)
     #: lower bound on the smallest processor need among waiting jobs — lets a
     #: wake-up that cannot start anything bail out with one comparison
-    min_waiting_need = int(needs_arr.min())
+    min_waiting_need = ops.min_value(needs_arr)
     idle_spans: List[MachineSpan] = [(0, m)]
     idle_count = m
     running: List[Tuple[float, int, Tuple[MachineSpan, ...]]] = []
@@ -336,7 +357,7 @@ def _list_schedule_columnar(
             # all pending jobs that could fit at this wake-up, in list order;
             # iterated lazily (map) because the loop usually breaks as soon as
             # the idle machines run out
-            candidates = np.flatnonzero(waiting & (needs_arr <= idle_count))
+            candidates = np.flatnonzero(waiting & ops.le_mask(needs_arr, idle_count))
             started_any = False
             for ji in map(int, candidates):
                 need = needs[ji]
@@ -375,7 +396,7 @@ def _list_schedule_columnar(
                 # it so the next idle wake-ups can skip in O(1).  After a
                 # start the stale bound stays *valid* (needs only leave the
                 # waiting set, the minimum can only grow), so no refresh.
-                min_waiting_need = int(needs_arr[waiting].min())
+                min_waiting_need = ops.min_value(needs_arr, waiting)
         if not running:
             if n_waiting:  # pragma: no cover - cannot happen: every job fits on m >= a_j machines
                 raise RuntimeError("deadlock in list scheduling")
@@ -426,14 +447,18 @@ class _NeedBucketIndex:
 
     def __init__(self, needs: Sequence[int]) -> None:
         self.needs = needs
-        buckets: List[List[int]] = [[] for _ in range(64)]
+        # bucket count follows the widest need (needs are Python ints, so
+        # compact-encoding instances with needs past 2**64 just get more
+        # buckets — a fixed 64 would IndexError at astronomical m)
+        width = max((need.bit_length() for need in needs), default=1)
+        buckets: List[List[int]] = [[] for _ in range(width)]
         for pos, need in enumerate(needs):
             # positions arrive in ascending list order, so every bucket is
             # born sorted and removals keep it that way
             buckets[need.bit_length() - 1].append(pos)
         self.buckets = buckets
         self.lo = 0  # lazily-advanced lowest possibly-non-empty bucket
-        self.hi = 63  # lazily-lowered highest possibly-non-empty bucket
+        self.hi = width - 1  # lazily-lowered highest possibly-non-empty bucket
         self.size = len(needs)
         self.visits = 0
         self.gathers = 0
@@ -442,7 +467,7 @@ class _NeedBucketIndex:
         """Advance the lazy non-empty bucket bounds and return them."""
         buckets = self.buckets
         lo, hi = self.lo, self.hi
-        while lo < 64 and not buckets[lo]:
+        while lo < len(buckets) and not buckets[lo]:
             lo += 1
         while hi >= 0 and not buckets[hi]:
             hi -= 1
@@ -534,6 +559,7 @@ def _list_schedule_event_queue(
     stats: Optional[dict] = None,
     *,
     indexed: bool = False,
+    ops=None,
 ) -> Schedule:
     """Batched event-queue twin of the scalar first-fit loop.
 
@@ -577,15 +603,28 @@ def _list_schedule_event_queue(
     the tightened ``need <= remaining`` gather cap itself.  Everything
     downstream of the admission list (span cuts, column writes, event merge,
     epoch pops) is the shared code path, so the two variants cannot drift.
+
+    Every capacity-axis array (needs, their prefix sums, popped span
+    capacities, cut boundaries) lives in the ``ops`` tier chosen by
+    :func:`repro.core.capacity.capacity_ops` — plain int64 within the
+    historical range, exact wide-limb pairs or object dtype beyond it — so
+    the identical batch structure runs at astronomical ``m``.  Row/position
+    arrays (candidate indices, span owners, event sequence numbers) are
+    always plain int64: they count *jobs*, not machines.
     """
     from ..perf.schedule_builder import ArraySchedule
 
     builder = ArraySchedule(m, metadata={"algorithm": "list_scheduling"})
     n = len(sequence)
     backend_name = "event_queue_indexed" if indexed else "event_queue"
+    counts = allotment.counts
+    needs_list = [counts[job] for job in sequence]
+    if ops is None:
+        ops = capacity_ops(m, sum(needs_list))
     if stats is not None:
         stats.update(
             backend=backend_name,
+            capacity_tier=ops.name,
             epochs=0,
             events=0,
             max_epoch_completions=0,
@@ -595,9 +634,7 @@ def _list_schedule_event_queue(
     if n == 0:
         return builder.build()
 
-    counts = allotment.counts
-    needs_list = [counts[job] for job in sequence]
-    needs = np.array(needs_list, dtype=np.int64)
+    needs = ops.asarray(needs_list)
     durations = _resolve_durations(sequence, needs_list, allotted_times, oracle)
     index = _NeedBucketIndex(needs_list) if indexed else None
 
@@ -615,7 +652,7 @@ def _list_schedule_event_queue(
     n_waiting = n
     #: lower bound on the smallest need among waiting jobs (see the wakeup
     #: backend: stale-but-valid, refreshed only on a fruitless scan)
-    min_waiting_need = int(needs.min())
+    min_waiting_need = ops.min_value(needs)
     idle_spans: List[MachineSpan] = [(0, m)]
     idle = m
     #: the event queue: parallel lists sorted lexicographically by
@@ -661,9 +698,9 @@ def _list_schedule_event_queue(
                             taken += need
                             k += 1
                     else:
-                        csum = needs[np.asarray(window, dtype=np.int64)].cumsum()
-                        k = int(csum.searchsorted(remaining, side="right"))
-                        taken = int(csum[k - 1])
+                        csum = ops.cumsum(ops.take(needs, np.asarray(window, dtype=np.int64)))
+                        k = ops.count_le(csum, remaining)
+                        taken = ops.item(csum, k - 1)
                     # k >= 1: the gather cap guarantees the first fits
                     admitted_now = window[:k]
                     adm_list.extend(admitted_now)
@@ -671,7 +708,7 @@ def _list_schedule_event_queue(
                     remaining -= taken
             else:
                 # one vectorized candidate scan for the whole epoch
-                cand = (waiting & (needs <= idle)).nonzero()[0]
+                cand = (waiting & ops.le_mask(needs, idle)).nonzero()[0]
                 scan_queries += 1
                 scan_visited += n
                 if cand.size <= _SMALL_EPOCH or remaining <= _SMALL_EPOCH:
@@ -699,16 +736,16 @@ def _list_schedule_event_queue(
                             # the candidate scan already guaranteed need <= idle
                             first_round = False
                         else:
-                            fits = needs[cand] <= remaining
+                            fits = ops.le_mask(ops.take(needs, cand), remaining)
                             if not fits.any():
                                 break
                             cand = cand[fits]
                         window = cand[:remaining]
-                        csum = needs[window].cumsum()
-                        k = int(csum.searchsorted(remaining, side="right"))
+                        csum = ops.cumsum(ops.take(needs, window))
+                        k = ops.count_le(csum, remaining)
                         # k >= 1: the first candidate fits by construction
                         admitted.append(cand[:k])
-                        remaining -= int(csum[k - 1])
+                        remaining -= ops.item(csum, k - 1)
                         if k < len(window):
                             # cand[k] is rejected *now* and stays rejected
                             cand = cand[k + 1 :]
@@ -756,9 +793,9 @@ def _list_schedule_event_queue(
                         ev_seq.insert(pos, row)
                 else:
                     adm = np.asarray(adm_list, dtype=np.int64)
-                    adm_needs = needs[adm]
-                    ncum = np.cumsum(adm_needs)
-                    total = int(ncum[-1])
+                    adm_needs = ops.take(needs, adm)
+                    ncum = ops.cumsum(adm_needs)
+                    total = ops.item(ncum, -1)
                     # pop idle spans (stack order) until the batch is covered
                     popped_first: List[int] = []
                     popped_count: List[int] = []
@@ -774,27 +811,27 @@ def _list_schedule_event_queue(
                         used = popped_count[-1] - (acc - total)
                         idle_spans.append((popped_first[-1] + used, acc - total))
                         popped_count[-1] = used
-                    pf = np.array(popped_first, dtype=np.int64)
-                    ccum = np.cumsum(np.array(popped_count, dtype=np.int64))
+                    pf = ops.asarray(popped_first)
+                    ccum = ops.cumsum(ops.asarray(popped_count))
                     # cut the capacity axis at every job and span boundary:
                     # each resulting piece belongs to exactly one
                     # (job, idle-span) pair — the same pieces, in the same
                     # order, as the sequential take() loop emits
-                    bounds = np.unique(np.concatenate((ncum, ccum)))
-                    lo_b = np.concatenate((np.zeros(1, dtype=np.int64), bounds[:-1]))
-                    owner_local = np.searchsorted(ncum, lo_b, side="right")
-                    span_idx = np.searchsorted(ccum, lo_b, side="right")
-                    base = np.concatenate((np.zeros(1, dtype=np.int64), ccum))[span_idx]
-                    piece_first = pf[span_idx] + (lo_b - base)
-                    piece_count = bounds - lo_b
+                    bounds = ops.merge_bounds(ncum, ccum)
+                    lo_b = ops.head(ops.prepend_zero(bounds), len(bounds))
+                    owner_local = ops.cut_positions(ncum, lo_b)
+                    span_idx = ops.cut_positions(ccum, lo_b)
+                    base = ops.take(ops.prepend_zero(ccum), span_idx)
+                    piece_first = ops.add(ops.take(pf, span_idx), ops.sub(lo_b, base))
+                    piece_count = ops.sub(bounds, lo_b)
 
                     piece_base = len(span_first_col)
                     jobs_col.extend([sequence[ji] for ji in adm_list])
                     starts_col.extend([now] * k)
                     overrides_col.extend([None] * k)
                     span_owner_col.extend((owner_local + row_base).tolist())
-                    span_first_col.extend(piece_first.tolist())
-                    span_count_col.extend(piece_count.tolist())
+                    span_first_col.extend(ops.tolist(piece_first))
+                    span_count_col.extend(ops.tolist(piece_count))
                     # per-row piece slices (pieces are grouped by owner)
                     row_ids = np.arange(k, dtype=np.int64)
                     pieces_lo.extend(
@@ -803,7 +840,7 @@ def _list_schedule_event_queue(
                     pieces_hi.extend(
                         (np.searchsorted(owner_local, row_ids, side="right") + piece_base).tolist()
                     )
-                    row_need.extend(adm_needs.tolist())
+                    row_need.extend(ops.tolist(adm_needs))
 
                     # merge the new completions into the sorted event queue
                     new_ends = now + np.array(
@@ -827,7 +864,7 @@ def _list_schedule_event_queue(
                 if index is not None:
                     min_waiting_need = index.min_need()
                 else:
-                    min_waiting_need = int(needs[waiting].min())
+                    min_waiting_need = ops.min_value(needs, waiting)
         if not ev_end:
             if n_waiting:  # pragma: no cover - cannot happen: every job fits on m >= a_j machines
                 raise RuntimeError("deadlock in list scheduling")

@@ -48,6 +48,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .capacity import MAX_COLUMNAR_M, index_array, total_fits_int64
 from .job import MoldableJob
 
 __all__ = [
@@ -64,11 +65,6 @@ __all__ = [
 MachineSpan = Tuple[int, int]
 """A half-open machine range ``(first, count)`` covering machines
 ``first, first+1, ..., first+count-1`` (0-indexed)."""
-
-
-#: Above this machine count int64 span arithmetic could overflow; columnar
-#: consumers fall back to the scalar (arbitrary-precision) paths.
-MAX_COLUMNAR_M = 1 << 62
 
 
 def _normalize_spans(spans: Sequence[MachineSpan]) -> Tuple[MachineSpan, ...]:
@@ -390,12 +386,18 @@ class ScheduleColumns:
 
     def fits_int64_sweep(self) -> bool:
         """Whether int64 prefix sums over the ``2n`` events cannot overflow
-        (conservative float-sum guard; the one check shared by every sweep
-        caller — ``Schedule.peak_processor_usage``, the validator and the
-        simulator — so the fallback threshold cannot drift between them)."""
-        return float(np.sum(self.processors.astype(np.float64))) <= float(
-            MAX_COLUMNAR_M
-        )
+        (the one check shared by every sweep caller —
+        ``Schedule.peak_processor_usage``, the validator and the simulator —
+        so the fallback threshold cannot drift between them).
+
+        Object-dtype processor columns always pass: their cumsum is exact
+        Python-int arithmetic.  For int64 columns the check is *exact* via
+        :func:`repro.core.capacity.total_fits_int64` — the historical float
+        sum was only trusted up to ``2**53`` and silently accepted totals in
+        the ``(2**62, 2**62 + ulp]`` rounding gap."""
+        if self.processors.dtype == object:
+            return True
+        return total_fits_int64(self.processors)
 
     def peak_busy(self) -> int:
         """Maximum number of simultaneously busy processors.
@@ -545,10 +547,10 @@ class Schedule:
     def _consolidate(self) -> _ColumnBlock:
         """Merge the staging buffers into the consolidated column block.
 
-        Raises :class:`OverflowError` when processor counts or machine
-        indices do not fit int64 (compact encodings of astronomically wide
-        machines); the staging buffers are left untouched in that case so
-        entry views keep working.
+        Processor counts and machine indices beyond int64 (compact encodings
+        of astronomically wide machines) land in exact object-dtype columns
+        via :func:`repro.core.capacity.index_array` — the columnar view no
+        longer overflows at any ``m``.
         """
         block = self._block
         if not self._t_start:
@@ -558,7 +560,7 @@ class Schedule:
             return block
         t_n = len(self._t_start)
         t_start = np.asarray(self._t_start, dtype=np.float64)
-        t_procs = np.asarray(self._t_procs, dtype=np.int64)
+        t_procs = index_array(self._t_procs)
         t_has_override = np.fromiter(
             (o is not None for o in self._t_override), dtype=bool, count=t_n
         )
@@ -570,11 +572,11 @@ class Schedule:
         spans_per_entry = np.fromiter(
             (len(s) for s in self._t_spans), dtype=np.int64, count=t_n
         )
-        t_span_first = np.asarray(
-            [f for spans in self._t_spans for f, _ in spans], dtype=np.int64
+        t_span_first = index_array(
+            [f for spans in self._t_spans for f, _ in spans]
         )
-        t_span_count = np.asarray(
-            [c for spans in self._t_spans for _, c in spans], dtype=np.int64
+        t_span_count = index_array(
+            [c for spans in self._t_spans for _, c in spans]
         )
         if block is None or block.n == 0:
             span_off = np.zeros(t_n + 1, dtype=np.int64)
@@ -648,8 +650,8 @@ class Schedule:
         (the oracle is at hand *now*; a later lazy access would fall back
         to per-job calls).
 
-        Raises :class:`OverflowError` for schedules whose span values do not
-        fit int64 — use :meth:`try_columns` when a scalar fallback exists.
+        Span values beyond int64 land in exact object-dtype columns (see
+        :mod:`repro.core.capacity`), so this no longer raises at any ``m``.
         """
         block = self._consolidate()
         cols = self._cols
@@ -664,9 +666,10 @@ class Schedule:
         """Like :meth:`columns` but returns ``None`` instead of raising
         :class:`OverflowError` (the caller then takes its scalar path).
 
-        A failed consolidation is cached until the next mutation, so the
-        fallback paths do not re-attempt the O(n) conversion on every
-        property access.
+        Since the object-dtype escape hatch landed, consolidation succeeds
+        at any magnitude and this is equivalent to :meth:`columns`; the
+        guard (with its failed-consolidation cache) is kept as a safety net
+        for exotic column producers.
         """
         if self._overflowed:
             return None

@@ -392,10 +392,11 @@ def validate_schedule(
     max_makespan:
         Optional upper bound the makespan must respect.
     backend:
-        ``"auto"`` (default) runs the columnar NumPy checks, falling back to
-        the scalar sweep for violation messages and for schedules whose span
-        values do not fit int64; ``"scalar"`` forces the pure-Python reference
-        path.  Both produce identical reports.
+        ``"auto"`` (default) runs the columnar NumPy checks at any machine
+        count (span values beyond int64 ride exact object-dtype columns),
+        falling back to the scalar sweep only for violation messages;
+        ``"scalar"`` forces the pure-Python reference path.  Both produce
+        identical reports.
     oracle:
         Optional :class:`repro.perf.oracle.BatchedOracle` covering the
         schedule's jobs; the columnar path then evaluates entry durations in
@@ -405,12 +406,12 @@ def validate_schedule(
     if backend not in ("auto", "vectorized", "scalar"):
         raise ValueError(f"unknown validation backend {backend!r}")
     if backend != "scalar" and len(schedule):
-        from .schedule import MAX_COLUMNAR_M
-
-        if schedule.m <= MAX_COLUMNAR_M:
-            report = _validate_columnar(schedule, jobs, max_makespan, require_all_jobs, oracle)
-            if report is not None:
-                return report
+        # astronomical m included: the columns carry exact object-dtype
+        # machine indices beyond int64 (see repro.core.capacity), and every
+        # columnar check below is dtype-agnostic
+        report = _validate_columnar(schedule, jobs, max_makespan, require_all_jobs, oracle)
+        if report is not None:
+            return report
     return _validate_scalar(schedule, jobs, max_makespan, require_all_jobs)
 
 

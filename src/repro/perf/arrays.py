@@ -108,7 +108,9 @@ class _TabulatedGroup(_Group):
 
     def eval(self, pos: np.ndarray, ks: np.ndarray) -> np.ndarray:
         lengths = self.lengths[pos]
-        idx = np.minimum(ks.astype(np.int64), lengths) - 1
+        # clamp in float space *before* the int64 cast: a float64 k >= 2**63
+        # overflows ``astype(np.int64)`` into a negative table index
+        idx = np.minimum(ks, lengths.astype(np.float64)).astype(np.int64) - 1
         return self.flat[self.offsets[pos] + idx]
 
 

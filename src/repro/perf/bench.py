@@ -32,7 +32,9 @@ the candidate-visit reduction the index must deliver, or the re-plan
 γ-probe reduction the fault-recovery warm start must deliver on the
 ``recovery`` rows — cold vs warm ``recover_with_faults`` on a seeded
 fault plan, ``--min-recovery`` — or the fleet-serving throughput floor on
-the ``serve`` rows, ``--min-serve-throughput``).
+the ``serve`` rows, ``--min-serve-throughput`` — or the astronomical-m
+floor on the ``huge_m`` rows, scalar heap loop vs wide-integer columnar
+event-queue at m in {2^53+1, 2^64, 2^80}, ``--min-huge-m``).
 
 ``serve`` rows time :func:`repro.serve.schedule_many` over a small fleet
 twice — once healthy and once under seeded 10% kill/hang/raise chaos — and
@@ -115,6 +117,13 @@ DEFAULT_FAMILIES = tuple(FAMILIES)
 
 _TINY_N = 64
 _TINY_M = 1 << 22
+
+#: Machine counts of the ``huge_m`` rows (scalar heap loop vs the
+#: wide-integer columnar event-queue backend): just past the exact-float
+#: boundary, past int64, and firmly in the wide-limb tier.  Kept out of
+#: :data:`ALL_ALGORITHMS` — the rows pin their own m axis instead of
+#: sweeping the family configs.
+_HUGE_MS = ((1 << 53) + 1, 1 << 64, 1 << 80)
 
 
 def _chain_m(n: int) -> int:
@@ -278,6 +287,12 @@ def _configs(mode: str, families: Sequence[str]) -> List[dict]:
             configs.append(
                 dict(algorithm="serve", family=gate_families[0], n=40, m=64)
             )
+            # the astronomical-m floor (--min-huge-m): scalar heap loop vs
+            # the wide-integer columnar event-queue backend past 2^53/2^64
+            configs += [
+                dict(algorithm="huge_m", family=gate_families[0], n=2000, m=m)
+                for m in _HUGE_MS
+            ]
         elif "tiny_n_huge_m" in families:
             configs.append(
                 dict(algorithm="fptas", family="tiny_n_huge_m", n=_TINY_N, m=_TINY_M)
@@ -347,6 +362,16 @@ def _configs(mode: str, families: Sequence[str]) -> List[dict]:
         configs.append(dict(algorithm="recovery", family=family, n=200, m=256))
         # fleet serving throughput: healthy vs 10%-chaos instances/sec
         configs.append(dict(algorithm="serve", family=family, n=60, m=96))
+        # astronomical-m list scheduling (once, on the first eligible family):
+        # the m axis is the variable here, not the instance family
+        if family == next(
+            (f for f in families if f not in ("tiny_n_huge_m", "chain")), None
+        ):
+            configs += [
+                dict(algorithm="huge_m", family=family, n=n, m=m)
+                for n in (1000, 2000)
+                for m in _HUGE_MS
+            ]
     return configs
 
 
@@ -390,6 +415,52 @@ def _list_schedule_shard(instance, m: int, repeat: int) -> tuple:
             m,
             order=order,
             backend="event_queue",
+            allotted_times=allotted,
+        ),
+        repeat,
+        instance.jobs,
+    )
+    return scalar_seconds, scalar_result, vec_seconds, vec_result
+
+
+def _huge_m_shard(instance, m: int, repeat: int) -> tuple:
+    """Time the list-scheduling phase at astronomical m: the scalar heap
+    loop (arbitrary-precision Python ints) vs the wide-integer columnar
+    ``event_queue_indexed`` backend on the same allotment and LPT order.
+
+    The allotment comes from the *scalar* estimator — ``BatchedOracle``
+    (and with it :func:`_estimator_allotment`) rejects m beyond the float64
+    integer range, which is exactly the regime these rows measure."""
+    import numpy as np
+
+    from ..core.bounds import ludwig_tiwari_estimator
+    from ..core.list_scheduling import list_schedule
+
+    # both legs finish in tens of milliseconds, so best-of-3 is essentially
+    # free and keeps the gated ratio out of cold-start timing noise
+    repeat = max(repeat, 3)
+    estimate = ludwig_tiwari_estimator(instance.jobs, m)
+    allotment = estimate.allotment
+    counts = allotment.counts
+    times = np.array(
+        [job.processing_time(counts[job]) for job in instance.jobs], dtype=np.float64
+    )
+    order = [instance.jobs[i] for i in np.argsort(-times, kind="stable").tolist()]
+    allotted = dict(zip(instance.jobs, times.tolist()))
+    scalar_seconds, scalar_result = _timed(
+        lambda: list_schedule(
+            instance.jobs, allotment, m, order=order, backend="heap"
+        ),
+        repeat,
+        instance.jobs,
+    )
+    vec_seconds, vec_result = _timed(
+        lambda: list_schedule(
+            instance.jobs,
+            allotment,
+            m,
+            order=order,
+            backend="event_queue_indexed",
             allotted_times=allotted,
         ),
         repeat,
@@ -653,6 +724,10 @@ def _bench_shard(task: tuple) -> BenchRow:
         ) = _recovery_shard(instance, m, repeat, seed)
     elif algorithm == "list_schedule":
         scalar_seconds, scalar_result, vec_seconds, vec_result = _list_schedule_shard(
+            instance, m, repeat
+        )
+    elif algorithm == "huge_m":
+        scalar_seconds, scalar_result, vec_seconds, vec_result = _huge_m_shard(
             instance, m, repeat
         )
     elif algorithm == "list_schedule_indexed":
@@ -947,6 +1022,7 @@ def check_regression(
     min_visit_reduction: Optional[float] = 0.5,
     min_recovery: Optional[float] = 0.5,
     min_serve_throughput: Optional[float] = 0.5,
+    min_huge_m: Optional[float] = 2.0,
 ) -> List[str]:
     """Compare per-algorithm speedups against a baseline report.
 
@@ -971,8 +1047,10 @@ def check_regression(
     cross-epoch warm start must save the fault-recovery re-plans over cold
     bisection) and the fleet-serving throughputs (``min_serve_throughput``,
     instances/sec both healthy and under seeded 10% chaos — the chaos leg
-    includes kills, hangs-to-deadline and retries in its wall clock); pass
-    ``None`` to skip any of them.
+    includes kills, hangs-to-deadline and retries in its wall clock) and the
+    astronomical-m geomean (``min_huge_m``, scalar heap loop vs the
+    wide-integer columnar event-queue backend at m past 2^53/2^64/2^80);
+    pass ``None`` to skip any of them.
     """
     with open(baseline_path) as fh:
         baseline = json.load(fh)
@@ -1103,6 +1181,20 @@ def check_regression(
                 f"below the re-plan warm-start floor "
                 f"{100.0 * min_recovery:.1f}% — rows: {detail}"
             )
+    if min_huge_m is not None:
+        hm = report.aggregates.get("speedup_huge_m")
+        if hm is not None and hm < min_huge_m:
+            detail = ", ".join(
+                f"{_row_label(r)}: {r.speedup:.2f}x"
+                for r in sorted(
+                    (r for r in report.rows if r.algorithm == "huge_m"),
+                    key=lambda r: r.speedup,
+                )
+            )
+            failures.append(
+                f"speedup_huge_m: {hm:.2f}x fell below the astronomical-m "
+                f"floor {min_huge_m:.2f}x — rows: {detail}"
+            )
     if min_serve_throughput is not None:
         serve_rows = sorted(
             (r for r in report.rows if r.algorithm == "serve"),
@@ -1223,6 +1315,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve_throughput_chaos (fleet instances/sec, healthy and under "
         "seeded 10%% chaos), enforced by --check (0 disables)",
     )
+    parser.add_argument(
+        "--min-huge-m",
+        type=float,
+        default=2.0,
+        help="absolute floor for the huge_m speedup geomean (scalar heap "
+        "loop vs wide-integer columnar event-queue backend at astronomical "
+        "machine counts), enforced by --check (0 disables)",
+    )
     args = parser.parse_args(argv)
 
     families = [f.strip() for f in args.families.split(",") if f.strip()] if args.families else None
@@ -1269,6 +1369,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 min_visit_reduction=args.min_visit_reduction or None,
                 min_recovery=args.min_recovery or None,
                 min_serve_throughput=args.min_serve_throughput or None,
+                min_huge_m=args.min_huge_m or None,
             )
         except (OSError, json.JSONDecodeError) as exc:
             print(f"cannot read baseline {args.check!r}: {exc}", file=sys.stderr)

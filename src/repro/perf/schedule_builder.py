@@ -38,6 +38,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..core.capacity import index_array
 from ..core.job import MoldableJob
 from ..core.schedule import (
     MAX_COLUMNAR_M,
@@ -166,8 +167,8 @@ class ArraySchedule:
         """
         base = len(self._jobs)
         starts = np.asarray(starts, dtype=np.float64)
-        span_first = np.asarray(span_first)
-        span_count = np.asarray(span_count)
+        span_first = span_first if isinstance(span_first, np.ndarray) else index_array(span_first)
+        span_count = span_count if isinstance(span_count, np.ndarray) else index_array(span_count)
         if len(starts) != len(jobs):
             raise ValueError("jobs and starts must have the same length")
         if span_owner is None:
@@ -217,8 +218,10 @@ class ArraySchedule:
 
         starts = np.asarray(self._starts, dtype=np.float64)
         owner = np.asarray(self._span_owner, dtype=np.int64)
-        first = np.asarray(self._span_first, dtype=np.int64)
-        count = np.asarray(self._span_count, dtype=np.int64)
+        # machine indices / counts beyond int64 (astronomical m) land in
+        # exact object-dtype columns; every array op below is dtype-agnostic
+        first = index_array(self._span_first)
+        count = index_array(self._span_count)
 
         invalid = (count <= 0) | (first < 0)
         if invalid.any():

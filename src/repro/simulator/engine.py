@@ -92,17 +92,20 @@ def _simulate_columnar(schedule: Schedule) -> Optional[ExecutionTrace]:
     Returns ``None`` whenever the scalar loop's special cases could apply —
     near-coincident event times (its float-tolerance release logic), a
     potential machine conflict, over-subscription, out-of-range spans, or
-    columns that do not fit int64 — so the caller falls back to the scalar
-    event loop.  The scalar loop remains a genuinely *independent*
-    implementation of the feasibility rules (request it explicitly with
-    ``backend="scalar"`` for cross-validation); when a trace is returned
-    from this fast path it is identical to the scalar one.
+    int64 columns whose prefix sums could overflow — so the caller falls
+    back to the scalar event loop.  Astronomical machine counts run
+    natively: beyond int64 the columns are exact object dtype (see
+    :mod:`repro.core.capacity`) and every sweep below is dtype-agnostic.
+    The scalar loop remains a genuinely *independent* implementation of the
+    feasibility rules (request it explicitly with ``backend="scalar"`` for
+    cross-validation); when a trace is returned from this fast path it is
+    identical to the scalar one.
     """
-    from ..core.schedule import MAX_COLUMNAR_M, spans_time_overlap
+    from ..core.schedule import spans_time_overlap
 
     m = schedule.m
     n = len(schedule)
-    if n == 0 or m > MAX_COLUMNAR_M:
+    if n == 0:
         return None
     cols = schedule.try_columns()
     if cols is None:

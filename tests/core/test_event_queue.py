@@ -118,6 +118,48 @@ class TestEpochGroupingPins:
         assert stats["max_epoch_completions"] == 1
         _assert_identical(list_schedule(jobs, allot, 2, backend="heap"), schedule)
 
+    def test_relative_window_is_capped_at_magnitude_2_60(self):
+        """Above 2^60 the relative term stops growing: the window anchors at
+        2^60 * 2^-51 = 512.  Without the cap the window at magnitude 2^62
+        would be 2048 — *four* ulp there (ulp = 1024), fusing floats that are
+        two representable values apart into one epoch.  Pinned on both sides:
+        one ulp (1024) at 2^62 stays split, exact ties still merge."""
+        from repro.core.list_scheduling import EPOCH_REL_MAGNITUDE_CAP
+
+        m62 = 2.0 ** 62
+        ulp62 = float(np.spacing(m62))
+        assert ulp62 == 1024.0
+        assert epoch_tolerance(m62) == EPOCH_REL_MAGNITUDE_CAP * EPOCH_REL_TOLERANCE == 512.0
+        assert epoch_tolerance(m62) < ulp62  # the uncapped window (2048) was not
+
+        jobs, allot = _jobs_with_durations([m62, m62 + ulp62])
+        schedule, stats = _run(jobs, allot, 2)
+        assert stats["epochs"] == 2
+        _assert_identical(list_schedule(jobs, allot, 2, backend="heap"), schedule)
+
+        jobs, allot = _jobs_with_durations([m62, m62])
+        schedule, stats = _run(jobs, allot, 2)
+        assert stats["epochs"] == 1
+        _assert_identical(list_schedule(jobs, allot, 2, backend="heap"), schedule)
+
+    def test_two_ulp_still_merges_at_the_cap_anchor(self):
+        """At the 2^60 anchor itself the window is exactly two ulp (2^60 *
+        2^-51 = 2 * 2^9 = 512 with ulp 256): two ulp merges, three does not —
+        the historical two-ulp semantics hold right up to the cap."""
+        m60 = 2.0 ** 60
+        ulp60 = float(np.spacing(m60))
+        assert epoch_tolerance(m60) == 2 * ulp60
+
+        jobs, allot = _jobs_with_durations([m60, m60 + 2 * ulp60])
+        schedule, stats = _run(jobs, allot, 2)
+        assert stats["epochs"] == 1
+        _assert_identical(list_schedule(jobs, allot, 2, backend="heap"), schedule)
+
+        jobs, allot = _jobs_with_durations([m60, m60 + 3 * ulp60])
+        schedule, stats = _run(jobs, allot, 2)
+        assert stats["epochs"] == 2
+        _assert_identical(list_schedule(jobs, allot, 2, backend="heap"), schedule)
+
     def test_absolute_floor_governs_below_magnitude_two(self):
         """Below EPOCH_TOLERANCE / EPOCH_REL_TOLERANCE (~2.25) the absolute
         1e-15 floor is the window — the historical semantics are unchanged
@@ -223,64 +265,71 @@ class TestBackendSelection:
             list_schedule(jobs, allot, 2, backend="wakeup"),
         )
 
-    def test_astronomical_m_falls_back_to_heap(self):
-        """Machine counts beyond the int64 span range silently use the heap
-        reference (the only backend with arbitrary-precision spans)."""
+    @pytest.mark.parametrize("backend", ["wakeup", "event_queue", "event_queue_indexed"])
+    def test_astronomical_m_runs_natively(self, backend):
+        """Machine counts beyond the int64 span range used to divert to the
+        scalar heap; the wide-limb capacity tier now keeps every columnar
+        backend vectorized, bit-identical to the heap reference."""
         m = MAX_COLUMNAR_M * 4
-        jobs = [TabulatedJob("big", [3.0, 3.0])]
-        allot = Allotment({jobs[0]: 2})
+        jobs = [TabulatedJob("big", [3.0, 3.0]), TabulatedJob("small", [5.0])]
+        allot = Allotment({jobs[0]: m - 1, jobs[1]: 1})
         stats = {}
-        schedule = list_schedule(
-            jobs, allot, m, backend="event_queue", stats=stats
-        )
-        assert schedule.makespan == 3.0
-        assert "epochs" not in stats  # the heap path ran, not the event queue
+        schedule = list_schedule(jobs, allot, m, backend=backend, stats=stats)
+        assert schedule.makespan == 5.0
+        if backend != "wakeup":
+            assert "epochs" in stats  # the event queue ran, no heap fallback
+        assert stats["capacity_tier"] == "wide"
+        _assert_identical(list_schedule(jobs, allot, m, backend="heap"), schedule)
 
-    def test_huge_total_need_falls_back_to_heap(self):
-        """Needs whose prefix sums would overflow int64 (regression: 40 jobs
-        of 2^61 processors on m = 2^62 crashed the batched admission path)
-        silently take the heap reference instead."""
+    @pytest.mark.parametrize("backend", ["event_queue", "event_queue_indexed"])
+    def test_huge_total_need_runs_natively(self, backend):
+        """Needs whose prefix sums overflow int64 (regression: 40 jobs of
+        2^61 processors on m = 2^62 crashed the batched admission path) now
+        promote to the wide tier instead of diverting to the heap."""
         m = MAX_COLUMNAR_M
         need = 1 << 61
         jobs = [TabulatedJob(f"h{i}", [10.0]) for i in range(40)]
         allot = Allotment({j: need for j in jobs})
         stats = {}
-        schedule = list_schedule(jobs, allot, m, backend="event_queue", stats=stats)
+        schedule = list_schedule(jobs, allot, m, backend=backend, stats=stats)
         assert schedule.makespan == 200.0
-        assert "epochs" not in stats  # the heap path ran
+        assert "epochs" in stats  # the event queue ran, no heap fallback
+        assert stats["capacity_tier"] == "wide"
+        _assert_identical(list_schedule(jobs, allot, m, backend="heap"), schedule)
 
-    def test_indexed_astronomical_m_falls_back_to_heap(self):
-        """The indexed backend must take the same silent heap fallback as
-        the scanning one beyond the int64 span range — no behaviour fork
-        between the event-queue variants at astronomical m."""
-        m = MAX_COLUMNAR_M * 4
-        jobs = [TabulatedJob("big", [3.0, 3.0])]
-        allot = Allotment({jobs[0]: 2})
-        stats = {}
-        schedule = list_schedule(
-            jobs, allot, m, backend="event_queue_indexed", stats=stats
-        )
-        assert schedule.makespan == 3.0
-        assert "epochs" not in stats  # the heap path ran, not the event queue
+    @pytest.mark.parametrize("backend", ["wakeup", "event_queue", "event_queue_indexed"])
+    def test_unified_guard_at_the_exact_int64_boundary(self, backend):
+        """All three columnar backends share one tier cut: total_need equal
+        to ``MAX_COLUMNAR_M - m`` stays on int64 columns, one processor more
+        promotes to the wide tier — and both sides match the heap exactly.
 
-    def test_indexed_huge_total_need_falls_back_to_heap(self):
-        """Mirror of the int64-overflow regression for the indexed backend:
-        prefix sums of 40 x 2^61 needs on m = 2^62 must divert to the heap
-        reference identically to ``backend="event_queue"``."""
-        m = MAX_COLUMNAR_M
-        need = 1 << 61
-        jobs = [TabulatedJob(f"h{i}", [10.0]) for i in range(40)]
-        allot = Allotment({j: need for j in jobs})
+        Before the capacity module only the two event-queue backends guarded
+        the boundary (list_scheduling.py's old line-177 guard); the wakeup
+        backend's candidate arrays could silently overflow."""
+        m = 1 << 61
+        budget = MAX_COLUMNAR_M - m  # the historical event-queue guard value
+        for extra, tier in ((0, "int64"), (1, "wide")):
+            jobs = [TabulatedJob("a", [4.0]), TabulatedJob("b", [6.0])]
+            # two needs <= m whose total sits exactly on / one past the cut
+            allot = Allotment({jobs[0]: budget // 2, jobs[1]: budget // 2 + extra})
+            stats = {}
+            schedule = list_schedule(jobs, allot, m, backend=backend, stats=stats)
+            assert stats["capacity_tier"] == tier, (extra, tier)
+            _assert_identical(
+                list_schedule(jobs, allot, m, backend="heap"), schedule
+            )
+
+    @pytest.mark.parametrize("backend", ["wakeup", "event_queue", "event_queue_indexed"])
+    def test_object_tier_beyond_wide_range(self, backend):
+        """Past the 2^93 wide-limb budget the object-dtype escape hatch keeps
+        the columnar structure (exact Python-int arithmetic per element)."""
+        m = 1 << 96
+        jobs = [TabulatedJob("big", [3.0, 3.0]), TabulatedJob("small", [5.0])]
+        allot = Allotment({jobs[0]: m - 1, jobs[1]: 1})
         stats = {}
-        schedule = list_schedule(
-            jobs, allot, m, backend="event_queue_indexed", stats=stats
-        )
-        assert schedule.makespan == 200.0
-        assert "epochs" not in stats  # the heap path ran
-        # and both variants produce the bit-identical (heap) schedule
-        _assert_identical(
-            list_schedule(jobs, allot, m, backend="event_queue"), schedule
-        )
+        schedule = list_schedule(jobs, allot, m, backend=backend, stats=stats)
+        assert stats["capacity_tier"] == "object"
+        _assert_identical(list_schedule(jobs, allot, m, backend="heap"), schedule)
 
     def test_stats_contract(self):
         jobs, allot = _jobs_with_durations([1.0, 2.0, 3.0])

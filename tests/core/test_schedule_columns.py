@@ -125,15 +125,23 @@ class TestColumnarStorage:
         assert schedule.makespan == pytest.approx(6.0 + 3.0)
         assert [e.job.name for e in schedule.entries] == ["a", "b"]
 
-    def test_astronomical_span_counts_fall_back(self):
-        """Span counts beyond int64 cannot be consolidated into columns; the
-        per-entry arbitrary-precision paths must keep working."""
+    def test_astronomical_span_counts_consolidate_exactly(self):
+        """Span counts beyond int64 consolidate into exact object-dtype
+        columns (they used to abort consolidation and divert every consumer
+        to the per-entry scalar paths); the column values, the sweeps and
+        the scalar aggregate properties all stay exact Python-int."""
         wide = 1 << 70
         job = TabulatedJob("wide", [100.0])
         schedule = Schedule(m=4 * wide)
         schedule.add(job, 0.0, [(0, wide)])
         schedule.add(job, 0.0, [(2 * wide, wide)])
-        assert schedule.try_columns() is None
+        cols = schedule.try_columns()
+        assert cols is not None
+        assert cols.processors.dtype == object
+        assert cols.processors.tolist() == [wide, wide]
+        assert cols.span_first.tolist() == [0, 2 * wide]
+        assert cols.fits_int64_sweep()  # object cumsum is exact
+        assert cols.peak_busy() == 2 * wide
         assert schedule.makespan == pytest.approx(100.0)
         assert schedule.total_work == 2 * wide * 100.0
         assert schedule.peak_processor_usage() == 2 * wide

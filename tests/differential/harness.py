@@ -95,9 +95,29 @@ FAMILIES: Dict[str, Callable] = {
     # drain-and-replan recovery loop against a seed-derived FaultPlan; the
     # comparison pins the *stitched* schedules bit-identical across backends
     "faulty": random_mixed_instance,
+    # astronomical-m family: the drawn m only *selects* one of the
+    # HUGE_M_CHOICES boundary straddlers (2^53 and 2^62 plus ±1, and far
+    # beyond), so the exact-float cut and the int64→wide→object capacity
+    # tier cuts are fuzzed, not just regression-pinned
+    "huge_m": random_mixed_instance,
 }
 
 TINY_N_HUGE_M = 1 << 20
+
+#: ``huge_m``-family machine counts: both overflow boundaries with their
+#: off-by-one neighbours (2^53 = exact-float limit, 2^62 = int64 columnar
+#: limit), plus firmly-wide and object-tier magnitudes.
+HUGE_M_CHOICES = (
+    (1 << 53) - 1,
+    1 << 53,
+    (1 << 53) + 1,
+    (1 << 62) - 1,
+    1 << 62,
+    (1 << 62) + 1,
+    1 << 64,
+    1 << 80,
+    1 << 96,
+)
 
 DRIVERS = ("mrt", "compressible", "bounded", "fptas", "two_approx")
 
@@ -113,11 +133,18 @@ LIST_ONLY_BACKENDS = ("event_queue", "event_queue_indexed")
 def effective_m(case: dict) -> int:
     """The machine count a case actually runs with.
 
-    ``tiny_n_huge_m`` pins the huge machine count; the FPTAS additionally
-    needs ``m >= 8n/eps`` (its applicability regime), so its cases are
-    lifted to the threshold when the drawn m is below it.
+    ``tiny_n_huge_m`` pins the huge machine count; ``huge_m`` maps the drawn
+    m onto one of the :data:`HUGE_M_CHOICES` boundary straddlers (the drawn
+    value acts as the fuzz selector); the FPTAS additionally needs
+    ``m >= 8n/eps`` (its applicability regime), so its cases are lifted to
+    the threshold when the drawn m is below it.
     """
-    m = TINY_N_HUGE_M if case["family"] == "tiny_n_huge_m" else int(case["m"])
+    if case["family"] == "tiny_n_huge_m":
+        m = TINY_N_HUGE_M
+    elif case["family"] == "huge_m":
+        m = HUGE_M_CHOICES[int(case["m"]) % len(HUGE_M_CHOICES)]
+    else:
+        m = int(case["m"])
     if case["driver"] == "fptas":
         m = max(m, int(math.ceil(8.0 * case["n"] / case["eps"])) + 1)
     return m

@@ -1,9 +1,9 @@
 """Hypothesis-driven cross-backend parity fuzzing.
 
 Draws random (driver, family, n, m, eps, seed) cases across all five
-algorithm drivers and all eight instance families (the bench sweep plus the
-tie-heavy ``quantized``, the no-tie ``chain``, and the fault-recovery
-``faulty`` families), runs each
+algorithm drivers and all nine instance families (the bench sweep plus the
+tie-heavy ``quantized``, the no-tie ``chain``, the fault-recovery
+``faulty``, and the overflow-boundary ``huge_m`` families), runs each
 driver under every backend of the N-way comparison (scalar heap reference,
 vectorized drivers, batched event-queue list scheduler, candidate-indexed
 event-queue list scheduler), and asserts identical schedules, makespans and
@@ -86,6 +86,7 @@ class TestHarnessSelfChecks:
             "quantized",
             "chain",
             "faulty",
+            "huge_m",
         }
 
     def test_comparison_is_n_way(self):
@@ -108,6 +109,15 @@ class TestHarnessSelfChecks:
     def test_one_deterministic_case_per_driver(self, driver):
         run_case(
             {"driver": driver, "family": "mixed", "n": 6, "m": 24, "eps": 0.25, "seed": 7}
+        )
+
+    @pytest.mark.parametrize("driver", DRIVERS)
+    def test_one_deterministic_huge_m_case_per_driver(self, driver):
+        """Every driver runs the astronomical-m family: the drawn ``m``
+        selects a HUGE_M_CHOICES boundary straddler (here 2^62 + 1, the
+        first wide-tier machine count)."""
+        run_case(
+            {"driver": driver, "family": "huge_m", "n": 6, "m": 5, "eps": 0.25, "seed": 13}
         )
 
     @pytest.mark.parametrize("driver", DRIVERS)

@@ -42,8 +42,9 @@ class TestConfigs:
         families = {c["family"] for c in configs}
         algorithms = {c["algorithm"] for c in configs}
         assert families == set(DEFAULT_FAMILIES)
-        # recovery and fleet-serving ride alongside the backend sweep
-        assert algorithms == set(ALL_ALGORITHMS) | {"recovery", "serve"}
+        # recovery, fleet-serving and the astronomical-m shard ride
+        # alongside the backend sweep
+        assert algorithms == set(ALL_ALGORITHMS) | {"recovery", "serve", "huge_m"}
         # the tiny family pins every algorithm to the large-m dispatch shape
         tiny = [c for c in configs if c["family"] == "tiny_n_huge_m"]
         assert {c["algorithm"] for c in tiny} == set(ALL_ALGORITHMS)
@@ -107,6 +108,21 @@ class TestConfigs:
             assert rows, mode
             # recovery is an end-to-end loop on a moderate cluster, never
             # the tiny_n_huge_m / chain coverage shapes
+            assert all(c["family"] not in ("tiny_n_huge_m", "chain") for c in rows)
+
+    def test_huge_m_rows_present_in_both_modes(self):
+        from repro.perf.bench import _HUGE_MS
+
+        for mode in ("smoke", "full"):
+            configs = _configs(mode, list(DEFAULT_FAMILIES))
+            rows = [c for c in configs if c["algorithm"] == "huge_m"]
+            # one row per astronomical machine count, straddling the exact
+            # float boundary (2^53 + 1) and both wide-tier magnitudes
+            assert {c["m"] for c in rows} == set(_HUGE_MS), mode
+            assert min(_HUGE_MS) == (1 << 53) + 1
+            assert max(_HUGE_MS) > 1 << 62
+            # normal workload families only: the capacity tier is what the
+            # row varies, not the instance shape
             assert all(c["family"] not in ("tiny_n_huge_m", "chain") for c in rows)
 
     def test_unknown_family_rejected(self):
