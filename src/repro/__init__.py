@@ -42,6 +42,7 @@ from .core import (
     two_approximation,
     validate_schedule,
 )
+from .perf.megabatch import MegaBatch, MegaOracle, solve_mega
 from .resilience import (
     DegradationReport,
     FaultPlan,
@@ -91,6 +92,9 @@ __all__ = [
     "schedule_moldable",
     "SchedulingResult",
     "ALGORITHMS",
+    "MegaBatch",
+    "MegaOracle",
+    "solve_mega",
     "FaultPlan",
     "MachineFailure",
     "JobKill",

@@ -10,13 +10,19 @@ produce bit-for-bit identical schedules.
 
 from __future__ import annotations
 
+from .capacity import MAX_COLUMNAR_M
+
 __all__ = ["resolve_backend", "MAX_VECTORIZED_M"]
 
 #: Largest machine count the vectorized backend supports: γ-arrays use the
-#: sentinel ``m + 1`` in int64.  Astronomically larger ``m`` (the compact
-#: input encoding allows it) silently falls back to the scalar path, which
-#: handles arbitrary Python ints — results are bit-identical either way.
-MAX_VECTORIZED_M = (1 << 63) - 2
+#: sentinel ``m + 1`` in int64 and the oracle funnels counts through float64,
+#: so the boundary is the shared int64-contract limit from
+#: :mod:`repro.core.capacity` (2^62), not the raw int64 ceiling — counts in
+#: (2^53, 2^63) would round under a lossy ``float(m)`` cast.  Astronomically
+#: larger ``m`` (the compact input encoding allows it) silently falls back to
+#: the scalar path, which handles arbitrary Python ints — results are
+#: bit-identical either way.
+MAX_VECTORIZED_M = MAX_COLUMNAR_M
 
 
 def resolve_backend(jobs, m, backend, oracle):

@@ -133,7 +133,11 @@ def instance_from_dict(data: Dict[str, Any]) -> tuple[List[MoldableJob], int, di
 
 
 def save_instance(path: PathLike, jobs: Sequence[MoldableJob], m: int, *, metadata: Optional[dict] = None) -> None:
-    Path(path).write_text(json.dumps(instance_to_dict(jobs, m, metadata=metadata), indent=2))
+    # allow_nan=False on every save site: NaN/Infinity are not JSON, and a
+    # file carrying them would poison comparisons on load — fail at write time
+    Path(path).write_text(
+        json.dumps(instance_to_dict(jobs, m, metadata=metadata), indent=2, allow_nan=False)
+    )
 
 
 def load_instance(path: PathLike) -> tuple[List[MoldableJob], int, dict]:
@@ -217,7 +221,7 @@ def schedule_from_dict(
 
 
 def save_schedule(path: PathLike, schedule: Schedule) -> None:
-    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2, allow_nan=False))
 
 
 def load_schedule(path: PathLike, jobs: Iterable[MoldableJob], *, validate: bool = True) -> Schedule:
@@ -248,7 +252,9 @@ def fault_plan_from_dict(data: Dict[str, Any]):
 
 
 def save_fault_plan(path: PathLike, plan) -> None:
-    Path(path).write_text(json.dumps(fault_plan_to_dict(plan), indent=2, sort_keys=True))
+    Path(path).write_text(
+        json.dumps(fault_plan_to_dict(plan), indent=2, sort_keys=True, allow_nan=False)
+    )
 
 
 def load_fault_plan(path: PathLike):
@@ -279,7 +285,9 @@ def fleet_report_from_dict(data: Dict[str, Any]):
 
 
 def save_fleet_report(path: PathLike, report) -> None:
-    Path(path).write_text(json.dumps(fleet_report_to_dict(report), indent=2, sort_keys=True))
+    Path(path).write_text(
+        json.dumps(fleet_report_to_dict(report), indent=2, sort_keys=True, allow_nan=False)
+    )
 
 
 def load_fleet_report(path: PathLike):

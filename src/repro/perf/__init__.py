@@ -27,12 +27,17 @@ implementations; the algorithm drivers select between them via their
 """
 
 from .arrays import JobArrayBundle
-from .oracle import BatchedOracle
+from .megabatch import MegaBatch, MegaOracle, solve_mega
+from .oracle import BatchedOracle, lockstep_gamma_round
 from .schedule_builder import ArraySchedule, ScheduleColumns, schedule_from_arrays
 
 __all__ = [
     "JobArrayBundle",
     "BatchedOracle",
+    "lockstep_gamma_round",
+    "MegaBatch",
+    "MegaOracle",
+    "solve_mega",
     "ArraySchedule",
     "ScheduleColumns",
     "schedule_from_arrays",

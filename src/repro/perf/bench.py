@@ -125,6 +125,14 @@ _TINY_M = 1 << 22
 #: sweeping the family configs.
 _HUGE_MS = ((1 << 53) + 1, 1 << 64, 1 << 80)
 
+#: Fleet sizes of the ``megabatch`` rows (per-instance solo vectorized loop
+#: vs one lockstep ``solve_mega`` pack): the lockstep win comes from
+#: amortising per-call dispatch across the fleet, so the rows sweep the
+#: fleet-size axis on small-n instances where dispatch dominates.  The gated
+#: ``megabatch_speedup`` geomean reads the fleet >= 32 rows.
+_MEGA_FLEETS = (8, 32, 128)
+_MEGA_N = 6
+
 
 def _chain_m(n: int) -> int:
     """Machine count of the chain family: n >> m forces a deep waiting queue
@@ -166,6 +174,12 @@ class BenchRow:
     serve_instances: int = 0
     serve_degraded: int = 0
     serve_quarantined: int = 0
+    #: Fleet size of the ``megabatch`` rows (0 for every other algorithm):
+    #: the row's scalar slot times a per-instance solo vectorized loop over
+    #: the fleet, the vectorized slot one lockstep ``solve_mega`` pack of the
+    #: same instances — bit-identical per-instance results, so the speedup is
+    #: pure dispatch amortisation.
+    mega_fleet: int = 0
 
 
 @dataclass
@@ -293,6 +307,19 @@ def _configs(mode: str, families: Sequence[str]) -> List[dict]:
                 dict(algorithm="huge_m", family=gate_families[0], n=2000, m=m)
                 for m in _HUGE_MS
             ]
+            # the mega-batch floor (--min-megabatch): per-instance solo
+            # vectorized loop vs one lockstep solve_mega pack, swept over the
+            # fleet-size axis on small-n instances
+            configs += [
+                dict(
+                    algorithm="megabatch",
+                    family=gate_families[0],
+                    n=_MEGA_N,
+                    m=8 * _MEGA_N,
+                    fleet=fleet,
+                )
+                for fleet in _MEGA_FLEETS
+            ]
         elif "tiny_n_huge_m" in families:
             configs.append(
                 dict(algorithm="fptas", family="tiny_n_huge_m", n=_TINY_N, m=_TINY_M)
@@ -371,6 +398,15 @@ def _configs(mode: str, families: Sequence[str]) -> List[dict]:
                 dict(algorithm="huge_m", family=family, n=n, m=m)
                 for n in (1000, 2000)
                 for m in _HUGE_MS
+            ]
+            # mega-batch lockstep fleet solving (once, on the first eligible
+            # family): the fleet size is the variable here, not the instance
+            configs += [
+                dict(
+                    algorithm="megabatch", family=family, n=_MEGA_N, m=8 * _MEGA_N,
+                    fleet=fleet,
+                )
+                for fleet in _MEGA_FLEETS
             ]
     return configs
 
@@ -672,6 +708,53 @@ def _serve_shard(family: str, n: int, m: int, repeat: int, seed: int) -> tuple:
     )
 
 
+def _megabatch_shard(family: str, n: int, m: int, fleet: int, repeat: int, seed: int) -> tuple:
+    """Time a fleet of small instances solo-vectorized vs one lockstep pack.
+
+    The solo leg runs ``schedule_moldable`` per instance (vectorized backend,
+    one γ-bisection per instance); the mega leg hands the *same* fleet to
+    ``solve_mega`` as a single :class:`~repro.perf.megabatch.MegaBatch`, so
+    every batched kernel call is shared across instances.  Results must be
+    bit-identical per instance — the speedup is pure dispatch amortisation.
+    Both legs clear the per-job memo caches between repeats via ``_timed``.
+    """
+    from ..core.scheduler import schedule_moldable
+    from .megabatch import solve_mega
+
+    # both legs are sub-second even at fleet 128; best-of-3 minimum keeps
+    # the gated ratio out of scheduler-jitter territory
+    repeat = max(repeat, 3)
+    generator = FAMILIES[family]
+    instances = [generator(n, m, seed=seed * 10_000 + i) for i in range(fleet)]
+    all_jobs = [job for inst in instances for job in inst.jobs]
+
+    def _solo():
+        return [
+            schedule_moldable(
+                inst.jobs, m, SCHEDULE_EPS, algorithm="two_approx",
+                backend="vectorized",
+            )
+            for inst in instances
+        ]
+
+    def _mega():
+        return solve_mega(
+            [(inst.jobs, m) for inst in instances],
+            eps=SCHEDULE_EPS,
+            algorithm="two_approx",
+        )
+
+    solo_seconds, solo_results = _timed(_solo, repeat, all_jobs)
+    mega_seconds, mega_results = _timed(_mega, repeat, all_jobs)
+    identical = all(
+        a.makespan == b.makespan and a.lower_bound == b.lower_bound
+        for a, b in zip(solo_results, mega_results)
+    )
+    solo_total = sum(r.makespan for r in solo_results)
+    mega_total = sum(r.makespan for r in mega_results)
+    return (solo_seconds, solo_total, mega_seconds, mega_total, identical)
+
+
 def _bench_shard(task: tuple) -> BenchRow:
     """Time one (algorithm, family, n, m) shard under both backends.
 
@@ -710,6 +793,25 @@ def _bench_shard(task: tuple) -> BenchRow:
             serve_instances=_SERVE_FLEET,
             serve_degraded=degraded,
             serve_quarantined=quarantined,
+        )
+    if algorithm == "megabatch":
+        fleet = config["fleet"]
+        solo_seconds, solo_total, mega_seconds, mega_total, identical = (
+            _megabatch_shard(family, n, m, fleet, repeat, seed)
+        )
+        return BenchRow(
+            algorithm=algorithm,
+            family=family,
+            n=n,
+            m=m,
+            eps=SCHEDULE_EPS,
+            scalar_seconds=solo_seconds,
+            vectorized_seconds=mega_seconds,
+            speedup=solo_seconds / mega_seconds if mega_seconds > 0 else math.inf,
+            scalar_makespan=solo_total,
+            vectorized_makespan=mega_total,
+            makespans_identical=identical,
+            mega_fleet=fleet,
         )
     instance = FAMILIES[family](n, m, seed=seed)
     if algorithm == "recovery":
@@ -878,6 +980,14 @@ def _print_row(row: BenchRow) -> None:
             f"makespans {'identical' if row.makespans_identical else 'DIFFER'}"
         )
         return
+    if row.algorithm == "megabatch":
+        print(
+            f"  {row.algorithm:15s} {row.family:13s} n={row.n:<5d} m={row.m:<8d} "
+            f"solo {row.scalar_seconds:7.3f}s  mega {row.vectorized_seconds:7.3f}s  "
+            f"speedup {row.speedup:5.1f}x  fleet={row.mega_fleet}  "
+            f"makespans {'identical' if row.makespans_identical else 'DIFFER'}"
+        )
+        return
     print(
         f"  {row.algorithm:15s} {row.family:13s} n={row.n:<5d} m={row.m:<8d} "
         f"scalar {row.scalar_seconds:7.3f}s  vectorized {row.vectorized_seconds:7.3f}s  "
@@ -891,9 +1001,10 @@ def _aggregate(rows: Sequence[BenchRow]) -> Dict[str, float]:
     by_algorithm: Dict[str, List[float]] = {}
     by_algorithm_n1000: Dict[str, List[float]] = {}
     for row in rows:
-        if row.algorithm == "serve":
-            # serve rows time healthy-vs-chaos fleet legs, not a backend
-            # ratio — they feed the throughput aggregates below instead
+        if row.algorithm in ("serve", "megabatch"):
+            # serve rows time healthy-vs-chaos fleet legs and megabatch rows
+            # solo-vs-lockstep packing — neither is a backend ratio; they
+            # feed their dedicated aggregates below instead
             continue
         by_algorithm.setdefault(row.algorithm, []).append(row.speedup)
         if row.n >= 1000:
@@ -983,8 +1094,19 @@ def _aggregate(rows: Sequence[BenchRow]) -> Dict[str, float]:
         aggregates["serve_quarantined_total"] = float(
             sum(row.serve_quarantined for row in serve_rows)
         )
+    # Mega-batch accounting over the ``megabatch`` rows: the gated geomean
+    # reads the fleet >= 32 rows (the regime the lockstep amortisation is
+    # promised for); the all-fleet geomean is recorded for the curve.
+    mega_rows = [row for row in rows if row.algorithm == "megabatch"]
+    if mega_rows:
+        aggregates["megabatch_speedup_all"] = _geomean(
+            [row.speedup for row in mega_rows]
+        )
+        gated = [row.speedup for row in mega_rows if row.mega_fleet >= 32]
+        if gated:
+            aggregates["megabatch_speedup"] = _geomean(gated)
     aggregates["speedup_geomean_all"] = _geomean(
-        [row.speedup for row in rows if row.algorithm != "serve"]
+        [row.speedup for row in rows if row.algorithm not in ("serve", "megabatch")]
     )
     return aggregates
 
@@ -1023,6 +1145,7 @@ def check_regression(
     min_recovery: Optional[float] = 0.5,
     min_serve_throughput: Optional[float] = 0.5,
     min_huge_m: Optional[float] = 2.0,
+    min_megabatch: Optional[float] = 3.0,
 ) -> List[str]:
     """Compare per-algorithm speedups against a baseline report.
 
@@ -1049,7 +1172,9 @@ def check_regression(
     instances/sec both healthy and under seeded 10% chaos — the chaos leg
     includes kills, hangs-to-deadline and retries in its wall clock) and the
     astronomical-m geomean (``min_huge_m``, scalar heap loop vs the
-    wide-integer columnar event-queue backend at m past 2^53/2^64/2^80);
+    wide-integer columnar event-queue backend at m past 2^53/2^64/2^80) and
+    the mega-batch geomean (``min_megabatch``, per-instance solo vectorized
+    loop vs one lockstep ``solve_mega`` pack over the fleet >= 32 rows);
     pass ``None`` to skip any of them.
     """
     with open(baseline_path) as fh:
@@ -1195,6 +1320,20 @@ def check_regression(
                 f"speedup_huge_m: {hm:.2f}x fell below the astronomical-m "
                 f"floor {min_huge_m:.2f}x — rows: {detail}"
             )
+    if min_megabatch is not None:
+        mb = report.aggregates.get("megabatch_speedup")
+        if mb is not None and mb < min_megabatch:
+            detail = ", ".join(
+                f"{_row_label(r)}: {r.speedup:.2f}x (fleet={r.mega_fleet})"
+                for r in sorted(
+                    (r for r in report.rows if r.algorithm == "megabatch"),
+                    key=lambda r: r.speedup,
+                )
+            )
+            failures.append(
+                f"megabatch_speedup: {mb:.2f}x fell below the mega-batch "
+                f"lockstep floor {min_megabatch:.2f}x — rows: {detail}"
+            )
     if min_serve_throughput is not None:
         serve_rows = sorted(
             (r for r in report.rows if r.algorithm == "serve"),
@@ -1323,6 +1462,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "loop vs wide-integer columnar event-queue backend at astronomical "
         "machine counts), enforced by --check (0 disables)",
     )
+    parser.add_argument(
+        "--min-megabatch",
+        type=float,
+        default=3.0,
+        help="absolute floor for the megabatch speedup geomean (per-instance "
+        "solo vectorized loop vs one lockstep solve_mega pack, fleet >= 32 "
+        "rows), enforced by --check (0 disables)",
+    )
     args = parser.parse_args(argv)
 
     families = [f.strip() for f in args.families.split(",") if f.strip()] if args.families else None
@@ -1370,6 +1517,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 min_recovery=args.min_recovery or None,
                 min_serve_throughput=args.min_serve_throughput or None,
                 min_huge_m=args.min_huge_m or None,
+                min_megabatch=args.min_megabatch or None,
             )
         except (OSError, json.JSONDecodeError) as exc:
             print(f"cannot read baseline {args.check!r}: {exc}", file=sys.stderr)

@@ -25,7 +25,9 @@ class Deadline:
     __slots__ = ("seconds", "_expiry")
 
     def __init__(self, seconds: Optional[float]) -> None:
-        if seconds is not None and seconds < 0:
+        # ``not (x >= 0)`` instead of ``x < 0``: NaN passes ``< 0`` and would
+        # poison the expiry arithmetic (``NaN`` never compares expired)
+        if seconds is not None and not (seconds >= 0):
             raise ValueError(f"deadline seconds must be >= 0 or None, got {seconds}")
         self.seconds = seconds
         self._expiry = math.inf if seconds is None else time.monotonic() + seconds

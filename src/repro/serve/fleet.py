@@ -24,6 +24,7 @@ re-solving completed instances (:mod:`repro.serve.journal`).
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 import time
@@ -307,7 +308,8 @@ class _Slot:
         self.proc.start()
         child_conn.close()  # parent's copy; the worker holds the live end
         self.conn = parent_conn
-        self.task: Optional[_Task] = None
+        # a single _Task, or a list of them when a mega-batch pack is in flight
+        self.task: Optional[Union["_Task", List["_Task"]]] = None
         self.deadline: Optional[Deadline] = None
         self.started = 0.0
 
@@ -404,8 +406,16 @@ class FleetScheduler:
     ) -> FleetReport:
         t0 = time.perf_counter()
         fleet = self._normalize(instances, m, eps, algorithm)
+        # the ladder and chaos configuration are part of the resume identity:
+        # outcomes journalled under a different ladder (whose bottom rung may
+        # change the algorithm) or chaos seed must re-solve, not resume
+        ladder_dicts = [step.to_dict() for step in self.policy.ladder]
+        chaos_dict = self.chaos.to_dict() if self.chaos is not None else None
         fingerprints = {
-            inst.name: instance_fingerprint(inst.name, inst.jobs, inst.m, inst.eps, inst.algorithm)
+            inst.name: instance_fingerprint(
+                inst.name, inst.jobs, inst.m, inst.eps, inst.algorithm,
+                ladder=ladder_dicts, chaos=chaos_dict,
+            )
             for inst in fleet
         }
         outcomes: Dict[str, InstanceOutcome] = {}
@@ -454,6 +464,7 @@ class FleetScheduler:
             "backoff_jitter": p.backoff_jitter,
             "seed": p.seed,
             "ladder": [step.to_dict() for step in p.ladder],
+            "mega_batch_size": p.mega_batch_size,
         }
 
 
@@ -498,6 +509,18 @@ class _Dispatch:
             for slot in slots:
                 slot.shutdown()
 
+    def _task_payload(self, task: _Task) -> dict:
+        inst = self.fleet[task.index]
+        return {
+            "name": inst.name,
+            "jobs": inst.jobs,
+            "m": inst.m,
+            "eps": inst.eps,
+            "algorithm": inst.algorithm,
+            "attempt": task.attempt,
+            "step": self.policy.step(task.step).to_dict(),
+        }
+
     def _assign(self, slots: List[_Slot]) -> None:
         now = time.monotonic()
         for slot in slots:
@@ -506,42 +529,56 @@ class _Dispatch:
             task = self._pop_ready(now)
             if task is None:
                 return
-            inst = self.fleet[task.index]
-            payload = {
-                "name": inst.name,
-                "jobs": inst.jobs,
-                "m": inst.m,
-                "eps": inst.eps,
-                "algorithm": inst.algorithm,
-                "attempt": task.attempt,
-                "step": self.policy.step(task.step).to_dict(),
-            }
+            # mega-batch packing: fill the slot with further *first-attempt*
+            # tasks (all on the same ladder rung, by construction) so the
+            # worker solves them in one lockstep mega batch.  Retries stay
+            # solo — a pack failure fails all members, and re-batching them
+            # would let one poison instance starve the others' retry budget.
+            tasks = [task]
+            if self.policy.mega_batch_size > 1 and task.attempt == 0:
+                while len(tasks) < self.policy.mega_batch_size:
+                    extra = self._pop_ready(now, first_attempt_only=True)
+                    if extra is None:
+                        break
+                    tasks.append(extra)
+            if len(tasks) == 1:
+                payload: dict = self._task_payload(task)
+            else:
+                payload = {
+                    "pack": [self._task_payload(t) for t in tasks],
+                    "step": self.policy.step(task.step).to_dict(),
+                }
             try:
                 slot.conn.send(("task", payload))
             except OSError:
                 # the worker died while idle; recycle it and retry the task
                 slot.kill()
                 self._respawn(slot)
-                self._failure(
-                    task, "worker-death", "worker died before accepting the task", 0.0
-                )
+                for t in tasks:
+                    self._failure(
+                        t, "worker-death", "worker died before accepting the task", 0.0
+                    )
                 continue
             except Exception:
                 # pickling failed before any bytes hit the pipe: the channel
-                # is intact, but the instance can never reach a worker —
-                # deterministic, so quarantine without burning retries.
-                self._failure(
-                    task, "serialization", traceback.format_exc(), 0.0,
-                    force_quarantine=True,
-                )
+                # is intact, but the instance can never reach a worker.  Solo
+                # that is deterministic — quarantine without burning retries.
+                # For a pack, any member may be the poison one: fail all of
+                # them retryably so the innocent members re-solve solo and
+                # only the true culprit reaches quarantine.
+                for t in tasks:
+                    self._failure(
+                        t, "serialization", traceback.format_exc(), 0.0,
+                        force_quarantine=len(tasks) == 1,
+                    )
                 continue
-            slot.task = task
+            slot.task = tasks if len(tasks) > 1 else task
             slot.started = time.monotonic()
             slot.deadline = Deadline(self.policy.timeout)
 
-    def _pop_ready(self, now: float) -> Optional[_Task]:
+    def _pop_ready(self, now: float, *, first_attempt_only: bool = False) -> Optional[_Task]:
         for i, task in enumerate(self.pending):
-            if task.not_before <= now:
+            if task.not_before <= now and (not first_attempt_only or task.attempt == 0):
                 return self.pending.pop(i)
         return None
 
@@ -550,7 +587,10 @@ class _Dispatch:
         remaining = [slot.deadline.remaining() for slot in busy if slot.deadline]
         if remaining:
             candidate = min(remaining)
-            if candidate != float("inf"):
+            # isfinite, not ``!= inf``: a NaN (e.g. arithmetic poisoned by a
+            # corrupt journal line) passes the inequality and would become a
+            # NaN wait timeout instead of "no deadline"
+            if math.isfinite(candidate):
                 timeout = candidate
         if self.pending:
             defer = min(t.not_before for t in self.pending) - time.monotonic()
@@ -565,6 +605,9 @@ class _Dispatch:
             task = slot.task
             if task is None:  # pragma: no cover - defensive
                 continue
+            # a packed slot carries a list of tasks; any failure of the pack
+            # fails every member (each retries individually afterwards)
+            tasks = task if isinstance(task, list) else [task]
             elapsed = time.monotonic() - slot.started
             if slot.conn in ready:
                 try:
@@ -574,39 +617,48 @@ class _Dispatch:
                     slot.kill()
                     exitcode = proc.exitcode
                     self._respawn(slot)
-                    self._failure(
-                        task,
-                        "worker-death",
-                        f"worker died mid-solve (exitcode {exitcode})",
-                        elapsed,
-                    )
+                    for t in tasks:
+                        self._failure(
+                            t,
+                            "worker-death",
+                            f"worker died mid-solve (exitcode {exitcode})",
+                            elapsed,
+                        )
                     continue
                 slot.task = None
                 slot.deadline = None
                 if kind == "ok":
-                    self._success(task, payload, elapsed)
+                    if isinstance(task, list):
+                        for t, result in zip(task, payload):
+                            self._success(t, result, elapsed)
+                    else:
+                        self._success(task, payload, elapsed)
                 else:
-                    self._failure(task, "raise", payload.get("traceback") or payload.get("error"), elapsed)
+                    error = payload.get("traceback") or payload.get("error")
+                    for t in tasks:
+                        self._failure(t, "raise", error, elapsed)
             elif slot.proc.sentinel in ready:
                 proc = slot.proc
                 slot.kill()
                 exitcode = proc.exitcode
                 self._respawn(slot)
-                self._failure(
-                    task,
-                    "worker-death",
-                    f"worker died mid-solve (exitcode {exitcode})",
-                    elapsed,
-                )
+                for t in tasks:
+                    self._failure(
+                        t,
+                        "worker-death",
+                        f"worker died mid-solve (exitcode {exitcode})",
+                        elapsed,
+                    )
             elif slot.deadline is not None and slot.deadline.expired:
                 slot.kill()
                 self._respawn(slot)
-                self._failure(
-                    task,
-                    "timeout",
-                    f"per-attempt deadline of {self.policy.timeout}s exceeded; worker killed",
-                    elapsed,
-                )
+                for t in tasks:
+                    self._failure(
+                        t,
+                        "timeout",
+                        f"per-attempt deadline of {self.policy.timeout}s exceeded; worker killed",
+                        elapsed,
+                    )
 
     def _respawn(self, slot: _Slot) -> None:
         fresh = _Slot(self.ctx, self.chaos)

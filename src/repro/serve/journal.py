@@ -42,14 +42,33 @@ class JournalError(ValueError):
     """Raised on a corrupt (not merely truncated) journal."""
 
 
+def _reject_constant(token: str) -> float:
+    raise ValueError(f"non-finite JSON token {token!r} in journal line")
+
+
 def instance_fingerprint(
-    name: str, jobs: Sequence[MoldableJob], m: int, eps: float, algorithm: str
+    name: str,
+    jobs: Sequence[MoldableJob],
+    m: int,
+    eps: float,
+    algorithm: str,
+    *,
+    ladder: Optional[Sequence[dict]] = None,
+    chaos: Optional[dict] = None,
 ) -> str:
     """Content hash identifying one fleet instance across runs.
 
     Jobs without a data serialisation (oracle jobs wrapping arbitrary
     callables) contribute only their type and name — the best stable key
     available for them.
+
+    ``ladder`` (the run's degradation ladder as ``LadderStep.to_dict()``
+    rungs) and ``chaos`` (the run's ``ChaosPolicy.to_dict()``, ``None`` for a
+    clean run) are part of the identity: a journal written under a different
+    ladder may have reached its answer through a different final rung (the
+    bottom rung changes the algorithm), and different chaos seeds produce
+    different attempt histories — resuming either as-if-identical would serve
+    a result the current configuration cannot reproduce.
     """
     parts: List[Any] = [int(m), float(eps), str(algorithm), str(name)]
     for job in jobs:
@@ -57,6 +76,8 @@ def instance_fingerprint(
             parts.append(job_to_dict(job))
         except Exception:
             parts.append({"kind": f"opaque:{type(job).__name__}", "name": job.name})
+    parts.append({"ladder": list(ladder) if ladder is not None else None})
+    parts.append({"chaos": chaos})
     blob = json.dumps(parts, sort_keys=True, separators=(",", ":")).encode()
     return hashlib.sha256(blob).hexdigest()[:32]
 
@@ -71,6 +92,9 @@ class JournalWriter:
     def append(self, instance: str, fingerprint: str, outcome: Dict[str, Any]) -> None:
         if self._fh is None:
             raise JournalError(f"journal {self.path} is closed")
+        # allow_nan=False: a NaN/Infinity makespan must fail loudly at write
+        # time instead of producing a line the reader rejects (or, worse,
+        # a NaN that flows into wall-clock comparisons on resume)
         line = json.dumps(
             {
                 "record": JOURNAL_RECORD,
@@ -79,6 +103,7 @@ class JournalWriter:
                 "outcome": outcome,
             },
             sort_keys=True,
+            allow_nan=False,
         )
         self._fh.write(line + "\n")
         self._fh.flush()
@@ -113,7 +138,11 @@ def load_journal(path: PathLike) -> Dict[str, Dict[str, Any]]:
         lines.pop()
     for i, line in enumerate(lines):
         try:
-            data = json.loads(line)
+            # json.loads accepts NaN/Infinity tokens by default; a journal
+            # line carrying one is corruption (the writer refuses to emit
+            # them), and letting a NaN makespan/seconds through would poison
+            # downstream comparisons (NaN != inf is True, NaN <= x is False)
+            data = json.loads(line, parse_constant=_reject_constant)
             if not isinstance(data, dict) or data.get("record") != JOURNAL_RECORD:
                 raise ValueError("not a fleet outcome record")
         except ValueError as exc:

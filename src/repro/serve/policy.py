@@ -110,6 +110,13 @@ class ServePolicy:
     ``min(backoff_base * 2**k, backoff_cap)`` plus a deterministic jitter
     drawn uniformly from ``[0, backoff_jitter]`` times that delay, seeded per
     ``(seed, instance, attempt)``.
+
+    ``mega_batch_size > 1`` enables mega-batch packing: up to that many
+    first-attempt instances are dispatched to one worker as a single pack and
+    solved in lockstep via :func:`repro.perf.megabatch.solve_mega`
+    (bit-identical per-instance results).  A failed pack fails all its
+    members, which then retry individually — fault isolation stays
+    per-instance, only the happy path is batched.
     """
 
     timeout: Optional[float] = 60.0
@@ -119,10 +126,15 @@ class ServePolicy:
     backoff_jitter: float = 0.5
     seed: int = 0
     ladder: Tuple[LadderStep, ...] = field(default=DEFAULT_LADDER)
+    mega_batch_size: int = 1
 
     def __post_init__(self) -> None:
-        if self.timeout is not None and self.timeout <= 0:
+        # ``not (x > 0)`` instead of ``x <= 0``: a NaN timeout passes the
+        # latter and would silently disable deadline enforcement
+        if self.timeout is not None and not (self.timeout > 0):
             raise ValueError(f"timeout must be positive or None, got {self.timeout}")
+        if self.mega_batch_size < 1:
+            raise ValueError(f"mega_batch_size must be >= 1, got {self.mega_batch_size}")
         if self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
         if self.backoff_base < 0 or self.backoff_cap < 0 or self.backoff_jitter < 0:

@@ -30,7 +30,7 @@ from ..io import schedule_to_dict
 from ..perf.oracle import BatchedOracle
 from .policy import ChaosPolicy, LadderStep
 
-__all__ = ["ChaosError", "worker_main", "solve_task"]
+__all__ = ["ChaosError", "worker_main", "solve_task", "solve_pack"]
 
 #: Algorithms whose solve consults a caller-supplied oracle (mid-solve chaos
 #: can hook their inner loop); ``"auto"`` may resolve to one of them.
@@ -133,6 +133,71 @@ def solve_task(task: dict, chaos: Optional[ChaosPolicy]) -> dict:
     }
 
 
+def solve_pack(payload: dict, chaos: Optional[ChaosPolicy]) -> list:
+    """Solve a mega-batch pack: ``payload["pack"]`` is a list of task dicts
+    (without their per-task ``step``), ``payload["step"]`` the shared ladder
+    rung.  On a vectorized rung all members solve in one lockstep mega batch
+    (:func:`repro.perf.megabatch.solve_mega` — bit-identical per-instance
+    results); otherwise they solve sequentially on the rung's backend.
+
+    Chaos is still drawn per ``(instance, attempt)`` so a member's fate does
+    not depend on how it was packed, but a drawn action fires for the whole
+    pack (post-solve, before the reply): the parent fails every member, and
+    each retries solo where mid-solve chaos hooks apply as usual.
+    """
+    from types import SimpleNamespace
+
+    from ..perf.megabatch import solve_mega
+
+    members = payload["pack"]
+    step = LadderStep.from_dict(payload["step"])
+    actions = [
+        chaos.draw(mem["name"], int(mem["attempt"])) if chaos is not None else None
+        for mem in members
+    ]
+
+    if step.backend == "vectorized":
+        items = [
+            SimpleNamespace(
+                jobs=mem["jobs"],
+                m=mem["m"],
+                eps=float(mem["eps"]),
+                algorithm=step.algorithm or mem["algorithm"],
+            )
+            for mem in members
+        ]
+        results = solve_mega(items, list_backend=step.list_backend)
+    else:
+        results = [
+            schedule_moldable(
+                mem["jobs"],
+                mem["m"],
+                float(mem["eps"]),
+                algorithm=step.algorithm or mem["algorithm"],
+                backend=step.backend,
+                list_backend=step.list_backend,
+            )
+            for mem in members
+        ]
+
+    for action in actions:
+        if action is not None:
+            _fire(action, chaos.hang_seconds)
+            break
+
+    return [
+        {
+            "makespan": result.makespan,
+            "lower_bound": result.lower_bound,
+            "guarantee": result.guarantee,
+            "algorithm": result.algorithm,
+            "eps": result.eps,
+            "schedule": schedule_to_dict(result.schedule),
+        }
+        for result in results
+    ]
+
+
 def worker_main(conn, chaos: Optional[ChaosPolicy]) -> None:
     """Subprocess entry point: serve tasks from ``conn`` until a ``"stop"``
     message or the parent goes away."""
@@ -147,8 +212,10 @@ def worker_main(conn, chaos: Optional[ChaosPolicy]) -> None:
         if kind == "stop":
             return
         try:
-            result = solve_task(payload, chaos)
-            reply = ("ok", result)
+            if "pack" in payload:
+                reply = ("ok", solve_pack(payload, chaos))
+            else:
+                reply = ("ok", solve_task(payload, chaos))
         except BaseException as exc:  # noqa: BLE001 - everything must travel back
             reply = (
                 "error",

@@ -49,7 +49,9 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import random
 from pathlib import Path
+from types import SimpleNamespace
 from typing import Callable, Dict
 
 import numpy as np
@@ -60,8 +62,10 @@ from repro.core.compressible_algorithm import compressible_schedule
 from repro.core.fptas import fptas_schedule
 from repro.core.mrt import mrt_schedule
 from repro.core.schedule import Schedule
+from repro.core.scheduler import schedule_moldable
 from repro.core.two_approx import two_approximation
 from repro.core.validation import validate_schedule
+from repro.perf.megabatch import solve_mega
 from repro.resilience import FaultPlan, RecoveryResult, random_fault_plan, recover_with_faults
 from repro.simulator.engine import SimulationError, simulate_schedule
 from repro.workloads.generators import (
@@ -100,6 +104,11 @@ FAMILIES: Dict[str, Callable] = {
     # beyond), so the exact-float cut and the int64→wide→object capacity
     # tier cuts are fuzzed, not just regression-pinned
     "huge_m": random_mixed_instance,
+    # mega-batch family: the case's instance is solved solo and again inside
+    # a seed-derived random co-batch via solve_mega's lockstep loop; the two
+    # results (schedule, makespan, certification, validator verdicts) must be
+    # bit-identical regardless of what it was co-batched with
+    "mega": random_mixed_instance,
 }
 
 TINY_N_HUGE_M = 1 << 20
@@ -295,6 +304,66 @@ def _run_recovery_case(case: dict) -> None:
         assert trace.makespan == result.schedule.makespan, context
 
 
+#: Co-batch companion generators for ``mega``-family cases (kept small so a
+#: mega case stays cheap; variety matters more than size here).
+_MEGA_COMPANIONS = (
+    random_mixed_instance,
+    random_power_work_instance,
+    random_communication_instance,
+    random_bimodal_instance,
+)
+
+
+def mega_co_batch(case: dict, jobs):
+    """A seed-derived random co-batch embedding the case's instance.
+
+    Returns ``(items, pos)``: the batch items for :func:`solve_mega` and the
+    index of the case's own instance within them.  Deterministic in the case
+    alone, so a failing mega case replays from its corpus line.
+    """
+    rng = random.Random(int(case["seed"]) ^ 0x3E6A)
+    eps = float(case["eps"])
+    companions = []
+    for _ in range(rng.randint(2, 5)):
+        gen = _MEGA_COMPANIONS[rng.randrange(len(_MEGA_COMPANIONS))]
+        inst = gen(rng.randint(1, 8), rng.choice([2, 8, 24, 64]), seed=rng.randrange(2**31))
+        companions.append(
+            SimpleNamespace(jobs=inst.jobs, m=inst.m, eps=eps, algorithm="auto")
+        )
+    pos = rng.randrange(len(companions) + 1)
+    own = SimpleNamespace(
+        jobs=jobs, m=effective_m(case), eps=eps, algorithm=case["driver"]
+    )
+    return companions[:pos] + [own] + companions[pos:], pos
+
+
+def _run_mega_case(case: dict) -> None:
+    """The ``mega``-family differential check: solving an instance inside a
+    random lockstep co-batch must be bit-identical to solving it solo —
+    schedule, makespan, certification numbers and validator verdicts."""
+    solo_jobs = build_instance(case).jobs
+    solo = schedule_moldable(
+        solo_jobs, effective_m(case), float(case["eps"]), algorithm=case["driver"]
+    )
+    _assert_validator_verdicts_agree(solo.schedule, solo_jobs, case)
+
+    # a fresh instance for the mega run: separate job objects rule out memo
+    # pollution hiding a real divergence, exactly like the backend comparison
+    mega_jobs = build_instance(case).jobs
+    items, pos = mega_co_batch(case, mega_jobs)
+    result = solve_mega(items)[pos]
+    context = f"case {case!r}, mega co-batch (position {pos} of {len(items)})"
+    assert solo.makespan == result.makespan, (
+        f"{context}: makespan {solo.makespan!r} != {result.makespan!r}"
+    )
+    assert solo.lower_bound == result.lower_bound, context
+    assert solo.guarantee == result.guarantee, context
+    assert solo.algorithm == result.algorithm, context
+    assert solo.eps == result.eps, context
+    _assert_schedules_identical(solo.schedule, result.schedule, case, "mega")
+    _assert_validator_verdicts_agree(result.schedule, mega_jobs, case)
+
+
 def run_case(case: dict) -> None:
     """Execute one differential case; raises AssertionError on any mismatch.
 
@@ -302,10 +371,15 @@ def run_case(case: dict) -> None:
     instance (the generators are seed-deterministic, and separate job
     objects rule out cross-backend memo pollution hiding a real divergence)
     and is compared against the scalar reference.  ``faulty``-family cases
-    run the whole fault-recovery loop instead of a single solve.
+    run the whole fault-recovery loop instead of a single solve; ``mega``
+    cases compare a solo solve against the same instance solved inside a
+    random lockstep co-batch.
     """
     if case["family"] == "faulty":
         _run_recovery_case(case)
+        return
+    if case["family"] == "mega":
+        _run_mega_case(case)
         return
     scalar_jobs = build_instance(case).jobs
     scalar = run_driver(case, "scalar", scalar_jobs)

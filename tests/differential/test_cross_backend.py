@@ -87,6 +87,7 @@ class TestHarnessSelfChecks:
             "chain",
             "faulty",
             "huge_m",
+            "mega",
         }
 
     def test_comparison_is_n_way(self):
@@ -118,6 +119,14 @@ class TestHarnessSelfChecks:
         first wide-tier machine count)."""
         run_case(
             {"driver": driver, "family": "huge_m", "n": 6, "m": 5, "eps": 0.25, "seed": 13}
+        )
+
+    @pytest.mark.parametrize("driver", DRIVERS)
+    def test_one_deterministic_mega_case_per_driver(self, driver):
+        """Every driver solves inside a random lockstep co-batch and must
+        reproduce its solo result bit-identically."""
+        run_case(
+            {"driver": driver, "family": "mega", "n": 6, "m": 24, "eps": 0.25, "seed": 17}
         )
 
     @pytest.mark.parametrize("driver", DRIVERS)

@@ -44,7 +44,9 @@ class TestConfigs:
         assert families == set(DEFAULT_FAMILIES)
         # recovery, fleet-serving and the astronomical-m shard ride
         # alongside the backend sweep
-        assert algorithms == set(ALL_ALGORITHMS) | {"recovery", "serve", "huge_m"}
+        assert algorithms == set(ALL_ALGORITHMS) | {
+            "recovery", "serve", "huge_m", "megabatch",
+        }
         # the tiny family pins every algorithm to the large-m dispatch shape
         tiny = [c for c in configs if c["family"] == "tiny_n_huge_m"]
         assert {c["algorithm"] for c in tiny} == set(ALL_ALGORITHMS)
@@ -123,6 +125,20 @@ class TestConfigs:
             assert max(_HUGE_MS) > 1 << 62
             # normal workload families only: the capacity tier is what the
             # row varies, not the instance shape
+            assert all(c["family"] not in ("tiny_n_huge_m", "chain") for c in rows)
+
+    def test_megabatch_rows_present_in_both_modes(self):
+        from repro.perf.bench import _MEGA_FLEETS
+
+        for mode in ("smoke", "full"):
+            configs = _configs(mode, list(DEFAULT_FAMILIES))
+            rows = [c for c in configs if c["algorithm"] == "megabatch"]
+            # one row per fleet size, including at least one at the gated
+            # fleet >= 32 regime, all on small-n instances (the lockstep
+            # amortisation target)
+            assert {c["fleet"] for c in rows} == set(_MEGA_FLEETS), mode
+            assert max(_MEGA_FLEETS) >= 32
+            assert all(c["n"] <= 16 for c in rows)
             assert all(c["family"] not in ("tiny_n_huge_m", "chain") for c in rows)
 
     def test_unknown_family_rejected(self):
@@ -364,6 +380,62 @@ class TestAggregatesAndGate:
             min_fptas_two_approx=None,
             min_list_schedule=None,
             min_recovery=0.25,
+        )
+
+    def _mega_row(self, speedup, fleet=32):
+        row = _row("megabatch", "mixed", 6, speedup)
+        row.m = 48
+        row.mega_fleet = fleet
+        return row
+
+    def test_megabatch_aggregates_gate_on_large_fleets_only(self):
+        rows = [
+            self._mega_row(2.0, fleet=8),
+            self._mega_row(3.0, fleet=32),
+            self._mega_row(12.0, fleet=128),
+            _row("mrt", "mixed", 1000, 5.0),
+        ]
+        aggregates = _aggregate(rows)
+        # the gated geomean reads fleet >= 32 rows only; the small-fleet row
+        # still contributes to the recorded curve
+        assert aggregates["megabatch_speedup"] == pytest.approx(6.0)
+        assert aggregates["megabatch_speedup_all"] == pytest.approx(
+            (2.0 * 3.0 * 12.0) ** (1 / 3)
+        )
+        # megabatch rows are solo-vs-lockstep, not a backend ratio: they must
+        # stay out of the per-algorithm and all-row backend speedups
+        assert "speedup_megabatch" not in aggregates
+        assert aggregates["speedup_geomean_all"] == pytest.approx(5.0)
+        assert "megabatch_speedup" not in _aggregate(rows[-1:])
+
+    def test_megabatch_floor_gate_names_rows_and_fleets(self, tmp_path):
+        report = self._report(
+            [self._mega_row(1.2, fleet=32), self._mega_row(1.8, fleet=128)]
+        )
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"aggregates": {}}))
+        failures = check_regression(
+            report, str(baseline), min_fptas_two_approx=None, min_list_schedule=None
+        )
+        message = "\n".join(failures)
+        assert "mega-batch lockstep floor" in message
+        assert "megabatch/mixed" in message
+        assert "fleet=32" in message and "fleet=128" in message
+        # slowest row first
+        assert message.index("1.20x") < message.index("1.80x")
+        assert not check_regression(
+            report,
+            str(baseline),
+            min_fptas_two_approx=None,
+            min_list_schedule=None,
+            min_megabatch=None,
+        )
+        assert not check_regression(
+            report,
+            str(baseline),
+            min_fptas_two_approx=None,
+            min_list_schedule=None,
+            min_megabatch=1.0,
         )
 
     def test_stale_baseline_missing_row_fails_with_named_message(self, tmp_path):

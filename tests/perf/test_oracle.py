@@ -77,6 +77,28 @@ class TestBatchedOracleCaches:
         with pytest.raises(ValueError):
             BatchedOracle(jobs, m)
 
+    def test_oracle_m_guard_sits_on_the_int64_contract_boundary(self):
+        """The oracle funnels counts through float64 (``float(self.m)`` in
+        ``tm``, broadcasts in ``works_at``/``times_at``), so its guard must be
+        the capacity-tier int64 contract boundary (2^62) — not the raw int64
+        ceiling, where the lossy cast would silently round m."""
+        from repro.core.backend import MAX_VECTORIZED_M, resolve_backend
+        from repro.core.capacity import MAX_COLUMNAR_M
+
+        jobs = [AmdahlJob(f"a{i}", 10.0 + i, 0.1) for i in range(3)]
+        assert MAX_VECTORIZED_M == MAX_COLUMNAR_M == 1 << 62
+
+        accepted = BatchedOracle(jobs, 1 << 62)
+        assert accepted.m == 1 << 62
+
+        with pytest.raises(ValueError, match="use the scalar backend"):
+            BatchedOracle(jobs, (1 << 62) + 1)
+
+        backend, oracle = resolve_backend(jobs, 1 << 62, "vectorized", None)
+        assert backend == "vectorized" and oracle is not None
+        backend, oracle = resolve_backend(jobs, (1 << 62) + 1, "vectorized", None)
+        assert backend == "scalar" and oracle is None
+
     def test_supplied_oracle_implies_vectorized(self):
         """Passing an oracle to a dual step must use it even though the dual
         functions default to backend='scalar'."""

@@ -160,6 +160,88 @@ class TestQuarantine:
         assert len(report.solved) == 2
 
 
+class TestMegaPack:
+    """``mega_batch_size > 1``: workers solve packs via the lockstep mega
+    batch; journalled outcomes stay per-instance and bit-identical."""
+
+    def test_pack_outcomes_identical_to_solo_fleet(self):
+        instances = _fleet(10, n=6, m=16)
+        solo = schedule_many(instances, policy=FAST, max_workers=2, mp_context="fork")
+        packed = schedule_many(
+            instances,
+            policy=ServePolicy(timeout=60.0, backoff_base=0.0, seed=5, mega_batch_size=4),
+            max_workers=2,
+            mp_context="fork",
+        )
+        assert solo.complete and packed.complete
+        assert {o.instance: o.comparable_dict() for o in packed} == {
+            o.instance: o.comparable_dict() for o in solo
+        }
+        assert len(packed.solved) == 10
+
+    def test_pack_of_one_and_mixed_algorithms(self):
+        """A pack smaller than mega_batch_size (including a single leftover)
+        and auto/fptas/two_approx members all reproduce solo results."""
+        instances = _fleet(3, n=5, m=16, algorithm="two_approx")
+        instances += [
+            FleetInstance(
+                name=f"auto-{i}",
+                jobs=random_mixed_instance(4, 1 << 10, seed=300 + i).jobs,
+                m=1 << 10,
+                algorithm="auto",
+            )
+            for i in range(2)
+        ]
+        report = schedule_many(
+            instances,
+            policy=ServePolicy(timeout=60.0, backoff_base=0.0, mega_batch_size=4),
+            max_workers=2,
+            mp_context="fork",
+        )
+        assert report.complete and len(report.solved) == 5
+        for inst in instances:
+            solo = schedule_moldable(inst.jobs, inst.m, inst.eps, algorithm=inst.algorithm)
+            outcome = report.outcome(inst.name)
+            assert outcome.makespan == solo.makespan
+            assert outcome.algorithm == solo.algorithm
+
+    def test_chaotic_pack_members_recover_solo(self):
+        """A chaos action drawn for any member fails the whole pack; every
+        member then retries individually and recovers (attempts=1 limits the
+        chaos to first attempts)."""
+        instances = _fleet(8, n=5, m=16)
+        chaos = ChaosPolicy(seed=7, raise_prob=0.6, attempts=1, mid_solve=False)
+        report = schedule_many(
+            instances,
+            policy=ServePolicy(timeout=60.0, backoff_base=0.0, mega_batch_size=4),
+            chaos=chaos,
+            max_workers=2,
+            mp_context="fork",
+        )
+        assert report.complete
+        assert not report.quarantined
+        # at least one pack was chaos-failed, so some instances retried solo
+        assert report.degraded
+        for outcome in report.degraded:
+            assert outcome.attempts[0].outcome == "raise"
+            assert outcome.attempts[-1].outcome == "ok"
+
+    def test_pack_journal_resume_is_per_instance(self, tmp_path):
+        instances = _fleet(6, n=5, m=16)
+        policy = ServePolicy(timeout=60.0, backoff_base=0.0, mega_batch_size=3)
+        journal = tmp_path / "j.jsonl"
+        first = schedule_many(
+            instances, policy=policy, max_workers=2, mp_context="fork", journal=journal
+        )
+        assert first.complete and not first.resumed
+        second = schedule_many(
+            instances, policy=policy, max_workers=2, mp_context="fork", journal=journal
+        )
+        assert second.complete
+        assert len(second.resumed) == 6  # every pack member journalled solo
+        assert second.comparable_dict() == first.comparable_dict()
+
+
 class TestNormalization:
     def test_bare_job_lists_with_shared_m(self):
         batches = [random_mixed_instance(8, 16, seed=s).jobs for s in (1, 2)]

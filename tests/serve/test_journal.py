@@ -60,6 +60,29 @@ class TestFingerprint:
         other = random_mixed_instance(6, 8, seed=2).jobs
         assert instance_fingerprint("x", other, 8, 0.1, "auto") != base
 
+    def test_sensitive_to_ladder_and_chaos(self):
+        """The degradation ladder and the chaos policy are part of the resume
+        identity: a journal written under either a different ladder or a
+        different chaos seed must not resume."""
+        jobs = random_mixed_instance(6, 8, seed=1).jobs
+        ladder = [{"backend": "vectorized", "list_backend": None, "algorithm": None}]
+        chaos = {"seed": 3, "kill_prob": 0.1}
+        base = instance_fingerprint("x", jobs, 8, 0.1, "auto", ladder=ladder, chaos=chaos)
+        shorter = ladder + [{"backend": "scalar", "list_backend": None, "algorithm": None}]
+        assert (
+            instance_fingerprint("x", jobs, 8, 0.1, "auto", ladder=shorter, chaos=chaos)
+            != base
+        )
+        reseeded = dict(chaos, seed=4)
+        assert (
+            instance_fingerprint("x", jobs, 8, 0.1, "auto", ladder=ladder, chaos=reseeded)
+            != base
+        )
+        assert (
+            instance_fingerprint("x", jobs, 8, 0.1, "auto", ladder=ladder, chaos=None)
+            != base
+        )
+
 
 class TestJournalRoundTrip:
     def test_write_then_load(self, tmp_path):
@@ -111,6 +134,26 @@ class TestJournalRoundTrip:
         with pytest.raises(JournalError):
             load_journal(path)
 
+    def test_nan_token_mid_file_is_corruption(self, tmp_path):
+        """``json.loads`` accepts the NaN token by default; the loader must
+        not — a NaN makespan would sail through every ``!= inf`` /
+        ``<= deadline`` comparison downstream."""
+        path = tmp_path / "j.jsonl"
+        nan_line = _line("a").replace("1.0", "NaN", 1)
+        path.write_text("\n".join([nan_line, _line("b")]) + "\n")
+        with pytest.raises(JournalError, match="non-finite JSON token"):
+            load_journal(path)
+
+    def test_nan_token_in_final_line_dropped_as_torn_tail(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("\n".join([_line("a"), _line("b").replace("1.0", "Infinity", 1)]) + "\n")
+        assert set(load_journal(path)) == {"a"}
+
+    def test_writer_refuses_non_finite_outcomes(self, tmp_path):
+        with JournalWriter(tmp_path / "j.jsonl") as writer:
+            with pytest.raises(ValueError):
+                writer.append("a", "f" * 32, _outcome("a", makespan=float("nan")))
+
 
 class TestFingerprintGuard:
     def test_stale_fingerprint_forces_resolve(self, tmp_path):
@@ -146,3 +189,48 @@ class TestFingerprintGuard:
         )
         assert third.outcome("inst").resumed
         assert third.outcome("inst").makespan == outcome.makespan
+
+    def test_changed_ladder_or_chaos_forces_resolve(self, tmp_path):
+        """Outcomes journalled under a different degradation ladder or chaos
+        configuration must re-solve: the journalled answer may have been
+        reached through a rung (or an attempt history) the current
+        configuration cannot reproduce."""
+        from repro.serve import ChaosPolicy, LadderStep
+
+        journal = tmp_path / "j.jsonl"
+        inst = FleetInstance(
+            name="inst", jobs=random_mixed_instance(6, 8, seed=1).jobs, m=8,
+            algorithm="two_approx",
+        )
+        policy = ServePolicy(timeout=30.0, backoff_base=0.0)
+        first = schedule_many(
+            [inst], policy=policy, max_workers=1, mp_context="fork", journal=journal
+        )
+        assert first.outcome("inst").status == "solved" and not first.resumed
+
+        # identical everything -> resumes
+        again = schedule_many(
+            [inst], policy=policy, max_workers=1, mp_context="fork", journal=journal
+        )
+        assert again.outcome("inst").resumed
+
+        # a different ladder -> fingerprint mismatch -> solved fresh
+        short_ladder = ServePolicy(
+            timeout=30.0, backoff_base=0.0,
+            ladder=(LadderStep(backend="vectorized"), LadderStep(backend="scalar")),
+        )
+        reladdered = schedule_many(
+            [inst], policy=short_ladder, max_workers=1, mp_context="fork", journal=journal
+        )
+        assert not reladdered.outcome("inst").resumed
+        assert reladdered.outcome("inst").status == "solved"
+
+        # a chaos policy (even an all-clean one with a new seed) -> re-solve
+        rechaosed = schedule_many(
+            [inst], policy=policy, chaos=ChaosPolicy(seed=99),
+            max_workers=1, mp_context="fork", journal=journal,
+        )
+        assert not rechaosed.outcome("inst").resumed
+        assert rechaosed.outcome("inst").status == "solved"
+        # the result itself is configuration-independent here
+        assert rechaosed.outcome("inst").makespan == first.outcome("inst").makespan

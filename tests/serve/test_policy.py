@@ -122,3 +122,25 @@ class TestDeadline:
 
     def test_fresh_deadline_not_expired(self):
         assert not Deadline(60.0).expired
+
+    def test_nan_seconds_rejected(self):
+        """NaN passes a naive ``seconds < 0`` check and would build a
+        deadline that never expires — it must be rejected up front."""
+        with pytest.raises(ValueError, match="deadline seconds"):
+            Deadline(float("nan"))
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+
+class TestNaNHardening:
+    def test_nan_timeout_rejected(self):
+        """A NaN timeout would silently disable deadline enforcement (NaN
+        fails every comparison, including ``<= 0``)."""
+        with pytest.raises(ValueError, match="timeout must be positive"):
+            ServePolicy(timeout=float("nan"))
+
+    def test_mega_batch_size_validation(self):
+        assert ServePolicy().mega_batch_size == 1
+        assert ServePolicy(mega_batch_size=8).mega_batch_size == 8
+        with pytest.raises(ValueError, match="mega_batch_size"):
+            ServePolicy(mega_batch_size=0)
