@@ -42,6 +42,7 @@ from .core import (
     two_approximation,
     validate_schedule,
 )
+from .online import Arrival, OnlineResult, OnlineScheduler, RegretReport
 from .perf.megabatch import MegaBatch, MegaOracle, solve_mega
 from .resilience import (
     DegradationReport,
@@ -103,6 +104,10 @@ __all__ = [
     "recover_with_faults",
     "RecoveryResult",
     "DegradationReport",
+    "Arrival",
+    "OnlineScheduler",
+    "OnlineResult",
+    "RegretReport",
     "schedule_many",
     "FleetScheduler",
     "FleetInstance",

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from .core.bounds import makespan_lower_bound, trivial_lower_bound
+from .core.bounds import makespan_lower_bound, release_aware_lower_bound, trivial_lower_bound
 from .core.job import MoldableJob
 from .core.schedule import Schedule
 
@@ -163,15 +163,25 @@ def compare_schedules(
     schedules: Dict[str, Schedule],
     jobs: Sequence[MoldableJob],
     m: int,
+    *,
+    releases: Optional[Sequence[float]] = None,
 ) -> List[ComparisonRow]:
     """Compare several schedules of the *same* instance.
 
     Returns rows sorted by makespan (best first); ``ratio_vs_best`` is each
     schedule's makespan divided by the best one.
+
+    When the instance has release times, pass them as ``releases`` (aligned
+    with ``jobs``): the shared lower bound then becomes the release-aware
+    :func:`~repro.core.bounds.release_aware_lower_bound`, so
+    ``ratio_vs_lower_bound`` is meaningful for online schedules instead of
+    overstating their gap against an everything-at-t0 bound.
     """
     if not schedules:
         return []
     lower = makespan_lower_bound(jobs, m) if jobs else trivial_lower_bound(jobs, m)
+    if releases is not None:
+        lower = release_aware_lower_bound(jobs, releases, m, base=lower)
     metrics = {label: analyze_schedule(s, jobs, lower_bound=lower) for label, s in schedules.items()}
     best = min(met.makespan for met in metrics.values())
     rows = [

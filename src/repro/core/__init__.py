@@ -48,6 +48,16 @@ from .job import (
 )
 from .list_scheduling import list_schedule, list_schedule_bound
 from .mrt import mrt_dual, mrt_schedule
+from .replan import (
+    EpochPartition,
+    PlacedEntry,
+    ReplanError,
+    ReplanOutcome,
+    ReplanState,
+    availability_prefix,
+    remap_spans,
+    segment_algorithm,
+)
 from .rounding import RoundedJob, RoundingScheme, round_jobs_to_types
 from .schedule import MachineSpan, Schedule, ScheduledJob
 from .scheduler import ALGORITHMS, SchedulingResult, schedule_moldable
@@ -131,6 +141,15 @@ __all__ = [
     "exact_solver_applicable",
     "exact_makespan",
     "exact_schedule",
+    # incremental re-planning core
+    "ReplanError",
+    "ReplanState",
+    "ReplanOutcome",
+    "EpochPartition",
+    "PlacedEntry",
+    "availability_prefix",
+    "remap_spans",
+    "segment_algorithm",
     # shelves & rounding
     "partition_small_big",
     "small_jobs_work",

@@ -34,6 +34,7 @@ from .hardness.reduction import ReductionJob
 
 __all__ = [
     "FORMAT_VERSION",
+    "INSTANCE_RELEASES_VERSION",
     "SerializationError",
     "job_to_dict",
     "job_from_dict",
@@ -56,6 +57,12 @@ __all__ = [
 ]
 
 FORMAT_VERSION = 1
+#: Instance documents carrying release times are written at this version;
+#: plain instances keep :data:`FORMAT_VERSION` so older readers still load
+#: every file that doesn't use the new field.
+INSTANCE_RELEASES_VERSION = 2
+#: Versions each format's loader accepts (default: the base version only).
+SUPPORTED_VERSIONS = {"repro-instance": (FORMAT_VERSION, INSTANCE_RELEASES_VERSION)}
 
 PathLike = Union[str, Path]
 
@@ -116,32 +123,73 @@ def job_from_dict(data: Dict[str, Any]) -> MoldableJob:
 # Instances
 # --------------------------------------------------------------------------
 
-def instance_to_dict(jobs: Sequence[MoldableJob], m: int, *, metadata: Optional[dict] = None) -> Dict[str, Any]:
-    return {
+def instance_to_dict(
+    jobs: Sequence[MoldableJob],
+    m: int,
+    *,
+    metadata: Optional[dict] = None,
+    releases: Optional[Sequence[float]] = None,
+) -> Dict[str, Any]:
+    """Serialise an instance; passing ``releases`` (aligned with ``jobs``)
+    writes a version-:data:`INSTANCE_RELEASES_VERSION` document carrying
+    them, otherwise the classic version-1 layout is emitted unchanged."""
+    data: Dict[str, Any] = {
         "format": "repro-instance",
         "version": FORMAT_VERSION,
         "m": int(m),
         "metadata": metadata or {},
         "jobs": [job_to_dict(job) for job in jobs],
     }
+    if releases is not None:
+        if len(releases) != len(jobs):
+            raise SerializationError(
+                f"got {len(releases)} releases for {len(jobs)} jobs"
+            )
+        data["version"] = INSTANCE_RELEASES_VERSION
+        data["releases"] = [float(r) for r in releases]
+    return data
 
 
-def instance_from_dict(data: Dict[str, Any]) -> tuple[List[MoldableJob], int, dict]:
+def instance_from_dict(
+    data: Dict[str, Any], *, with_releases: bool = False
+) -> Union[tuple[List[MoldableJob], int, dict], tuple[List[MoldableJob], int, dict, Optional[List[float]]]]:
+    """Rebuild an instance.  The default return stays the historical
+    ``(jobs, m, metadata)`` triple; ``with_releases=True`` appends the
+    release list (``None`` for version-1 documents without one)."""
     _check_header(data, "repro-instance")
     jobs = [job_from_dict(item) for item in data["jobs"]]
+    raw = data.get("releases")
+    releases = [float(r) for r in raw] if raw is not None else None
+    if releases is not None and len(releases) != len(jobs):
+        raise SerializationError(
+            f"instance carries {len(releases)} releases for {len(jobs)} jobs"
+        )
+    if with_releases:
+        return jobs, int(data["m"]), dict(data.get("metadata", {})), releases
     return jobs, int(data["m"]), dict(data.get("metadata", {}))
 
 
-def save_instance(path: PathLike, jobs: Sequence[MoldableJob], m: int, *, metadata: Optional[dict] = None) -> None:
+def save_instance(
+    path: PathLike,
+    jobs: Sequence[MoldableJob],
+    m: int,
+    *,
+    metadata: Optional[dict] = None,
+    releases: Optional[Sequence[float]] = None,
+) -> None:
     # allow_nan=False on every save site: NaN/Infinity are not JSON, and a
     # file carrying them would poison comparisons on load — fail at write time
     Path(path).write_text(
-        json.dumps(instance_to_dict(jobs, m, metadata=metadata), indent=2, allow_nan=False)
+        json.dumps(
+            instance_to_dict(jobs, m, metadata=metadata, releases=releases),
+            indent=2,
+            allow_nan=False,
+        )
     )
 
 
-def load_instance(path: PathLike) -> tuple[List[MoldableJob], int, dict]:
-    return instance_from_dict(json.loads(Path(path).read_text()))
+def load_instance(path: PathLike, *, with_releases: bool = False):
+    return instance_from_dict(json.loads(Path(path).read_text()), with_releases=with_releases)
 
 
 # --------------------------------------------------------------------------
@@ -302,8 +350,12 @@ def _check_header(data: Dict[str, Any], expected_format: str) -> None:
     if data.get("format") != expected_format:
         raise SerializationError(f"not a {expected_format} document (format={data.get('format')!r})")
     version = data.get("version")
-    if version != FORMAT_VERSION:
-        raise SerializationError(f"unsupported {expected_format} version {version!r} (expected {FORMAT_VERSION})")
+    supported = SUPPORTED_VERSIONS.get(expected_format, (FORMAT_VERSION,))
+    if version not in supported:
+        raise SerializationError(
+            f"unsupported {expected_format} version {version!r} "
+            f"(expected {supported[0] if len(supported) == 1 else 'one of ' + repr(supported)})"
+        )
 
 
 def _jsonable(obj: Any) -> Any:

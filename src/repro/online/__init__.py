@@ -1,0 +1,28 @@
+"""Online arrival-epoch scheduling.
+
+Jobs arrive over time; :class:`OnlineScheduler` groups arrivals into epochs
+(immediate / fixed-quantum / count-batched), incrementally re-plans the
+pending work at each epoch through the shared
+:class:`~repro.core.replan.ReplanState` core (the fault-recovery loop's
+other half), and returns an :class:`OnlineResult` whose
+:class:`RegretReport` measures the price of not knowing the future against
+the clairvoyant offline (3/2+ε) plan and the release-aware lower bound.
+"""
+
+from .scheduler import (
+    EPOCH_POLICIES,
+    Arrival,
+    OnlineEpoch,
+    OnlineResult,
+    OnlineScheduler,
+    RegretReport,
+)
+
+__all__ = [
+    "Arrival",
+    "OnlineEpoch",
+    "OnlineResult",
+    "OnlineScheduler",
+    "RegretReport",
+    "EPOCH_POLICIES",
+]

@@ -296,6 +296,11 @@ def _configs(mode: str, families: Sequence[str]) -> List[dict]:
             configs.append(
                 dict(algorithm="recovery", family=gate_families[0], n=80, m=64)
             )
+            # the online floor (--min-online): cold vs warm-started γ
+            # re-planning across the arrival epochs of one seeded stream
+            configs.append(
+                dict(algorithm="online", family=gate_families[0], n=80, m=64)
+            )
             # the serve floor (--min-serve-throughput) is measured on a small
             # fleet of independent instances (healthy vs 10%-chaos legs)
             configs.append(
@@ -387,6 +392,8 @@ def _configs(mode: str, families: Sequence[str]) -> List[dict]:
         ]
         # fault-recovery loop: warm vs cold γ-cache across re-plan epochs
         configs.append(dict(algorithm="recovery", family=family, n=200, m=256))
+        # online arrival-epoch loop: warm vs cold γ re-planning per stream
+        configs.append(dict(algorithm="online", family=family, n=200, m=256))
         # fleet serving throughput: healthy vs 10%-chaos instances/sec
         configs.append(dict(algorithm="serve", family=family, n=60, m=96))
         # astronomical-m list scheduling (once, on the first eligible family):
@@ -621,6 +628,74 @@ def _recovery_shard(instance, m: int, repeat: int, seed: int) -> tuple:
     )
 
 
+#: Arrival-base of the ``online`` shards per bench family (the bench family
+#: names predate the arrivals generator's base registry).
+_ONLINE_BASES = {
+    "mixed": "mixed",
+    "powerwork": "power_work",
+    "comm": "communication",
+    "bimodal": "bimodal",
+    "tiny_n_huge_m": "mixed",
+    "chain": "chain",
+}
+
+
+def _online_shard(family: str, n: int, m: int, repeat: int, seed: int) -> tuple:
+    """Time the online arrival-epoch loop cold vs warm on the *same* stream.
+
+    Both runs consume the identical seeded :func:`random_arrivals_instance`
+    stream under the ``immediate`` epoch policy; the only difference is the
+    γ-cache policy of the per-epoch re-plan oracles (``warm_start`` bracket +
+    interpolation reuse on vs cold full bisection).  The stitched schedules
+    must be bit-identical — the warm start is a pure accelerator — so the
+    cold run fills the row's ``scalar_seconds`` slot and the warm run its
+    ``vectorized_seconds`` slot; the probe counters come from each run's
+    :class:`RegretReport`.
+    """
+    from ..online import OnlineScheduler
+    from ..workloads.generators import random_arrivals_instance
+
+    instance = random_arrivals_instance(
+        n, m, seed=seed ^ 0x0411E, base=_ONLINE_BASES.get(family, "mixed")
+    )
+    arrivals = instance.arrivals
+    cold_seconds, cold_result = _timed(
+        lambda: OnlineScheduler(
+            m, eps=SCHEDULE_EPS, algorithm="two_approx", warm_start=False
+        ).run(arrivals),
+        repeat,
+        instance.jobs,
+    )
+    warm_seconds, warm_result = _timed(
+        lambda: OnlineScheduler(
+            m, eps=SCHEDULE_EPS, algorithm="two_approx"
+        ).run(arrivals),
+        repeat,
+        instance.jobs,
+    )
+    warm_entries = [
+        (e.job.name, e.start, tuple(e.spans)) for e in warm_result.schedule.entries
+    ]
+    cold_entries = [
+        (e.job.name, e.start, tuple(e.spans)) for e in cold_result.schedule.entries
+    ]
+    if warm_entries != cold_entries:
+        raise RuntimeError(
+            f"online/{family} (n={n}, m={m}): warm-started re-planning "
+            f"stitched a different schedule than cold — the warm start must "
+            f"be a pure accelerator"
+        )
+    return (
+        cold_seconds,
+        cold_result,
+        warm_seconds,
+        warm_result,
+        int(warm_result.report.gamma_probes or 0),
+        int(cold_result.report.gamma_probes or 0),
+        int(warm_result.report.replans),
+    )
+
+
 #: Fleet shape of the ``serve`` shards: instances per fleet and worker count.
 _SERVE_FLEET = 12
 _SERVE_WORKERS = 4
@@ -813,6 +888,32 @@ def _bench_shard(task: tuple) -> BenchRow:
             makespans_identical=identical,
             mega_fleet=fleet,
         )
+    if algorithm == "online":
+        (
+            cold_seconds,
+            cold_result,
+            warm_seconds,
+            warm_result,
+            probes_warm,
+            probes_cold,
+            replans,
+        ) = _online_shard(family, n, m, repeat, seed)
+        return BenchRow(
+            algorithm=algorithm,
+            family=family,
+            n=n,
+            m=m,
+            eps=SCHEDULE_EPS,
+            scalar_seconds=cold_seconds,
+            vectorized_seconds=warm_seconds,
+            speedup=cold_seconds / warm_seconds if warm_seconds > 0 else math.inf,
+            scalar_makespan=cold_result.makespan,
+            vectorized_makespan=warm_result.makespan,
+            makespans_identical=cold_result.makespan == warm_result.makespan,
+            gamma_probes_warm=probes_warm,
+            gamma_probes_cold=probes_cold,
+            replans=replans,
+        )
     instance = FAMILIES[family](n, m, seed=seed)
     if algorithm == "recovery":
         (
@@ -988,6 +1089,15 @@ def _print_row(row: BenchRow) -> None:
             f"makespans {'identical' if row.makespans_identical else 'DIFFER'}"
         )
         return
+    if row.algorithm == "online":
+        print(
+            f"  {row.algorithm:15s} {row.family:13s} n={row.n:<5d} m={row.m:<8d} "
+            f"cold {row.scalar_seconds:7.3f}s  warm {row.vectorized_seconds:7.3f}s  "
+            f"probes {row.gamma_probes_warm} vs {row.gamma_probes_cold}  "
+            f"re-plans {row.replans}  "
+            f"makespans {'identical' if row.makespans_identical else 'DIFFER'}"
+        )
+        return
     print(
         f"  {row.algorithm:15s} {row.family:13s} n={row.n:<5d} m={row.m:<8d} "
         f"scalar {row.scalar_seconds:7.3f}s  vectorized {row.vectorized_seconds:7.3f}s  "
@@ -1065,6 +1175,22 @@ def _aggregate(rows: Sequence[BenchRow]) -> Dict[str, float]:
         aggregates["recovery_replans_total"] = float(rec_replans)
         if rec_seconds > 0:
             aggregates["recovery_replans_per_sec"] = rec_replans / rec_seconds
+    # Online arrival-epoch accounting over the ``online`` rows: total re-plan
+    # γ-probes warm (bracket + interpolation reuse across epochs) vs cold,
+    # the relative reduction, and the warm loop's re-planning throughput.
+    online_rows = [row for row in rows if row.algorithm == "online"]
+    if online_rows:
+        onl_warm = sum(row.gamma_probes_warm for row in online_rows)
+        onl_cold = sum(row.gamma_probes_cold for row in online_rows)
+        onl_replans = sum(row.replans for row in online_rows)
+        onl_seconds = sum(row.vectorized_seconds for row in online_rows)
+        if onl_cold > 0:
+            aggregates["online_probes_warm_total"] = float(onl_warm)
+            aggregates["online_probes_cold_total"] = float(onl_cold)
+            aggregates["online_probe_reduction"] = 1.0 - onl_warm / onl_cold
+        aggregates["online_replans_total"] = float(onl_replans)
+        if onl_seconds > 0:
+            aggregates["online_replans_per_sec"] = onl_replans / onl_seconds
     # Candidate-index accounting over the instrumented (list_schedule_indexed)
     # rows: total admission-query job-slot visits of the per-epoch scan vs
     # the need-bucket index, and the relative reduction the index buys.
@@ -1143,6 +1269,7 @@ def check_regression(
     min_list_schedule_indexed: Optional[float] = 1.3,
     min_visit_reduction: Optional[float] = 0.5,
     min_recovery: Optional[float] = 0.5,
+    min_online: Optional[float] = 0.5,
     min_serve_throughput: Optional[float] = 0.5,
     min_huge_m: Optional[float] = 2.0,
     min_megabatch: Optional[float] = 3.0,
@@ -1168,7 +1295,11 @@ def check_regression(
     (``min_visit_reduction``, the index's admission-query work guarantee)
     and the recovery probe reduction (``min_recovery``, the γ-probes the
     cross-epoch warm start must save the fault-recovery re-plans over cold
-    bisection) and the fleet-serving throughputs (``min_serve_throughput``,
+    bisection) and the online probe reduction (``min_online``, the same
+    guarantee for the arrival-epoch re-plans of ``OnlineScheduler``, whose
+    warm and cold runs must also stitch identical schedules — an online row
+    with diverging makespans fails the identity check below) and the
+    fleet-serving throughputs (``min_serve_throughput``,
     instances/sec both healthy and under seeded 10% chaos — the chaos leg
     includes kills, hangs-to-deadline and retries in its wall clock) and the
     astronomical-m geomean (``min_huge_m``, scalar heap loop vs the
@@ -1305,6 +1436,22 @@ def check_regression(
                 f"recovery_probe_reduction: {100.0 * reduction:.1f}% fell "
                 f"below the re-plan warm-start floor "
                 f"{100.0 * min_recovery:.1f}% — rows: {detail}"
+            )
+    if min_online is not None:
+        reduction = report.aggregates.get("online_probe_reduction")
+        if reduction is not None and reduction < min_online:
+            detail = ", ".join(
+                f"{_row_label(r)}: warm {r.gamma_probes_warm} vs cold "
+                f"{r.gamma_probes_cold} over {r.replans} re-plans"
+                for r in sorted(
+                    (r for r in report.rows if r.algorithm == "online"),
+                    key=lambda r: r.gamma_probes_cold - r.gamma_probes_warm,
+                )
+            )
+            failures.append(
+                f"online_probe_reduction: {100.0 * reduction:.1f}% fell "
+                f"below the arrival-epoch warm-start floor "
+                f"{100.0 * min_online:.1f}% — rows: {detail}"
             )
     if min_huge_m is not None:
         hm = report.aggregates.get("speedup_huge_m")
@@ -1447,6 +1594,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "over cold bisection), enforced by --check (0 disables)",
     )
     parser.add_argument(
+        "--min-online",
+        type=float,
+        default=0.5,
+        help="absolute floor for online_probe_reduction (relative γ-probe "
+        "work the cross-epoch warm start saves the arrival-epoch re-plans "
+        "over cold bisection; warm and cold must stitch identical "
+        "schedules), enforced by --check (0 disables)",
+    )
+    parser.add_argument(
         "--min-serve-throughput",
         type=float,
         default=0.5,
@@ -1492,13 +1648,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "gamma_probe_reduction",
             "candidate_visit_reduction",
             "recovery_probe_reduction",
+            "online_probe_reduction",
         ):
             print(f"  {key}: {100.0 * value:.1f}%")
-        elif key == "recovery_replans_per_sec":
+        elif key in ("recovery_replans_per_sec", "online_replans_per_sec"):
             print(f"  {key}: {value:.1f}/s")
         elif key.startswith("serve_throughput_"):
             print(f"  {key}: {value:.2f}/s")
-        elif key.startswith(("gamma_probes_", "candidate_visits_", "recovery_", "serve_")):
+        elif key.startswith(
+            ("gamma_probes_", "candidate_visits_", "recovery_", "serve_", "online_")
+        ):
             print(f"  {key}: {value:.0f}")
         else:
             print(f"  {key}: {value:.2f}x")
@@ -1515,6 +1674,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 min_list_schedule_indexed=args.min_list_schedule_indexed or None,
                 min_visit_reduction=args.min_visit_reduction or None,
                 min_recovery=args.min_recovery or None,
+                min_online=args.min_online or None,
                 min_serve_throughput=args.min_serve_throughput or None,
                 min_huge_m=args.min_huge_m or None,
                 min_megabatch=args.min_megabatch or None,

@@ -14,6 +14,16 @@ the loop
    at the drain barrier (the latest end among the surviving running
    entries).
 
+The epoch machinery itself — committed/continuing/pending partition, barrier
+computation, abstract→physical span remapping, per-epoch algorithm-regime
+re-check, cross-epoch :class:`~repro.perf.oracle.BatchedOracle` priming and
+schedule stitching — lives in the shared :mod:`repro.core.replan` core
+(:class:`~repro.core.replan.ReplanState`); this module contributes only the
+fault semantics: which running entries are casualties, which jobs are
+killed, and what the surviving machine intervals are at each epoch.  The
+online arrival scheduler (:mod:`repro.online`) is the same core's other
+client.
+
 Segment schedules are solved on an *abstract* contiguous machine set
 ``[0, m_avail)`` — every driver assumes contiguous machines — and then
 remapped span-by-span onto the physical surviving intervals (order
@@ -42,21 +52,17 @@ event-queue list-scheduler backends, bit for bit).
 
 from __future__ import annotations
 
-from bisect import bisect_right
 from dataclasses import dataclass, field
-from time import perf_counter
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-from repro.core.backend import MAX_VECTORIZED_M
-from repro.core.fptas import fptas_machine_threshold
 from repro.core.job import MoldableJob
-from repro.core.schedule import Schedule, ScheduledJob
+from repro.core.replan import PlacedEntry, ReplanState
+from repro.core.schedule import Schedule
 from repro.core.scheduler import SchedulingResult, schedule_moldable
 from repro.core.validation import validate_schedule
-from repro.perf.oracle import BatchedOracle
 
 from .executor import LostRun, spans_hit
-from .faults import FaultPlan, Interval
+from .faults import FaultPlan
 
 __all__ = [
     "RecoveryError",
@@ -65,8 +71,6 @@ __all__ = [
     "RecoveryResult",
     "recover_with_faults",
 ]
-
-_EPS = 1e-9
 
 
 class RecoveryError(RuntimeError):
@@ -163,79 +167,6 @@ class RecoveryResult:
         return [j for j in self.fault_free.schedule.jobs() if j.name not in killed]
 
 
-@dataclass
-class _Placed:
-    """An absolutely-placed entry awaiting completion."""
-
-    job: MoldableJob
-    start: float
-    spans: List[Interval]
-    duration: float
-    duration_override: Optional[float]
-
-    @property
-    def end(self) -> float:
-        return self.start + self.duration
-
-    @property
-    def processors(self) -> int:
-        return sum(count for _, count in self.spans)
-
-
-def _remap_spans(
-    spans: Sequence[Interval], available: Sequence[Interval], prefix: Sequence[int]
-) -> List[Interval]:
-    """Map abstract contiguous-machine spans onto the physical surviving
-    intervals.
-
-    ``available`` is the sorted disjoint interval list of up machines;
-    ``prefix[i]`` is the number of available machines before interval ``i``.
-    The mapping is the order-preserving bijection from abstract position
-    ``p`` to the ``p``-th available physical machine, so disjoint abstract
-    spans map to disjoint physical machine sets (possibly split into several
-    physical spans each).
-    """
-    out: List[Interval] = []
-    for first, count in spans:
-        pos = first
-        remaining = count
-        i = bisect_right(prefix, pos) - 1
-        while remaining > 0:
-            base, end = available[i]
-            offset = pos - prefix[i]
-            width = (end - base) - offset
-            if width <= 0:
-                raise RecoveryError(
-                    f"abstract span ({first}, {count}) exceeds the available machines"
-                )
-            take = min(remaining, width)
-            out.append((base + offset, base + offset + take))
-            remaining -= take
-            pos += take
-            i += 1
-    # Schedule spans are (first, count) pairs; merge adjacency for stability.
-    merged: List[Interval] = []
-    for a, b in out:
-        if merged and merged[-1][1] == a:
-            merged[-1] = (merged[-1][0], b)
-        else:
-            merged.append((a, b))
-    return [(a, b - a) for a, b in merged]
-
-
-def _segment_algorithm(algorithm: str, n: int, m_avail: int, eps: float) -> str:
-    """Per-epoch algorithm choice: respect the caller's pick where it stays
-    applicable on the shrunken machine set, fall back deterministically
-    otherwise (identically across backends, preserving bit-equality)."""
-    if algorithm == "auto":
-        return "auto"  # schedule_moldable re-derives the regime per segment
-    if algorithm == "fptas" and m_avail < fptas_machine_threshold(n, eps):
-        return "bounded"
-    if algorithm == "exact" and (n > 7 or m_avail > 8):
-        return "bounded"
-    return algorithm
-
-
 def recover_with_faults(
     jobs: Sequence[MoldableJob],
     m: int,
@@ -296,45 +227,33 @@ def recover_with_faults(
             lost=[],
         )
 
-    # --- mutable state -----------------------------------------------------
-    pending: Dict[int, MoldableJob] = {id(j): j for j in jobs}  # not done, not killed
-    committed: List[_Placed] = []
+    state = ReplanState(
+        m=m,
+        eps=eps,
+        algorithm=algorithm,
+        backend=backend,
+        list_backend=list_backend,
+        warm_start=warm_start,
+        error=RecoveryError,
+    )
+    state.add_jobs(jobs)
+    state.place_existing(fault_free.schedule.entries)
+
     killed: List[str] = []
     lost: List[LostRun] = []
     epochs: List[EpochRecord] = []
-    replan_latencies: List[float] = []
-    gamma_probes = 0 if backend == "vectorized" else None
-    prev_oracle: Optional[BatchedOracle] = None
-
-    current: List[_Placed] = [
-        _Placed(
-            job=e.job,
-            start=e.start,
-            spans=list(e.spans),
-            duration=e.duration,
-            duration_override=e.duration_override,
-        )
-        for e in fault_free.schedule.entries
-    ]
 
     for tau in plan.epochs():
         events = plan.events_at(tau)
         new_failures = events["failures"]
         kill_names = {k.job for k in events["kills"]}
 
-        finished = [p for p in current if p.end <= tau + _EPS]
-        for p in finished:
-            committed.append(p)
-            pending.pop(id(p.job), None)
-
-        live = [p for p in current if p.end > tau + _EPS]
-        running = [p for p in live if p.start < tau - _EPS]
-        queued = [p for p in live if p.start >= tau - _EPS]
+        part = state.commit_epoch(tau)
 
         # casualties: running entries whose machines just went down
-        continuing: List[_Placed] = []
+        continuing: List[PlacedEntry] = []
         n_lost = 0
-        for p in running:
+        for p in part.running:
             hit = next((f for f in new_failures if spans_hit(p.spans, f)), None)
             if hit is not None:
                 n_lost += 1
@@ -355,7 +274,7 @@ def recover_with_faults(
         # kills: running partials are lost, pending jobs simply leave the pool
         n_killed = 0
         if kill_names:
-            still: List[_Placed] = []
+            still: List[PlacedEntry] = []
             for p in continuing:
                 if p.job.name in kill_names:
                     lost.append(
@@ -373,110 +292,40 @@ def recover_with_faults(
                     still.append(p)
             continuing = still
             for name in kill_names:
-                job = by_name[name]
-                if id(job) in pending:
-                    pending.pop(id(job))
+                if state.drop_job(by_name[name]):
                     killed.append(name)
                     n_killed += 1
 
-        # re-plan everything pending that is not currently draining
-        draining = {id(p.job) for p in continuing}
-        to_plan = [j for j in jobs if id(j) in pending and id(j) not in draining]
-        replanned = 0
-        latency = 0.0
-        seg_algorithm: Optional[str] = None
-        available = plan.available_intervals(tau)
-        m_avail = sum(end - first for first, end in available)
-        if to_plan:
-            if m_avail < 1:
-                raise RecoveryError(
-                    f"no machines available at epoch {tau} but {len(to_plan)} jobs are pending"
-                )
-            barrier = max([tau] + [p.end for p in continuing])
-            seg_algorithm = _segment_algorithm(algorithm, len(to_plan), m_avail, eps)
-            oracle: Optional[BatchedOracle] = None
-            # only two_approx / fptas (and auto, which may resolve to fptas)
-            # accept an external oracle — don't build one the driver ignores
-            if (
-                backend == "vectorized"
-                and m_avail <= MAX_VECTORIZED_M
-                and seg_algorithm in ("two_approx", "fptas", "auto")
-            ):
-                oracle = BatchedOracle(to_plan, m_avail, warm_start=warm_start)
-                if warm_start and prev_oracle is not None:
-                    oracle.prime_from(prev_oracle)
-            t0 = perf_counter()
-            segment = schedule_moldable(
-                to_plan,
-                m_avail,
-                eps,
-                algorithm=seg_algorithm,
-                validate=False,
-                backend=backend,
-                oracle=oracle,
-                list_backend=list_backend,
-            )
-            latency = perf_counter() - t0
-            replan_latencies.append(latency)
-            if oracle is not None:
-                gamma_probes = (gamma_probes or 0) + oracle.gamma_probes
-                prev_oracle = oracle
-            replanned = len(to_plan)
-            prefix = [0]
-            for first, end in available:
-                prefix.append(prefix[-1] + (end - first))
-            placed: List[_Placed] = []
-            for e in segment.schedule.entries:
-                placed.append(
-                    _Placed(
-                        job=e.job,
-                        start=barrier + e.start,
-                        spans=_remap_spans(e.spans, available, prefix),
-                        duration=e.duration,
-                        duration_override=e.duration_override,
-                    )
-                )
-            current = continuing + placed
-        else:
-            barrier = tau
-            current = continuing
+        outcome = state.replan_pending(tau, continuing, plan.available_intervals(tau))
 
         epochs.append(
             EpochRecord(
                 time=tau,
                 machines_failed=sum(f.count for f in new_failures),
                 machines_repaired=sum(f.count for f in events["repairs"]),
-                machines_available=m_avail,
-                finished=len(finished),
+                machines_available=outcome.m_avail,
+                finished=len(part.finished),
                 continuing=len(continuing),
                 lost=n_lost,
                 killed=n_killed,
-                requeued=len(queued),
-                replanned=replanned,
-                barrier=barrier,
-                replan_latency=latency,
-                replan_algorithm=seg_algorithm,
+                requeued=len(part.queued),
+                replanned=outcome.replanned,
+                barrier=outcome.barrier,
+                replan_latency=outcome.latency,
+                replan_algorithm=outcome.algorithm,
             )
         )
 
     # everything still placed after the last event runs to completion
-    for p in current:
-        committed.append(p)
-        pending.pop(id(p.job), None)
+    state.finish()
 
-    if pending:  # pragma: no cover - internal invariant
-        raise RecoveryError(f"jobs left unplanned after all epochs: {sorted(j.name for j in pending.values())}")
-
-    stitched = Schedule(
-        m=m,
+    stitched = state.stitch(
         metadata={
             "algorithm": f"recovery[{algorithm}]",
             "fault_events": len(plan),
-            "replans": len(replan_latencies),
-        },
+            "replans": len(state.replan_latencies),
+        }
     )
-    for p in committed:
-        stitched.add(p.job, p.start, p.spans, duration_override=p.duration_override)
 
     survivors = [j for j in jobs if j.name not in set(killed)]
     if validate:
@@ -495,9 +344,9 @@ def recover_with_faults(
         jobs_restarted=len({r.job_name for r in lost if r.job_name not in set(killed)}),
         work_completed=stitched.total_work,
         work_lost=sum(r.work_lost for r in lost),
-        replans=len(replan_latencies),
-        replan_latencies=replan_latencies,
-        gamma_probes=gamma_probes,
+        replans=len(state.replan_latencies),
+        replan_latencies=state.replan_latencies,
+        gamma_probes=state.gamma_probes,
         epochs=epochs,
     )
     return RecoveryResult(

@@ -20,9 +20,11 @@ from .speedup_models import (
     random_monotone_speedup,
 )
 from .generators import (
+    ARRIVAL_BASES,
     InstanceSpec,
     WorkloadInstance,
     random_amdahl_instance,
+    random_arrivals_instance,
     random_communication_instance,
     random_mixed_instance,
     random_monotone_tabulated_instance,
@@ -45,6 +47,8 @@ __all__ = [
     "random_communication_instance",
     "random_mixed_instance",
     "random_monotone_tabulated_instance",
+    "random_arrivals_instance",
+    "ARRIVAL_BASES",
     "planted_partition_instance",
     "scenario",
     "SCENARIOS",

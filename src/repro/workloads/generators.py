@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..core.bounds import trivial_lower_bound
 from ..core.job import AmdahlJob, CommunicationJob, MoldableJob, PowerLawJob, TabulatedJob
 from .speedup_models import random_monotone_speedup
 
@@ -29,6 +30,8 @@ __all__ = [
     "random_monotone_tabulated_instance",
     "random_quantized_instance",
     "random_chain_instance",
+    "random_arrivals_instance",
+    "ARRIVAL_BASES",
     "planted_partition_instance",
     "scenario",
     "SCENARIOS",
@@ -56,16 +59,29 @@ class InstanceSpec:
 
 @dataclass
 class WorkloadInstance:
-    """A generated scheduling instance."""
+    """A generated scheduling instance.
+
+    ``releases`` (when set) aligns with ``jobs``: job ``i`` becomes known to
+    the scheduler at ``releases[i]``.  ``None`` means the classic offline
+    setting where everything is available at time 0.
+    """
 
     jobs: List[MoldableJob]
     m: int
     spec: InstanceSpec
     known_optimum: Optional[float] = None
+    releases: Optional[List[float]] = None
 
     @property
     def n(self) -> int:
         return len(self.jobs)
+
+    @property
+    def arrivals(self) -> List[tuple[MoldableJob, float]]:
+        """``(job, release)`` pairs for :class:`repro.online.OnlineScheduler`
+        (release 0 for every job when the instance has no release times)."""
+        releases = self.releases if self.releases is not None else [0.0] * self.n
+        return list(zip(self.jobs, releases))
 
 
 # --------------------------------------------------------------------------
@@ -291,6 +307,44 @@ def random_chain_instance(
     return WorkloadInstance(jobs, m, spec)
 
 
+#: Base families an ``arrivals`` instance can draw its jobs from.
+ARRIVAL_BASES: Dict[str, Callable[..., "WorkloadInstance"]] = {}
+
+
+def random_arrivals_instance(
+    n: int,
+    m: int,
+    *,
+    seed: SeedLike = None,
+    base: str = "mixed",
+    span: Optional[float] = None,
+    span_factor: float = 0.75,
+) -> WorkloadInstance:
+    """An online instance: a base family's jobs plus seeded release times.
+
+    Jobs come from the ``base`` generator (any :data:`ARRIVAL_BASES` key)
+    driven by the same RNG stream, so one seed pins both the jobs and the
+    arrival pattern.  Releases are sorted uniform draws over ``[0, span]``;
+    by default ``span`` is ``span_factor`` times the instance's trivial
+    makespan lower bound, which keeps the stream busy — new work keeps
+    arriving while earlier work is still running, the regime where
+    incremental re-planning (and its γ warm start) actually matters.
+    """
+    if base not in ARRIVAL_BASES:
+        raise ValueError(f"unknown arrivals base {base!r}; available: {sorted(ARRIVAL_BASES)}")
+    if span is not None and span < 0:
+        raise ValueError("span must be >= 0")
+    rng = _rng(seed)
+    inst = ARRIVAL_BASES[base](n, m, seed=rng)
+    if span is None:
+        span = span_factor * trivial_lower_bound(inst.jobs, m)
+    releases = [float(r) for r in np.sort(rng.uniform(0.0, span, size=n))] if span > 0 else [0.0] * n
+    spec = InstanceSpec(
+        f"arrivals[{base}]", n, m, params={"span": float(span), "span_factor": span_factor}
+    )
+    return WorkloadInstance(inst.jobs, m, spec, releases=releases)
+
+
 def random_monotone_tabulated_instance(
     n: int,
     m: int,
@@ -353,6 +407,19 @@ def planted_partition_instance(
             jobs.append(TabulatedJob(f"planted-{g}-{j}", [t1]))  # constant time on any k
     spec = InstanceSpec("planted_partition", len(jobs), groups, params={"target": target})
     return WorkloadInstance(jobs, groups, spec, known_optimum=target)
+
+
+ARRIVAL_BASES.update(
+    {
+        "mixed": random_mixed_instance,
+        "amdahl": random_amdahl_instance,
+        "power_law": random_power_law_instance,
+        "communication": random_communication_instance,
+        "power_work": random_power_work_instance,
+        "bimodal": random_bimodal_instance,
+        "chain": random_chain_instance,
+    }
+)
 
 
 # --------------------------------------------------------------------------

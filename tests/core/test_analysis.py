@@ -133,3 +133,38 @@ class TestCompareSchedules:
         for row in rows:
             assert row.ratio_vs_best >= 1.0 - 1e-9
             assert 0.0 < row.utilization <= 1.0
+
+
+class TestReleaseAwareComparison:
+    def test_online_rows_get_a_meaningful_ratio(self):
+        from repro.online import OnlineScheduler
+        from repro.workloads.generators import random_arrivals_instance
+
+        inst = random_arrivals_instance(20, 24, seed=13)
+        online = OnlineScheduler(24, eps=0.25).run(inst.arrivals)
+        offline = schedule_moldable(inst.jobs, 24, 0.25, algorithm="bounded").schedule
+        plain = compare_schedules(
+            {"online": online.schedule, "offline": offline}, inst.jobs, 24
+        )
+        aware = compare_schedules(
+            {"online": online.schedule, "offline": offline},
+            inst.jobs,
+            24,
+            releases=inst.releases,
+        )
+        by_label = lambda rows: {r.label: r for r in rows}
+        # the release-aware bound is tighter (larger), so every ratio shrinks
+        # or stays put — and the online row's ratio becomes meaningful
+        for label in ("online", "offline"):
+            assert by_label(aware)[label].ratio_vs_lower_bound <= (
+                by_label(plain)[label].ratio_vs_lower_bound + 1e-12
+            )
+            assert by_label(aware)[label].ratio_vs_lower_bound >= 1.0 - 1e-9
+
+    def test_release_aware_bound_still_valid_for_offline_schedules(self):
+        from repro.workloads.generators import random_arrivals_instance
+
+        inst = random_arrivals_instance(10, 16, seed=21)
+        offline = schedule_moldable(inst.jobs, 16, 0.25, algorithm="two_approx").schedule
+        rows = compare_schedules({"offline": offline}, inst.jobs, 16)
+        assert rows[0].ratio_vs_lower_bound >= 1.0 - 1e-9

@@ -102,3 +102,57 @@ class TestMakespanLowerBound:
             instance = random_monotone_tabulated_instance(5, 4, seed=seed + 20)
             opt = exact_makespan(instance.jobs, 4)
             assert makespan_lower_bound(instance.jobs, 4) <= opt * (1 + 1e-6)
+
+
+class TestReleaseAwareLowerBound:
+    def test_zero_releases_reduce_to_the_base_bounds(self):
+        from repro.core.bounds import release_aware_lower_bound
+
+        instance = random_mixed_instance(12, 16, seed=5)
+        releases = [0.0] * instance.n
+        bound = release_aware_lower_bound(instance.jobs, releases, 16)
+        assert bound >= trivial_lower_bound(instance.jobs, 16) - 1e-12
+
+    def test_late_release_dominates(self):
+        from repro.core.bounds import release_aware_lower_bound
+
+        a = TabulatedJob("a", [10.0])
+        b = TabulatedJob("b", [1.0])
+        # b arrives at 100: nothing can end before 101
+        bound = release_aware_lower_bound([a, b], [0.0, 100.0], 4)
+        assert bound == pytest.approx(101.0)
+
+    def test_suffix_work_bound(self):
+        from repro.core.bounds import release_aware_lower_bound
+
+        # four unit jobs released at 10 on one machine: 10 + 4*1 = 14
+        jobs = [TabulatedJob(f"j{i}", [1.0]) for i in range(4)]
+        bound = release_aware_lower_bound(jobs, [10.0] * 4, 1)
+        assert bound == pytest.approx(14.0)
+
+    def test_base_is_respected(self):
+        from repro.core.bounds import release_aware_lower_bound
+
+        jobs = [TabulatedJob("a", [1.0])]
+        assert release_aware_lower_bound(jobs, [0.0], 8, base=42.0) == 42.0
+
+    def test_mismatched_lengths_rejected(self):
+        from repro.core.bounds import release_aware_lower_bound
+
+        with pytest.raises(ValueError, match="releases"):
+            release_aware_lower_bound([TabulatedJob("a", [1.0])], [0.0, 1.0], 2)
+
+    def test_empty(self):
+        from repro.core.bounds import release_aware_lower_bound
+
+        assert release_aware_lower_bound([], [], 4) == 0.0
+
+    def test_certifies_an_online_schedule(self):
+        from repro.core.bounds import release_aware_lower_bound
+        from repro.online import OnlineScheduler
+        from repro.workloads.generators import random_arrivals_instance
+
+        inst = random_arrivals_instance(16, 24, seed=9)
+        result = OnlineScheduler(24, eps=0.25).run(inst.arrivals)
+        bound = release_aware_lower_bound(inst.jobs, inst.releases, 24)
+        assert bound <= result.makespan + 1e-9

@@ -247,3 +247,70 @@ class TestFleetReportIO:
 
         with pytest.raises(SerializationError):
             fleet_report_from_dict({"format": "repro-schedule", "version": 1})
+
+
+class TestInstanceReleasesIO:
+    """Release-carrying instances round-trip at format version 2; plain
+    instances stay at version 1 so older readers keep loading them."""
+
+    def test_plain_instances_stay_version_1(self):
+        data = instance_to_dict(ALL_JOB_EXAMPLES[:2], 8)
+        assert data["version"] == 1
+        assert "releases" not in data
+
+    def test_releases_bump_the_version(self):
+        data = instance_to_dict(ALL_JOB_EXAMPLES[:2], 8, releases=[0.0, 3.5])
+        assert data["version"] == 2
+        assert data["releases"] == [0.0, 3.5]
+        json.dumps(data)
+
+    def test_round_trip_preserves_releases(self, tmp_path):
+        jobs = ALL_JOB_EXAMPLES[:4]
+        releases = [0.0, 1.25, 1.25, 9.75]
+        path = tmp_path / "online.json"
+        save_instance(path, jobs, 32, metadata={"kind": "arrivals"}, releases=releases)
+        loaded_jobs, m, metadata, loaded_releases = load_instance(path, with_releases=True)
+        assert m == 32
+        assert metadata == {"kind": "arrivals"}
+        assert [j.name for j in loaded_jobs] == [j.name for j in jobs]
+        assert loaded_releases == releases
+
+    def test_default_return_stays_a_triple(self, tmp_path):
+        path = tmp_path / "online.json"
+        save_instance(path, ALL_JOB_EXAMPLES[:2], 8, releases=[0.0, 1.0])
+        loaded_jobs, m, metadata = load_instance(path)
+        assert m == 8 and len(loaded_jobs) == 2
+
+    def test_version_1_documents_report_no_releases(self):
+        data = instance_to_dict(ALL_JOB_EXAMPLES[:2], 8)
+        jobs, m, metadata, releases = instance_from_dict(data, with_releases=True)
+        assert releases is None
+
+    def test_mismatched_release_count_rejected(self):
+        with pytest.raises(SerializationError, match="releases"):
+            instance_to_dict(ALL_JOB_EXAMPLES[:2], 8, releases=[0.0])
+        data = instance_to_dict(ALL_JOB_EXAMPLES[:2], 8, releases=[0.0, 1.0])
+        data["releases"] = [0.0]
+        with pytest.raises(SerializationError, match="releases"):
+            instance_from_dict(data)
+
+    def test_hypothesis_release_round_trip(self):
+        from hypothesis import given, settings, strategies as st
+
+        finite_release = st.floats(
+            min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False
+        )
+
+        @given(st.lists(finite_release, min_size=0, max_size=12))
+        @settings(max_examples=60, deadline=None)
+        def round_trip(releases):
+            jobs = [AmdahlJob(f"j{i}", 10.0 + i, 0.1) for i in range(len(releases))]
+            data = json.loads(json.dumps(instance_to_dict(jobs, 16, releases=releases)))
+            loaded_jobs, m, _, loaded = instance_from_dict(data, with_releases=True)
+            assert m == 16
+            assert len(loaded_jobs) == len(jobs)
+            assert loaded == ([] if not releases else releases)
+            expected_version = 2
+            assert data["version"] == expected_version
+
+        round_trip()

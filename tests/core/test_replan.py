@@ -1,0 +1,204 @@
+"""Unit tests for the shared incremental-replan core (repro.core.replan).
+
+The barrier / partition / stitch edge cases the two clients (fault recovery,
+online arrivals) depend on: empty pending sets, all-continuing epochs, an
+epoch at time 0, and arrivals tied exactly with a completion.
+"""
+
+import pytest
+
+from repro.core.job import TabulatedJob
+from repro.core.replan import (
+    EPOCH_EPS,
+    PlacedEntry,
+    ReplanError,
+    ReplanState,
+    availability_prefix,
+    remap_spans,
+    segment_algorithm,
+)
+from repro.core.fptas import fptas_machine_threshold
+from repro.core.validation import validate_schedule
+
+
+def constant_job(name: str, duration: float) -> TabulatedJob:
+    """A job taking ``duration`` on any processor count."""
+    return TabulatedJob(name, [duration])
+
+
+def placed(job, start, duration, spans=((0, 1),)):
+    return PlacedEntry(
+        job=job, start=start, spans=[tuple(s) for s in spans], duration=duration,
+        duration_override=None,
+    )
+
+
+class TestCommitEpoch:
+    def test_partition_with_exact_ties(self):
+        a, b, c, d = (constant_job(x, 10.0) for x in "abcd")
+        state = ReplanState(m=4)
+        state.add_jobs([a, b, c, d])
+        state.current = [
+            placed(a, 0.0, 5.0, [(0, 1)]),   # ends exactly at tau -> finished
+            placed(b, 0.0, 10.0, [(1, 1)]),  # straddles tau -> running
+            placed(c, 5.0, 10.0, [(2, 1)]),  # starts exactly at tau -> queued
+            placed(d, 7.0, 10.0, [(3, 1)]),  # starts after tau -> queued
+        ]
+        part = state.commit_epoch(5.0)
+        assert [p.job.name for p in part.finished] == ["a"]
+        assert [p.job.name for p in part.running] == ["b"]
+        assert sorted(p.job.name for p in part.queued) == ["c", "d"]
+        # finished jobs leave the pending pool; everyone else stays
+        assert id(a) not in state.pending
+        assert all(id(j) in state.pending for j in (b, c, d))
+        assert [p.job.name for p in state.committed] == ["a"]
+
+    def test_epoch_at_time_zero_with_nothing_placed(self):
+        a = constant_job("a", 4.0)
+        state = ReplanState(m=2)
+        state.add_jobs([a])
+        part = state.commit_epoch(0.0)
+        assert part.finished == [] and part.running == [] and part.queued == []
+        outcome = state.replan_pending(0.0, [], [(0, 2)])
+        assert outcome.barrier == 0.0
+        assert outcome.replanned == 1
+        assert state.current[0].start == 0.0
+
+    def test_empty_pending_set_is_a_no_op_replan(self):
+        state = ReplanState(m=4)
+        outcome = state.replan_pending(3.0, [], [(0, 4)])
+        assert outcome.replanned == 0
+        assert outcome.barrier == 3.0
+        assert outcome.algorithm is None
+        assert state.replan_latencies == []
+        assert state.current == []
+
+    def test_all_continuing_epoch_skips_the_solve(self):
+        a, b = constant_job("a", 10.0), constant_job("b", 10.0)
+        state = ReplanState(m=2)
+        state.add_jobs([a, b])
+        state.current = [placed(a, 0.0, 10.0, [(0, 1)]), placed(b, 0.0, 10.0, [(1, 1)])]
+        part = state.commit_epoch(5.0)
+        assert len(part.running) == 2
+        outcome = state.replan_pending(5.0, part.running, [(0, 2)])
+        # every pending job is draining: nothing to re-plan, barrier stays tau
+        assert outcome.replanned == 0
+        assert outcome.barrier == 5.0
+        assert state.replan_latencies == []
+        assert [p.job.name for p in state.current] == ["a", "b"]
+
+    def test_barrier_is_latest_continuing_end(self):
+        a, b, c = (constant_job(x, 6.0) for x in "abc")
+        state = ReplanState(m=2)
+        state.add_jobs([a, b, c])
+        state.current = [placed(a, 0.0, 6.0, [(0, 1)]), placed(b, 2.0, 6.0, [(1, 1)])]
+        part = state.commit_epoch(3.0)
+        outcome = state.replan_pending(3.0, part.running, [(0, 2)])
+        assert outcome.barrier == 8.0  # b ends at 2 + 6
+        new = [p for p in state.current if p.job is c]
+        assert new and new[0].start >= 8.0
+
+
+class TestFinishAndStitch:
+    def test_finish_commits_in_flight_and_stitches_clean(self):
+        a, b = constant_job("a", 5.0), constant_job("b", 3.0)
+        state = ReplanState(m=2)
+        state.add_jobs([a, b])
+        state.replan_pending(0.0, [], [(0, 2)])
+        state.finish()
+        schedule = state.stitch(metadata={"algorithm": "test"})
+        assert validate_schedule(schedule, [a, b]).ok
+        assert schedule.metadata["algorithm"] == "test"
+
+    def test_finish_raises_on_unplanned_jobs(self):
+        state = ReplanState(m=2)
+        state.add_jobs([constant_job("orphan", 1.0)])
+        with pytest.raises(ReplanError, match="orphan"):
+            state.finish()
+
+    def test_no_machines_raises_the_client_error_class(self):
+        class ClientError(RuntimeError):
+            pass
+
+        state = ReplanState(m=2, error=ClientError)
+        state.add_jobs([constant_job("a", 1.0)])
+        with pytest.raises(ClientError, match="no machines available at epoch 4.0"):
+            state.replan_pending(4.0, [], [])
+
+
+class TestArrivalCompletionTie:
+    def test_arrival_tied_exactly_with_a_completion(self):
+        """A new job arriving at the exact instant an old one completes:
+        the completion must commit (end <= tau + eps) before the arrival is
+        planned, so the machine is free and no overlap is stitched."""
+        a = constant_job("a", 5.0)
+        b = constant_job("b", 5.0)
+        state = ReplanState(m=1)
+        state.add_jobs([a])
+        state.replan_pending(0.0, [], [(0, 1)])
+        assert state.current[0].end == 5.0
+
+        state.add_jobs([b])  # arrives exactly at a's completion
+        part = state.commit_epoch(5.0)
+        assert [p.job.name for p in part.finished] == ["a"]
+        assert part.running == []
+        outcome = state.replan_pending(5.0, part.running, [(0, 1)])
+        assert outcome.barrier == 5.0
+        state.finish()
+        schedule = state.stitch()
+        assert validate_schedule(schedule, [a, b]).ok
+        starts = {e.job.name: e.start for e in schedule.entries}
+        assert starts == {"a": 0.0, "b": 5.0}
+
+    def test_tie_within_epsilon_still_commits(self):
+        a = constant_job("a", 5.0)
+        state = ReplanState(m=1)
+        state.add_jobs([a])
+        state.replan_pending(0.0, [], [(0, 1)])
+        part = state.commit_epoch(5.0 - EPOCH_EPS / 2)
+        assert [p.job.name for p in part.finished] == ["a"]
+
+
+class TestRemapSpans:
+    def test_identity_on_full_availability(self):
+        available = [(0, 8)]
+        prefix = availability_prefix(available)
+        assert prefix == [0, 8]
+        assert remap_spans([(2, 3)], available, prefix) == [(2, 3)]
+
+    def test_split_across_a_hole(self):
+        # machines 2..4 are down: abstract positions 0..5 map to 0,1,5,6,7
+        available = [(0, 2), (5, 9)]
+        prefix = availability_prefix(available)
+        assert remap_spans([(0, 4)], available, prefix) == [(0, 2), (5, 2)]
+        assert remap_spans([(2, 2)], available, prefix) == [(5, 2)]
+
+    def test_adjacent_pieces_merge(self):
+        available = [(0, 4), (4, 8)]
+        prefix = availability_prefix(available)
+        assert remap_spans([(2, 4)], available, prefix) == [(2, 4)]
+
+    def test_overflow_raises(self):
+        available = [(0, 2)]
+        prefix = availability_prefix(available)
+        with pytest.raises(ReplanError, match="exceeds the available machines"):
+            remap_spans([(1, 4)], available, prefix)
+
+
+class TestSegmentAlgorithm:
+    def test_auto_passes_through(self):
+        assert segment_algorithm("auto", 50, 1, 0.1) == "auto"
+
+    def test_fptas_falls_back_below_threshold(self):
+        n, eps = 10, 0.25
+        threshold = fptas_machine_threshold(n, eps)
+        assert segment_algorithm("fptas", n, threshold, eps) == "fptas"
+        assert segment_algorithm("fptas", n, threshold - 1, eps) == "bounded"
+
+    def test_exact_falls_back_outside_regime(self):
+        assert segment_algorithm("exact", 7, 8, 0.1) == "exact"
+        assert segment_algorithm("exact", 8, 8, 0.1) == "bounded"
+        assert segment_algorithm("exact", 7, 9, 0.1) == "bounded"
+
+    def test_two_approx_untouched(self):
+        assert segment_algorithm("two_approx", 100, 1, 0.1) == "two_approx"

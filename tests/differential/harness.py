@@ -65,10 +65,12 @@ from repro.core.schedule import Schedule
 from repro.core.scheduler import schedule_moldable
 from repro.core.two_approx import two_approximation
 from repro.core.validation import validate_schedule
+from repro.online import OnlineResult, OnlineScheduler
 from repro.perf.megabatch import solve_mega
 from repro.resilience import FaultPlan, RecoveryResult, random_fault_plan, recover_with_faults
 from repro.simulator.engine import SimulationError, simulate_schedule
 from repro.workloads.generators import (
+    random_arrivals_instance,
     random_bimodal_instance,
     random_chain_instance,
     random_communication_instance,
@@ -109,6 +111,11 @@ FAMILIES: Dict[str, Callable] = {
     # results (schedule, makespan, certification, validator verdicts) must be
     # bit-identical regardless of what it was co-batched with
     "mega": random_mixed_instance,
+    # online-arrival family: mixed instances with seed-derived release times
+    # driven through the whole OnlineScheduler epoch loop (the epoch policy
+    # is also seed-derived); the comparison pins the *stitched* online
+    # schedules bit-identical across backends and warm vs cold re-planning
+    "online": random_arrivals_instance,
 }
 
 TINY_N_HUGE_M = 1 << 20
@@ -304,6 +311,105 @@ def _run_recovery_case(case: dict) -> None:
         assert trace.makespan == result.schedule.makespan, context
 
 
+def online_policy_for(case: dict, instance) -> dict:
+    """Seed-derived epoch-policy kwargs for an ``online``-family case.
+
+    Deterministic in the case alone (the quantum is scaled off the
+    instance's seed-deterministic release span), so every backend of the
+    comparison groups the identical arrival stream into identical epochs.
+    """
+    seed = int(case["seed"])
+    kind = ("immediate", "quantum", "count")[seed % 3]
+    if kind == "quantum":
+        span = max(instance.releases) if instance.releases else 0.0
+        if span <= 0:
+            span = 1.0
+        return {"policy": "quantum", "quantum": span / (2 + seed % 5)}
+    if kind == "count":
+        return {"policy": "count", "batch_size": 1 + seed % 4}
+    return {"policy": "immediate"}
+
+
+def run_online(
+    case: dict, backend: str, instance, *, warm_start: bool = True
+) -> OnlineResult:
+    """Run the whole online arrival-epoch loop under one backend, mirroring
+    :func:`run_driver`'s backend → (backend, list_backend) mapping."""
+    if backend not in BACKENDS:
+        raise KeyError(backend)
+    m = effective_m(case)
+    eps = float(case["eps"])
+    driver = case["driver"]
+    kwargs = online_policy_for(case, instance)
+    if backend == "scalar":
+        scheduler = OnlineScheduler(
+            m, eps=eps, algorithm=driver, backend="scalar", warm_start=warm_start, **kwargs
+        )
+    elif driver == "two_approx":
+        list_backend = "wakeup" if backend == "vectorized" else backend
+        scheduler = OnlineScheduler(
+            m, eps=eps, algorithm=driver, backend="vectorized",
+            list_backend=list_backend, warm_start=warm_start, **kwargs,
+        )
+    else:
+        scheduler = OnlineScheduler(
+            m, eps=eps, algorithm=driver, backend="vectorized",
+            warm_start=warm_start, **kwargs,
+        )
+    return scheduler.run(instance.arrivals)
+
+
+def _run_online_case(case: dict) -> None:
+    """The ``online``-family differential check: every backend must produce
+    the identical *stitched* online schedule through the whole arrival-epoch
+    loop, with agreeing validator verdicts, and warm-started re-planning
+    must be bit-identical to cold re-solving while probing no more."""
+    scalar_inst = build_instance(case)
+    scalar = run_online(case, "scalar", scalar_inst)
+    _assert_validator_verdicts_agree(scalar.schedule, scalar_inst.jobs, case)
+
+    for backend in BACKENDS[1:]:
+        if backend in LIST_ONLY_BACKENDS and case["driver"] != "two_approx":
+            continue
+        inst = build_instance(case)
+        result = run_online(case, backend, inst)
+        context = f"case {case!r}, backend {backend!r} vs scalar (online)"
+        assert scalar.makespan == result.makespan, (
+            f"{context}: makespan {scalar.makespan!r} != {result.makespan!r}"
+        )
+        _assert_schedules_identical(scalar.schedule, result.schedule, case, backend)
+        _assert_validator_verdicts_agree(result.schedule, inst.jobs, case)
+        # regret accounting must be backend-independent (latencies and probe
+        # counts legitimately differ; everything else must not)
+        assert scalar.report.replans == result.report.replans, context
+        assert scalar.report.offline_makespan == result.report.offline_makespan, context
+        assert scalar.report.lower_bound == result.report.lower_bound, context
+        assert [e.barrier for e in scalar.report.epochs] == [
+            e.barrier for e in result.report.epochs
+        ], context
+
+        # independent cross-check: the discrete-event simulator accepts the
+        # stitched schedule and reproduces its makespan
+        try:
+            trace = simulate_schedule(result.schedule, backend="scalar")
+        except SimulationError as exc:  # pragma: no cover - a real finding
+            raise AssertionError(
+                f"simulator rejected a stitched online schedule for {context}: {exc}"
+            )
+        assert trace.makespan == result.schedule.makespan, context
+
+        if backend == "vectorized":
+            # the warm-start toggle must never change the schedule, only the
+            # γ-probe count (cold re-solves probe at least as much)
+            cold_inst = build_instance(case)
+            cold = run_online(case, "vectorized", cold_inst, warm_start=False)
+            wc = f"case {case!r}, warm vs cold (online)"
+            assert result.makespan == cold.makespan, wc
+            _assert_schedules_identical(result.schedule, cold.schedule, case, "cold")
+            if result.report.gamma_probes is not None:
+                assert result.report.gamma_probes <= cold.report.gamma_probes, wc
+
+
 #: Co-batch companion generators for ``mega``-family cases (kept small so a
 #: mega case stays cheap; variety matters more than size here).
 _MEGA_COMPANIONS = (
@@ -380,6 +486,9 @@ def run_case(case: dict) -> None:
         return
     if case["family"] == "mega":
         _run_mega_case(case)
+        return
+    if case["family"] == "online":
+        _run_online_case(case)
         return
     scalar_jobs = build_instance(case).jobs
     scalar = run_driver(case, "scalar", scalar_jobs)

@@ -1,9 +1,10 @@
 """Hypothesis-driven cross-backend parity fuzzing.
 
 Draws random (driver, family, n, m, eps, seed) cases across all five
-algorithm drivers and all nine instance families (the bench sweep plus the
+algorithm drivers and every instance family (the bench sweep plus the
 tie-heavy ``quantized``, the no-tie ``chain``, the fault-recovery
-``faulty``, and the overflow-boundary ``huge_m`` families), runs each
+``faulty``, the overflow-boundary ``huge_m``, the lockstep co-batch
+``mega``, and the arrival-epoch ``online`` families), runs each
 driver under every backend of the N-way comparison (scalar heap reference,
 vectorized drivers, batched event-queue list scheduler, candidate-indexed
 event-queue list scheduler), and asserts identical schedules, makespans and
@@ -88,6 +89,7 @@ class TestHarnessSelfChecks:
             "faulty",
             "huge_m",
             "mega",
+            "online",
         }
 
     def test_comparison_is_n_way(self):
@@ -134,6 +136,13 @@ class TestHarnessSelfChecks:
         """The recovery loop itself is part of the N-way comparison."""
         run_case(
             {"driver": driver, "family": "faulty", "n": 8, "m": 24, "eps": 0.25, "seed": 11}
+        )
+
+    @pytest.mark.parametrize("driver", DRIVERS)
+    def test_one_deterministic_online_case_per_driver(self, driver):
+        """The online arrival-epoch loop is part of the N-way comparison."""
+        run_case(
+            {"driver": driver, "family": "online", "n": 8, "m": 24, "eps": 0.25, "seed": 19}
         )
 
     def test_save_failure_roundtrip(self, tmp_path, monkeypatch):

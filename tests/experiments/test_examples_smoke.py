@@ -41,6 +41,16 @@ def test_example_runs_clean(name):
     assert proc.returncode == 0, proc.stderr
 
 
+def test_online_example_reports_warm_start_parity():
+    proc = run_example("online_cluster_day.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "schedules bit-identical: True" in proc.stdout
+    assert "reduction)" in proc.stdout
+    assert "clairvoyant offline" in proc.stdout
+    assert "release-aware LB" in proc.stdout
+    assert "release round-trip exact: True" in proc.stdout
+
+
 def test_campaign_example_reports_complete_fleet():
     proc = run_example("hpc_cluster_campaign.py")
     assert proc.returncode == 0, proc.stderr

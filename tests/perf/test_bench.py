@@ -42,10 +42,10 @@ class TestConfigs:
         families = {c["family"] for c in configs}
         algorithms = {c["algorithm"] for c in configs}
         assert families == set(DEFAULT_FAMILIES)
-        # recovery, fleet-serving and the astronomical-m shard ride
-        # alongside the backend sweep
+        # recovery, online arrivals, fleet-serving and the astronomical-m
+        # shard ride alongside the backend sweep
         assert algorithms == set(ALL_ALGORITHMS) | {
-            "recovery", "serve", "huge_m", "megabatch",
+            "recovery", "online", "serve", "huge_m", "megabatch",
         }
         # the tiny family pins every algorithm to the large-m dispatch shape
         tiny = [c for c in configs if c["family"] == "tiny_n_huge_m"]
@@ -110,6 +110,15 @@ class TestConfigs:
             assert rows, mode
             # recovery is an end-to-end loop on a moderate cluster, never
             # the tiny_n_huge_m / chain coverage shapes
+            assert all(c["family"] not in ("tiny_n_huge_m", "chain") for c in rows)
+
+    def test_online_rows_present_in_both_modes(self):
+        for mode in ("smoke", "full"):
+            configs = _configs(mode, list(DEFAULT_FAMILIES))
+            rows = [c for c in configs if c["algorithm"] == "online"]
+            assert rows, mode
+            # the online loop, like recovery, runs on a moderate cluster,
+            # never the tiny_n_huge_m / chain coverage shapes
             assert all(c["family"] not in ("tiny_n_huge_m", "chain") for c in rows)
 
     def test_huge_m_rows_present_in_both_modes(self):
@@ -380,6 +389,57 @@ class TestAggregatesAndGate:
             min_fptas_two_approx=None,
             min_list_schedule=None,
             min_recovery=0.25,
+        )
+
+    def _online_row(self, probes=(120, 1000), replans=6, warm_seconds=0.5):
+        row = _row("online", "mixed", 80, 1.0)
+        row.m = 64
+        row.gamma_probes_warm, row.gamma_probes_cold = probes
+        row.replans = replans
+        row.vectorized_seconds = warm_seconds
+        return row
+
+    def test_online_aggregates(self):
+        rows = [
+            self._online_row(probes=(150, 900), replans=4, warm_seconds=0.5),
+            self._online_row(probes=(50, 100), replans=6, warm_seconds=1.5),
+            # recovery probes must stay out of the online aggregate and
+            # vice versa — same counters, different warm-start policies
+            self._recovery_row(probes=(100, 800)),
+        ]
+        aggregates = _aggregate(rows)
+        assert aggregates["online_probes_warm_total"] == 200.0
+        assert aggregates["online_probes_cold_total"] == 1000.0
+        assert aggregates["online_probe_reduction"] == pytest.approx(0.8)
+        assert aggregates["online_replans_total"] == 10.0
+        assert aggregates["online_replans_per_sec"] == pytest.approx(5.0)
+        assert aggregates["recovery_probes_cold_total"] == 800.0
+        assert "online_probe_reduction" not in _aggregate(rows[-1:])
+
+    def test_online_floor_gate_names_rows_and_counters(self, tmp_path):
+        report = self._report([self._online_row(probes=(700, 1000))])
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"aggregates": {}}))
+        failures = check_regression(
+            report, str(baseline), min_fptas_two_approx=None, min_list_schedule=None
+        )
+        message = "\n".join(failures)
+        assert "arrival-epoch warm-start floor" in message
+        assert "online/mixed" in message
+        assert "warm 700 vs cold 1000" in message and "6 re-plans" in message
+        assert not check_regression(
+            report,
+            str(baseline),
+            min_fptas_two_approx=None,
+            min_list_schedule=None,
+            min_online=None,
+        )
+        assert not check_regression(
+            report,
+            str(baseline),
+            min_fptas_two_approx=None,
+            min_list_schedule=None,
+            min_online=0.25,
         )
 
     def _mega_row(self, speedup, fleet=32):

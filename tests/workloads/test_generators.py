@@ -131,3 +131,52 @@ class TestNewFamilies:
         big = [t for t in t1s if t >= 300.0]
         assert len(small) + len(big) == len(t1s)
         assert small and big
+
+
+class TestArrivalsFamily:
+    def test_releases_are_seeded_sorted_and_in_span(self):
+        from repro.workloads.generators import random_arrivals_instance
+
+        a = random_arrivals_instance(50, 64, seed=4)
+        b = random_arrivals_instance(50, 64, seed=4)
+        assert a.releases == b.releases
+        assert [j.name for j in a.jobs] == [j.name for j in b.jobs]
+        assert a.releases == sorted(a.releases)
+        span = a.spec.params["span"]
+        assert all(0.0 <= r <= span for r in a.releases)
+
+    def test_default_span_tracks_the_lower_bound(self):
+        from repro.core.bounds import trivial_lower_bound
+        from repro.workloads.generators import random_arrivals_instance
+
+        inst = random_arrivals_instance(30, 32, seed=8, span_factor=0.5)
+        expected = 0.5 * trivial_lower_bound(inst.jobs, 32)
+        assert inst.spec.params["span"] == pytest.approx(expected)
+
+    def test_explicit_span_zero_means_everything_at_t0(self):
+        from repro.workloads.generators import random_arrivals_instance
+
+        inst = random_arrivals_instance(10, 8, seed=1, span=0.0)
+        assert inst.releases == [0.0] * 10
+
+    def test_base_families(self):
+        from repro.workloads.generators import ARRIVAL_BASES, random_arrivals_instance
+
+        for base in ARRIVAL_BASES:
+            inst = random_arrivals_instance(6, 16, seed=2, base=base)
+            assert inst.n == 6 and len(inst.releases) == 6
+            assert inst.spec.kind == f"arrivals[{base}]"
+        with pytest.raises(ValueError, match="unknown arrivals base"):
+            random_arrivals_instance(4, 8, seed=0, base="nope")
+
+    def test_arrivals_property_pairs_jobs_with_releases(self):
+        from repro.workloads.generators import random_arrivals_instance
+
+        inst = random_arrivals_instance(5, 8, seed=3)
+        pairs = inst.arrivals
+        assert [j.name for j, _ in pairs] == [j.name for j in inst.jobs]
+        assert [r for _, r in pairs] == inst.releases
+
+    def test_offline_instances_expose_zero_release_arrivals(self):
+        inst = random_mixed_instance(4, 8, seed=1)
+        assert [r for _, r in inst.arrivals] == [0.0] * 4
